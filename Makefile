@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench eval eval-quick examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+# Reduced-budget benchmark versions of every table/figure plus the
+# substrate micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's full evaluation into results/.
+eval:
+	$(GO) run ./cmd/pok-bench -out results -ablations
+
+eval-quick:
+	$(GO) run ./cmd/pok-bench -out results -insts 60000
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/characterize
+	$(GO) run ./examples/slicecompare gzip
+	$(GO) run ./examples/customprog
+	$(GO) run ./examples/sampling gcc
+	$(GO) run ./examples/minic
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

@@ -1,0 +1,90 @@
+// pok-asm assembles a source file and dumps the resulting image: symbols,
+// encoded machine words and their disassembly — useful when writing new
+// workloads or debugging the encoder.
+//
+// Usage:
+//
+//	pok-asm prog.s            # assemble + dump
+//	pok-asm -run prog.s       # assemble + execute functionally
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pok/internal/asm"
+	"pok/internal/emu"
+	"pok/internal/isa"
+)
+
+func main() {
+	run := flag.Bool("run", false, "execute the program after assembling")
+	maxInsts := flag.Uint64("insts", 50_000_000, "execution instruction cap with -run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pok-asm [-run] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("entry: 0x%08x\n\nsymbols:\n", prog.Entry)
+	type sym struct {
+		name string
+		addr uint32
+	}
+	var syms []sym
+	for n, a := range prog.Symbols {
+		syms = append(syms, sym{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	for _, s := range syms {
+		fmt.Printf("  0x%08x  %s\n", s.addr, s.name)
+	}
+
+	for _, seg := range prog.Segments {
+		fmt.Printf("\nsegment at 0x%08x (%d bytes):\n", seg.Addr, len(seg.Data))
+		if seg.Addr != prog.Entry && seg.Addr >= emu.DefaultDataBase {
+			// Data segment: hex dump only.
+			for i := 0; i < len(seg.Data); i += 16 {
+				end := min(i+16, len(seg.Data))
+				fmt.Printf("  0x%08x  %x\n", seg.Addr+uint32(i), seg.Data[i:end])
+			}
+			continue
+		}
+		// Text segment: disassemble word by word.
+		for i := 0; i+4 <= len(seg.Data); i += 4 {
+			w := uint32(seg.Data[i]) | uint32(seg.Data[i+1])<<8 |
+				uint32(seg.Data[i+2])<<16 | uint32(seg.Data[i+3])<<24
+			in, err := isa.Decode(w)
+			text := "??"
+			if err == nil {
+				text = in.String()
+			}
+			fmt.Printf("  0x%08x  %08x  %s\n", seg.Addr+uint32(i), w, text)
+		}
+	}
+
+	if *run {
+		e := emu.New(prog)
+		n, err := e.Run(*maxInsts, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nexecuted %d instructions, halted=%v exit=%d\noutput: %s\n",
+			n, e.Halted(), e.ExitCode(), e.Output())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pok-asm:", err)
+	os.Exit(1)
+}

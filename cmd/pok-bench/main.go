@@ -1,0 +1,147 @@
+// pok-bench regenerates every table and figure of the paper's evaluation
+// section and writes the rendered results to stdout and, optionally, to a
+// results directory (one file per experiment).
+//
+// Usage:
+//
+//	pok-bench                 # full evaluation at the default budget
+//	pok-bench -insts 100000   # quicker pass
+//	pok-bench -out results/   # also write per-experiment files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"pok"
+)
+
+func main() {
+	insts := flag.Uint64("insts", 0, "instruction budget per benchmark per run (0 = default)")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies (narrow-width, predictor, window)")
+	outDir := flag.String("out", "", "directory to write per-experiment result files")
+	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent benchmarks per experiment")
+	flag.Parse()
+
+	opt := pok.Options{MaxInsts: *insts, Parallel: *parallel}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	emit := func(name, content string) {
+		fmt.Println(content)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*outDir, name+".txt")
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	start := time.Now()
+
+	t1, err := pok.Table1(opt)
+	if err != nil {
+		fatal(err)
+	}
+	emit("table1", pok.RenderTable1(t1))
+
+	f2opt := opt
+	if len(f2opt.Benchmarks) == 0 {
+		f2opt.Benchmarks = []string{"bzip", "gcc"}
+	}
+	f2, err := pok.Figure2(f2opt)
+	if err != nil {
+		fatal(err)
+	}
+	emit("figure2", pok.RenderFigure2(f2))
+
+	f4opt := opt
+	if len(f4opt.Benchmarks) == 0 {
+		f4opt.Benchmarks = []string{"mcf", "twolf"}
+	}
+	f4, err := pok.Figure4(f4opt, nil)
+	if err != nil {
+		fatal(err)
+	}
+	emit("figure4", pok.RenderFigure4(f4))
+
+	f6, err := pok.Figure6(opt)
+	if err != nil {
+		fatal(err)
+	}
+	emit("figure6", pok.RenderFigure6(f6))
+	emit("figure6-plot", pok.PlotFigure6(f6))
+
+	for _, sliceBy := range []int{2, 4} {
+		f11, err := pok.Figure11(opt, sliceBy)
+		if err != nil {
+			fatal(err)
+		}
+		emit(fmt.Sprintf("figure11-x%d", sliceBy), pok.RenderFigure11(f11))
+		emit(fmt.Sprintf("figure11-x%d-plot", sliceBy), pok.PlotFigure11(f11))
+		f12 := pok.Figure12(f11)
+		emit(fmt.Sprintf("figure12-x%d", sliceBy), pok.RenderFigure12(f12))
+		emit(fmt.Sprintf("figure12-x%d-plot", sliceBy), pok.PlotFigure12(f12))
+	}
+
+	if *ablations {
+		nw, err := pok.NarrowWidthAblation(opt, 2)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation-narrow", pok.RenderAblation(
+			"Ablation: narrow-width operands on bit-slice-x2 (paper §6 future work)",
+			"bit-slice-x2", "+narrow", nw))
+
+		pa, err := pok.PredictorAblation(opt)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation-predictor", pok.RenderAblation(
+			"Ablation: bimodal vs gshare direction predictor (base machine)",
+			"gshare IPC", "bimodal IPC", pa))
+
+		wp, err := pok.WrongPathAblation(opt, 2)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation-wrongpath", pok.RenderAblation(
+			"Ablation: wrong-path simulation on bit-slice-x2",
+			"redirect-only IPC", "+wrong path IPC", wp))
+
+		cs, err := pok.CompiledSuite(opt, 2)
+		if err != nil {
+			fatal(err)
+		}
+		emit("compiled-suite", pok.RenderCompiledSuite(cs, 2))
+
+		ws, err := pok.WindowSweep(opt, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation-window", pok.RenderWindowSweep(ws))
+
+		ls, err := pok.LSQSweep(opt, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emit("ablation-lsq", pok.RenderLSQSweep(ls))
+	}
+
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pok-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// pok-char runs the paper's trace-driven characterization experiments
+// (Table 1 and Figures 2, 4, 6) and prints the resulting tables.
+//
+// Usage:
+//
+//	pok-char -exp fig2 -bench bzip,gcc -insts 500000
+//	pok-char -exp table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pok"
+)
+
+func main() {
+	expName := flag.String("exp", "table1", "experiment: table1, fig2, fig4, fig6, profile")
+	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
+	insts := flag.Uint64("insts", 0, "instruction budget per benchmark (0 = default)")
+	flag.Parse()
+
+	opt := pok.Options{MaxInsts: *insts}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var out string
+	var err error
+	switch *expName {
+	case "table1":
+		t1, e := pok.Table1(opt)
+		out, err = pok.RenderTable1(t1), e
+	case "fig2":
+		if len(opt.Benchmarks) == 0 {
+			opt.Benchmarks = []string{"bzip", "gcc"} // the paper's Figure 2 pair
+		}
+		r, e := pok.Figure2(opt)
+		out, err = pok.RenderFigure2(r), e
+	case "fig4":
+		if len(opt.Benchmarks) == 0 {
+			opt.Benchmarks = []string{"mcf", "twolf"} // the paper's Figure 4 pair
+		}
+		r, e := pok.Figure4(opt, nil)
+		out, err = pok.RenderFigure4(r), e
+	case "fig6":
+		r, e := pok.Figure6(opt)
+		out, err = pok.RenderFigure6(r)+"\n"+pok.PlotFigure6(r), e
+	case "profile":
+		names := opt.Benchmarks
+		if len(names) == 0 {
+			names = pok.Benchmarks()
+		}
+		budget := opt.MaxInsts
+		if budget == 0 {
+			budget = 300_000
+		}
+		var b strings.Builder
+		for _, n := range names {
+			p, e := pok.ProfileBenchmark(n, budget)
+			if e != nil {
+				err = e
+				break
+			}
+			fmt.Fprintf(&b, "=== %s ===\n%s\n", n, p)
+		}
+		out = b.String()
+	default:
+		err = fmt.Errorf("unknown experiment %q", *expName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pok-char:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,93 @@
+// pok-sim runs one benchmark (or an assembly file) through the timing
+// model under a chosen machine configuration and prints its statistics.
+//
+// Usage:
+//
+//	pok-sim -bench gzip -config slice2 -insts 300000
+//	pok-sim -asm prog.s -config simple4 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pok"
+)
+
+func configByName(name string) (pok.Config, error) {
+	switch name {
+	case "base", "ideal":
+		return pok.BaseConfig(), nil
+	case "simple2":
+		return pok.SimplePipelined(2), nil
+	case "simple4":
+		return pok.SimplePipelined(4), nil
+	case "slice2", "bitslice2":
+		return pok.BitSliced(2), nil
+	case "slice4", "bitslice4":
+		return pok.BitSliced(4), nil
+	}
+	return pok.Config{}, fmt.Errorf("unknown config %q (base, simple2, simple4, slice2, slice4)", name)
+}
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	asmFile := flag.String("asm", "", "assembly source file to simulate instead of a benchmark")
+	cfgName := flag.String("config", "base", "machine config: base, simple2, simple4, slice2, slice4")
+	insts := flag.Uint64("insts", 300_000, "instruction budget (0 = run to completion)")
+	trace := flag.Bool("trace", false, "emit a pipeline event trace to stderr")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range pok.Benchmarks() {
+			w, _ := pok.GetWorkload(n)
+			fmt.Printf("%-8s %-28s %s\n", n, w.Paper, w.Description)
+		}
+		return
+	}
+
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+
+	var r *pok.Result
+	switch {
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := pok.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		r, err = pok.Run(prog, cfg, *insts)
+		if err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		r, err = pok.SimulateBenchmark(*bench, cfg, *insts)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -bench or -asm (try -list)"))
+	}
+
+	printResult(r)
+}
+
+func printResult(r *pok.Result) {
+	fmt.Print(r.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pok-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+package pok_test
+
+import (
+	"fmt"
+
+	"pok"
+)
+
+// ExampleExecute assembles and functionally executes a program.
+func ExampleExecute() {
+	prog, err := pok.Assemble(`
+main:
+	li $v0, 1
+	li $a0, 6
+	syscall          # print_int(6)
+	li $v0, 10
+	syscall          # exit
+`)
+	if err != nil {
+		panic(err)
+	}
+	out, err := pok.Execute(prog, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out)
+	// Output: 6
+}
+
+// ExampleCompileC compiles MiniC and runs the result.
+func ExampleCompileC() {
+	prog, err := pok.CompileC(`
+int square(int x) { return x * x; }
+int main() {
+	print(square(9));
+	return 0;
+}`)
+	if err != nil {
+		panic(err)
+	}
+	out, err := pok.Execute(prog, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out)
+	// Output: 81
+}
+
+// ExampleRun times a dependence chain on the naive and bit-sliced
+// machines, showing the paper's central effect.
+func ExampleRun() {
+	src := `
+main:
+	li $t0, 500
+loop:
+	addu $t1, $t1, $t0
+	addu $t1, $t1, $t0
+	addu $t1, $t1, $t0
+	addu $t1, $t1, $t0
+	addiu $t0, $t0, -1
+	bne $t0, $zero, loop
+	li $v0, 10
+	syscall
+`
+	assemble := func() *pok.Program {
+		p, err := pok.Assemble(src)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
+	naive, err := pok.Run(assemble(), pok.SimplePipelined(2), 0)
+	if err != nil {
+		panic(err)
+	}
+	sliced, err := pok.Run(assemble(), pok.BitSliced(2), 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sliced.Cycles < naive.Cycles)
+	// Output: true
+}
+
+// ExampleSimulateBenchmark runs one of the paper's benchmark stand-ins.
+func ExampleSimulateBenchmark() {
+	r, err := pok.SimulateBenchmark("li", pok.BitSliced(2), 10_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(r.Benchmark, r.Insts)
+	// Output: li 10000
+}

@@ -1,0 +1,81 @@
+// Minic: write a workload in the MiniC language, compile it with the
+// bundled compiler, and compare it across machine configurations — the
+// full toolchain path the paper's own (compiled-C) benchmarks took.
+//
+//	go run ./examples/minic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pok"
+	"pok/internal/cc"
+)
+
+// An N-queens counter: recursion, bitwise ops and data-dependent
+// branches — compiled, not hand-written.
+const source = `
+int solve(int row, int cols, int diag1, int diag2) {
+	if (row == 8) return 1;
+	int count = 0;
+	int c;
+	for (c = 0; c < 8; c++) {
+		int bit = 1 << c;
+		int d1 = 1 << (row + c);
+		int d2 = 1 << (row - c + 8);
+		if (!(cols & bit) && !(diag1 & d1) && !(diag2 & d2)) {
+			count += solve(row + 1, cols | bit, diag1 | d1, diag2 | d2);
+		}
+	}
+	return count;
+}
+
+int main() {
+	print(solve(0, 0, 0, 0));   // 92 solutions
+	return 0;
+}
+`
+
+func main() {
+	asmText, err := cc.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled to %d lines of assembly\n\n", countLines(asmText))
+
+	prog, err := pok.Assemble(asmText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := pok.Execute(prog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8-queens solutions: %s\n", out)
+
+	fmt.Printf("%-22s %10s %8s\n", "machine", "cycles", "IPC")
+	for _, cfg := range []pok.Config{
+		pok.BaseConfig(), pok.SimplePipelined(2), pok.BitSliced(2),
+	} {
+		prog, err := pok.Assemble(asmText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := pok.Run(prog, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10d %8.3f\n", cfg.Name, r.Cycles, r.IPC)
+	}
+}
+
+func countLines(s string) int {
+	n := 1
+	for _, c := range s {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

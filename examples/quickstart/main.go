@@ -1,0 +1,72 @@
+// Quickstart: assemble a small program, execute it functionally, then
+// compare its timing on the ideal machine, the naively pipelined machine,
+// and the bit-sliced microarchitecture.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pok"
+)
+
+// A dependence-chain-heavy kernel: exactly the kind of code the paper
+// says suffers under naive execution-stage pipelining.
+const source = `
+.data
+result: .word 0
+.text
+main:
+	li   $t0, 5000        # iterations
+	li   $t1, 0x1234      # accumulator
+loop:
+	addu $t1, $t1, $t0    # serial dependence chain ...
+	addu $t1, $t1, $t1
+	xor  $t1, $t1, $t0
+	addu $t1, $t1, $t0
+	addiu $t0, $t0, -1
+	bne  $t0, $zero, loop
+	la   $t2, result
+	sw   $t1, 0($t2)
+	li   $v0, 1           # print the accumulated value
+	move $a0, $t1
+	syscall
+	li   $v0, 10
+	syscall
+`
+
+func main() {
+	prog, err := pok.Assemble(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := pok.Execute(prog, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program output: %s\n\n", out)
+
+	fmt.Printf("%-22s %10s %10s %8s\n", "machine", "cycles", "insts", "IPC")
+	for _, cfg := range []pok.Config{
+		pok.BaseConfig(),       // ideal: single-cycle execution stage
+		pok.SimplePipelined(2), // naive 2-stage EX pipeline
+		pok.BitSliced(2),       // 2x16-bit slices + partial operand knowledge
+		pok.SimplePipelined(4),
+		pok.BitSliced(4),
+	} {
+		prog, err := pok.Assemble(source)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := pok.Run(prog, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %10d %10d %8.3f\n", cfg.Name, r.Cycles, r.Insts, r.IPC)
+	}
+	fmt.Println("\nNaive pipelining stretches the dependence chain;" +
+		" slice-granular bypassing recovers the lost IPC.")
+}

@@ -1,0 +1,62 @@
+// Sampling: estimate a benchmark's IPC with SMARTS-style sampled
+// simulation — short detailed windows separated by functionally-warmed
+// fast-forward gaps — and compare against the full detailed run. Also
+// prints the workload's dynamic instruction mix.
+//
+//	go run ./examples/sampling [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pok"
+)
+
+func main() {
+	bench := "gcc"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+
+	prof, err := pok.ProfileBenchmark(bench, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s instruction mix ===\n%s\n", bench, prof)
+
+	cfg := pok.BitSliced(2)
+	const budget = 400_000
+
+	t0 := time.Now()
+	full, err := pok.SimulateBenchmark(bench, cfg, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullTime := time.Since(t0)
+
+	w, err := pok.GetWorkload(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := w.Program(w.DefaultScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 = time.Now()
+	// 20 windows of 4k detailed instructions, 16k warmed skip between:
+	// one fifth of the budget simulated in detail.
+	sampled, err := pok.RunSampled(prog, cfg, w.FastForward, 4_000, 16_000, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampledTime := time.Since(t0)
+
+	fmt.Printf("full run:    IPC %.3f  (%d insts in detail, %v)\n",
+		full.IPC, full.Insts, fullTime.Round(time.Millisecond))
+	fmt.Printf("sampled run: IPC %.3f  (%d insts in detail, %v)\n",
+		sampled.IPC, sampled.Insts, sampledTime.Round(time.Millisecond))
+	fmt.Printf("error: %+.1f%%\n", 100*(sampled.IPC-full.IPC)/full.IPC)
+}

@@ -1,0 +1,51 @@
+// Slicecompare: walk the paper's Figure 11/12 optimization ladder on one
+// benchmark, printing the IPC recovered by each partial-operand technique.
+//
+//	go run ./examples/slicecompare [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pok"
+)
+
+func main() {
+	bench := "gzip"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	opt := pok.Options{Benchmarks: []string{bench}, MaxInsts: 150_000}
+
+	for _, sliceBy := range []int{2, 4} {
+		rows, err := pok.Figure11(opt, sliceBy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := rows[0]
+		fmt.Printf("=== %s, slice-by-%d (16->%d-bit slices) ===\n",
+			bench, sliceBy, 32/sliceBy)
+		fmt.Printf("%-32s %8.3f\n", "ideal (1-cycle EX)", r.BaseIPC)
+		prev := 0.0
+		for i, name := range []string{
+			"simple pipelining",
+			"+partial operand bypassing",
+			"+out-of-order slices",
+			"+early branch resolution",
+			"+early l/s disambiguation",
+			"+partial tag matching",
+		} {
+			ipc := r.StackIPC[i]
+			delta := ""
+			if i > 0 {
+				delta = fmt.Sprintf("  (%+.3f)", ipc-prev)
+			}
+			fmt.Printf("%-32s %8.3f%s\n", name, ipc, delta)
+			prev = ipc
+		}
+		fmt.Printf("bit-slice vs ideal: %.1f%%   speedup over simple pipelining: %+.1f%%\n\n",
+			100*r.VsBase(), 100*(r.SpeedupOverSimple()-1))
+	}
+}

@@ -1,0 +1,3 @@
+module pok
+
+go 1.22

@@ -1,0 +1,590 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"pok/internal/isa"
+)
+
+// Operand-shape tables for real (non-pseudo) instructions. The shape name
+// determines how arguments map onto Inst fields.
+var realShapes = map[string]string{
+	"add": "rrr", "addu": "rrr", "sub": "rrr", "subu": "rrr",
+	"and": "rrr", "or": "rrr", "xor": "rrr", "nor": "rrr",
+	"slt": "rrr", "sltu": "rrr",
+	"sllv": "rvv", "srlv": "rvv", "srav": "rvv",
+	"addi": "rri", "addiu": "rri", "slti": "rri", "sltiu": "rri",
+	"andi": "rri", "ori": "rri", "xori": "rri",
+	"lui": "ri",
+	"sll": "rrs", "srl": "rrs", "sra": "rrs",
+	"mult": "rr2", "multu": "rr2", "div2": "rr2", "divu": "rr2",
+	"mfhi": "rd1", "mflo": "rd1", "mthi": "rs1", "mtlo": "rs1",
+	"lb": "mem", "lbu": "mem", "lh": "mem", "lhu": "mem", "lw": "mem",
+	"sb": "mem", "sh": "mem", "sw": "mem",
+	"lwc1": "fmem", "swc1": "fmem",
+	"beq": "rrb", "bne": "rrb",
+	"blez": "rb", "bgtz": "rb", "bltz": "rb", "bgez": "rb",
+	"j": "jmp", "jal": "jmp", "jr": "rs1", "jalr": "jalr",
+	"bc1t": "b0", "bc1f": "b0",
+	"add.s": "fff", "sub.s": "fff", "mul.s": "fff", "div.s": "fff",
+	"sqrt.s": "ff", "abs.s": "ff", "neg.s": "ff", "mov.s": "ff",
+	"cvt.s.w": "ff", "cvt.w.s": "ff",
+	"c.eq.s": "ffc", "c.lt.s": "ffc", "c.le.s": "ffc",
+	"mfc1": "rf", "mtc1": "rf",
+	"syscall": "none", "break": "none", "nop": "none",
+}
+
+// instSize returns how many machine words the (possibly pseudo)
+// instruction occupies. It must agree exactly with expand.
+func instSize(mnem string, args []string) (int, error) {
+	switch mnem {
+	case "li":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("li needs 2 operands")
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return 0, fmt.Errorf("li immediate: %v", err)
+		}
+		if v >= -32768 && v <= 65535 {
+			return 1, nil
+		}
+		return 2, nil
+	case "la":
+		return 2, nil
+	case "li.s":
+		return 3, nil
+	case "move", "not", "neg", "b", "beqz", "bnez":
+		return 1, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		return 2, nil
+	case "mul", "rem", "remu":
+		return 2, nil
+	case "div":
+		if len(args) == 3 {
+			return 2, nil
+		}
+		return 1, nil
+	case "l.s", "s.s":
+		return 1, nil
+	}
+	if _, ok := realShapes[mnem]; ok {
+		return 1, nil
+	}
+	return 0, fmt.Errorf("unknown instruction %q", mnem)
+}
+
+func parseGPR(s string) (isa.Reg, error) {
+	if r, ok := isa.GPRByName(strings.TrimSpace(s)); ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseFPR(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	if strings.HasPrefix(s, "f") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < 32 {
+			return isa.RegF0 + isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad FP register %q", s)
+}
+
+// parseMem parses "off($reg)" or "symbol" / "symbol+off" operands,
+// returning the base register, the literal offset and whether a $at-based
+// expansion is required (no parens form).
+func (a *assembler) parseMem(s string, line int) (base isa.Reg, off int32, direct bool, err error) {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, "("); i >= 0 && strings.HasSuffix(s, ")") {
+		base, err = parseGPR(s[i+1 : len(s)-1])
+		if err != nil {
+			return 0, 0, false, errf(line, "%v", err)
+		}
+		offStr := strings.TrimSpace(s[:i])
+		var v int64
+		if offStr != "" {
+			v, err = a.resolveValue(offStr, line)
+			if err != nil {
+				return 0, 0, false, err
+			}
+		}
+		return base, int32(v), true, nil
+	}
+	v, err := a.resolveValue(s, line)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return 0, int32(v), false, nil
+}
+
+func (a *assembler) branchImm(target string, instAddr uint32, line int) (int32, error) {
+	v, err := a.resolveValue(target, line)
+	if err != nil {
+		return 0, err
+	}
+	disp := int64(v) - int64(instAddr) - 4
+	if disp%4 != 0 {
+		return 0, errf(line, "branch target 0x%x not word aligned", v)
+	}
+	w := disp / 4
+	if w < math.MinInt16 || w > math.MaxInt16 {
+		return 0, errf(line, "branch to %q out of range (%d words)", target, w)
+	}
+	return int32(w), nil
+}
+
+// expand converts one statement into its machine instructions.
+func (a *assembler) expand(st stmt) ([]isa.Inst, error) {
+	args := st.args
+	line := st.line
+	need := func(n int) error {
+		if len(args) != n {
+			return errf(line, "%s needs %d operands, got %d", st.mnem, n, len(args))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch st.mnem {
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		v, err := parseInt(args[1])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return liSeq(rd, uint32(v), v), nil
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		v, err := a.resolveValue(args[1], line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{
+			{Op: isa.OpLUI, Rt: rd, Imm: int32(uint32(v) >> 16)},
+			{Op: isa.OpORI, Rs: rd, Rt: rd, Imm: int32(uint32(v) & 0xffff)},
+		}, nil
+	case "li.s":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		fd, err := parseFPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(args[1]), 32)
+		if err != nil {
+			return nil, errf(line, "bad float %q", args[1])
+		}
+		bits := math.Float32bits(float32(f))
+		return []isa.Inst{
+			{Op: isa.OpLUI, Rt: isa.RegAT, Imm: int32(bits >> 16)},
+			{Op: isa.OpORI, Rs: isa.RegAT, Rt: isa.RegAT, Imm: int32(bits & 0xffff)},
+			{Op: isa.OpMTC1, Rt: isa.RegAT, Rd: fd},
+		}, nil
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := parseGPR(args[0])
+		rs, err2 := parseGPR(args[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "bad register in move")
+		}
+		return []isa.Inst{{Op: isa.OpADDU, Rd: rd, Rs: rs, Rt: isa.RegZero}}, nil
+	case "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, _ := parseGPR(args[0])
+		rs, err := parseGPR(args[1])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []isa.Inst{{Op: isa.OpNOR, Rd: rd, Rs: rs, Rt: isa.RegZero}}, nil
+	case "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, _ := parseGPR(args[0])
+		rs, err := parseGPR(args[1])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []isa.Inst{{Op: isa.OpSUBU, Rd: rd, Rs: isa.RegZero, Rt: rs}}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		imm, err := a.branchImm(args[0], st.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: isa.OpBEQ, Imm: imm}}, nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		imm, err := a.branchImm(args[1], st.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		op := isa.OpBEQ
+		if st.mnem == "bnez" {
+			op = isa.OpBNE
+		}
+		return []isa.Inst{{Op: op, Rs: rs, Imm: imm}}, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err1 := parseGPR(args[0])
+		rt, err2 := parseGPR(args[1])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		imm, err := a.branchImm(args[2], st.addr+4, line)
+		if err != nil {
+			return nil, err
+		}
+		sltOp := isa.OpSLT
+		if strings.HasSuffix(st.mnem, "u") {
+			sltOp = isa.OpSLTU
+		}
+		var cmp isa.Inst
+		brOp := isa.OpBNE
+		switch strings.TrimSuffix(st.mnem, "u") {
+		case "blt":
+			cmp = isa.Inst{Op: sltOp, Rd: isa.RegAT, Rs: rs, Rt: rt}
+		case "bgt":
+			cmp = isa.Inst{Op: sltOp, Rd: isa.RegAT, Rs: rt, Rt: rs}
+		case "ble":
+			cmp = isa.Inst{Op: sltOp, Rd: isa.RegAT, Rs: rt, Rt: rs}
+			brOp = isa.OpBEQ
+		case "bge":
+			cmp = isa.Inst{Op: sltOp, Rd: isa.RegAT, Rs: rs, Rt: rt}
+			brOp = isa.OpBEQ
+		}
+		return []isa.Inst{cmp, {Op: brOp, Rs: isa.RegAT, Rt: isa.RegZero, Imm: imm}}, nil
+	case "mul", "rem", "remu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, _ := parseGPR(args[0])
+		rs, err1 := parseGPR(args[1])
+		rt, err2 := parseGPR(args[2])
+		if err1 != nil || err2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		switch st.mnem {
+		case "mul":
+			return []isa.Inst{
+				{Op: isa.OpMULT, Rs: rs, Rt: rt},
+				{Op: isa.OpMFLO, Rd: rd},
+			}, nil
+		case "rem":
+			return []isa.Inst{
+				{Op: isa.OpDIV, Rs: rs, Rt: rt},
+				{Op: isa.OpMFHI, Rd: rd},
+			}, nil
+		default:
+			return []isa.Inst{
+				{Op: isa.OpDIVU, Rs: rs, Rt: rt},
+				{Op: isa.OpMFHI, Rd: rd},
+			}, nil
+		}
+	case "div":
+		if len(args) == 3 {
+			rd, _ := parseGPR(args[0])
+			rs, err1 := parseGPR(args[1])
+			rt, err2 := parseGPR(args[2])
+			if err1 != nil || err2 != nil {
+				return nil, errf(line, "bad register in div")
+			}
+			return []isa.Inst{
+				{Op: isa.OpDIV, Rs: rs, Rt: rt},
+				{Op: isa.OpMFLO, Rd: rd},
+			}, nil
+		}
+		st.mnem = "div2" // real 2-operand divide
+	case "l.s":
+		st.mnem = "lwc1"
+	case "s.s":
+		st.mnem = "swc1"
+	}
+
+	shape, ok := realShapes[st.mnem]
+	if !ok {
+		return nil, errf(line, "unknown instruction %q", st.mnem)
+	}
+	opName := st.mnem
+	if opName == "div2" {
+		opName = "div"
+	}
+	op, _ := isa.OpByName(opName)
+
+	switch shape {
+	case "none":
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op}}, nil
+	case "rrr": // op rd, rs, rt
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseGPR(args[0])
+		rs, e2 := parseGPR(args[1])
+		rt, e3 := parseGPR(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rs: rs, Rt: rt}}, nil
+	case "rvv": // op rd, rt, rs (variable shifts)
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseGPR(args[0])
+		rt, e2 := parseGPR(args[1])
+		rs, e3 := parseGPR(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rt: rt, Rs: rs}}, nil
+	case "rri": // op rt, rs, imm
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, e1 := parseGPR(args[0])
+		rs, e2 := parseGPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		v, err := a.resolveValue(args[2], line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rt: rt, Rs: rs, Imm: int32(v)}}, nil
+	case "ri": // lui rt, imm
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		v, err := a.resolveValue(args[1], line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rt: rt, Imm: int32(uint32(v) & 0xffff)}}, nil
+	case "rrs": // op rd, rt, shamt
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, e1 := parseGPR(args[0])
+		rt, e2 := parseGPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		v, err := parseInt(args[2])
+		if err != nil || v < 0 || v > 31 {
+			return nil, errf(line, "bad shift amount %q", args[2])
+		}
+		return []isa.Inst{{Op: op, Rd: rd, Rt: rt, Shamt: uint8(v)}}, nil
+	case "rr2": // op rs, rt
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, e1 := parseGPR(args[0])
+		rt, e2 := parseGPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		return []isa.Inst{{Op: op, Rs: rs, Rt: rt}}, nil
+	case "rd1": // op rd
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []isa.Inst{{Op: op, Rd: rd}}, nil
+	case "rs1": // op rs
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		return []isa.Inst{{Op: op, Rs: rs}}, nil
+	case "mem", "fmem": // op rt, off(rs)
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		var rt isa.Reg
+		var err error
+		if shape == "fmem" {
+			rt, err = parseFPR(args[0])
+		} else {
+			rt, err = parseGPR(args[0])
+		}
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		base, off, direct, err := a.parseMem(args[1], line)
+		if err != nil {
+			return nil, err
+		}
+		if !direct {
+			return nil, errf(line, "%s: absolute address operands need la first", st.mnem)
+		}
+		if off < math.MinInt16 || off > math.MaxInt16 {
+			return nil, errf(line, "%s: offset %d out of range", st.mnem, off)
+		}
+		return []isa.Inst{{Op: op, Rt: rt, Rs: base, Imm: off}}, nil
+	case "rrb": // beq rs, rt, label
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, e1 := parseGPR(args[0])
+		rt, e2 := parseGPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		imm, err := a.branchImm(args[2], st.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rs: rs, Rt: rt, Imm: imm}}, nil
+	case "rb": // blez rs, label
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := parseGPR(args[0])
+		if err != nil {
+			return nil, errf(line, "%v", err)
+		}
+		imm, err := a.branchImm(args[1], st.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Rs: rs, Imm: imm}}, nil
+	case "b0": // bc1t label
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		imm, err := a.branchImm(args[0], st.addr, line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Imm: imm}}, nil
+	case "jmp": // j label
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := a.resolveValue(args[0], line)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Inst{{Op: op, Target: (uint32(v) >> 2) & 0x03ff_ffff}}, nil
+	case "jalr":
+		switch len(args) {
+		case 1:
+			rs, err := parseGPR(args[0])
+			if err != nil {
+				return nil, errf(line, "%v", err)
+			}
+			return []isa.Inst{{Op: op, Rd: isa.RegRA, Rs: rs}}, nil
+		case 2:
+			rd, e1 := parseGPR(args[0])
+			rs, e2 := parseGPR(args[1])
+			if e1 != nil || e2 != nil {
+				return nil, errf(line, "bad register in jalr")
+			}
+			return []isa.Inst{{Op: op, Rd: rd, Rs: rs}}, nil
+		}
+		return nil, errf(line, "jalr needs 1 or 2 operands")
+	case "fff": // op fd, fs, ft
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		fd, e1 := parseFPR(args[0])
+		fs, e2 := parseFPR(args[1])
+		ft, e3 := parseFPR(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, errf(line, "bad FP register in %s", st.mnem)
+		}
+		return []isa.Inst{{Op: op, Rd: fd, Rs: fs, Rt: ft}}, nil
+	case "ff": // op fd, fs
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		fd, e1 := parseFPR(args[0])
+		fs, e2 := parseFPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad FP register in %s", st.mnem)
+		}
+		return []isa.Inst{{Op: op, Rd: fd, Rs: fs}}, nil
+	case "ffc": // c.eq.s fs, ft
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		fs, e1 := parseFPR(args[0])
+		ft, e2 := parseFPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad FP register in %s", st.mnem)
+		}
+		return []isa.Inst{{Op: op, Rs: fs, Rt: ft}}, nil
+	case "rf": // mfc1 rt, fs / mtc1 rt, fs
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, e1 := parseGPR(args[0])
+		f, e2 := parseFPR(args[1])
+		if e1 != nil || e2 != nil {
+			return nil, errf(line, "bad register in %s", st.mnem)
+		}
+		if op == isa.OpMFC1 {
+			return []isa.Inst{{Op: op, Rt: rt, Rs: f}}, nil
+		}
+		return []isa.Inst{{Op: op, Rt: rt, Rd: f}}, nil
+	}
+	return nil, errf(line, "internal: unhandled shape %q", shape)
+}
+
+// liSeq builds the shortest load-immediate sequence for v.
+func liSeq(rd isa.Reg, u uint32, v int64) []isa.Inst {
+	if v >= -32768 && v <= 32767 {
+		return []isa.Inst{{Op: isa.OpADDIU, Rt: rd, Rs: isa.RegZero, Imm: int32(v)}}
+	}
+	if v >= 0 && v <= 65535 {
+		return []isa.Inst{{Op: isa.OpORI, Rt: rd, Rs: isa.RegZero, Imm: int32(v)}}
+	}
+	return []isa.Inst{
+		{Op: isa.OpLUI, Rt: rd, Imm: int32(u >> 16)},
+		{Op: isa.OpORI, Rs: rd, Rt: rd, Imm: int32(u & 0xffff)},
+	}
+}

@@ -1,0 +1,247 @@
+// Package bitslice implements the slice-at-a-time datapath arithmetic that
+// underlies the bit-sliced microarchitecture (paper §6). A 32-bit operand
+// is decomposed into n equal slices (n = 2 → 16-bit slices, n = 4 → 8-bit
+// slices). Functional units evaluate one slice per step; carry bits link
+// adjacent slices of arithmetic operations, while logic operations have no
+// inter-slice communication and may evaluate slices in any order.
+//
+// The package is the functional ground truth for the timing model: every
+// sliced evaluation is property-tested against the corresponding full
+// 32-bit operation.
+package bitslice
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Word is the full datapath width in bits.
+const Word = 32
+
+// ValidSliceCounts lists the slice-by-N configurations the paper studies
+// (1 = conventional full-width datapath).
+var ValidSliceCounts = []int{1, 2, 4}
+
+// Width returns the width in bits of one slice for an n-slice datapath.
+// It panics if n does not evenly divide the word width.
+func Width(n int) int {
+	if n <= 0 || Word%n != 0 {
+		panic(fmt.Sprintf("bitslice: invalid slice count %d", n))
+	}
+	return Word / n
+}
+
+// Split decomposes v into n slices, low-order slice first.
+func Split(v uint32, n int) []uint32 {
+	w := Width(n)
+	mask := sliceMask(w)
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		out[i] = v >> (i * w) & mask
+	}
+	return out
+}
+
+// Join reassembles slices (low-order first) into a full word.
+func Join(slices []uint32) uint32 {
+	w := Width(len(slices))
+	var v uint32
+	for i, s := range slices {
+		v |= s << (i * w)
+	}
+	return v
+}
+
+func sliceMask(w int) uint32 {
+	if w >= 32 {
+		return ^uint32(0)
+	}
+	return 1<<w - 1
+}
+
+// AddStep evaluates one slice of a carry-chained addition: it adds the
+// w-bit slices a and b with carry-in cin and returns the w-bit sum slice
+// and the carry out. This is the unit of work one adder stage performs per
+// cycle in the sliced pipeline.
+func AddStep(a, b uint32, cin uint32, w int) (sum, cout uint32) {
+	t := uint64(a) + uint64(b) + uint64(cin)
+	return uint32(t) & sliceMask(w), uint32(t >> w & 1)
+}
+
+// Add performs a full sliced addition, returning the per-slice results and
+// per-slice carry-outs (index i holds the carry out of slice i).
+func Add(a, b uint32, n int) (sums, carries []uint32) {
+	w := Width(n)
+	as, bs := Split(a, n), Split(b, n)
+	sums = make([]uint32, n)
+	carries = make([]uint32, n)
+	var c uint32
+	for i := 0; i < n; i++ {
+		sums[i], c = AddStep(as[i], bs[i], c, w)
+		carries[i] = c
+	}
+	return sums, carries
+}
+
+// Sub performs a sliced subtraction a-b using two's-complement addition
+// (invert b, carry-in 1), returning per-slice results and carries.
+func Sub(a, b uint32, n int) (diffs, carries []uint32) {
+	w := Width(n)
+	mask := sliceMask(w)
+	as, bs := Split(a, n), Split(b, n)
+	diffs = make([]uint32, n)
+	carries = make([]uint32, n)
+	c := uint32(1)
+	for i := 0; i < n; i++ {
+		diffs[i], c = AddStep(as[i], bs[i]^mask, c, w)
+		carries[i] = c
+	}
+	return diffs, carries
+}
+
+// LogicOp identifies a bitwise operation evaluated independently per slice.
+type LogicOp uint8
+
+// Logic operations.
+const (
+	AND LogicOp = iota
+	OR
+	XOR
+	NOR
+)
+
+// Logic evaluates one slice of a bitwise operation. Slices of logic ops
+// carry no inter-slice state, so callers may evaluate them in any order.
+func Logic(op LogicOp, a, b uint32, w int) uint32 {
+	var v uint32
+	switch op {
+	case AND:
+		v = a & b
+	case OR:
+		v = a | b
+	case XOR:
+		v = a ^ b
+	case NOR:
+		v = ^(a | b)
+	default:
+		panic("bitslice: unknown logic op")
+	}
+	return v & sliceMask(w)
+}
+
+// ShiftLeftSlice computes output slice out of (v << sh) given only the
+// input slices 0..out, demonstrating that a left shift needs no
+// information from higher input slices.
+func ShiftLeftSlice(inSlices []uint32, out, sh, n int) uint32 {
+	w := Width(n)
+	// Reassemble the low out+1 slices; bits above them cannot influence
+	// output slice out for a left shift.
+	var low uint64
+	for i := 0; i <= out && i < len(inSlices); i++ {
+		low |= uint64(inSlices[i]) << (i * w)
+	}
+	return uint32(low<<uint(sh)>>(out*w)) & sliceMask(w)
+}
+
+// ShiftRightSlice computes output slice out of a right shift given only
+// the input slices out..n-1. arith selects an arithmetic (sign-extending)
+// shift.
+func ShiftRightSlice(inSlices []uint32, out, sh, n int, arith bool) uint32 {
+	w := Width(n)
+	var high uint64
+	for i := out; i < n; i++ {
+		high |= uint64(inSlices[i]) << (i * w)
+	}
+	if arith && inSlices[n-1]>>(w-1)&1 == 1 {
+		// Sign-extend above bit 31 so the arithmetic shift pulls in ones.
+		high |= 0xffff_ffff_0000_0000
+	}
+	return uint32(high>>uint(sh)>>(out*w)) & sliceMask(w)
+}
+
+// FirstDiffSlice returns the index of the lowest slice in which a and b
+// differ, or -1 if the values are equal. A conditional beq/bne branch that
+// asserted equality is refuted as soon as this slice has been compared
+// (paper §5.3).
+func FirstDiffSlice(a, b uint32, n int) int {
+	if a == b {
+		return -1
+	}
+	w := Width(n)
+	return bits.TrailingZeros32(a^b) / w
+}
+
+// FirstDiffBit returns the lowest differing bit position between a and b,
+// or 32 if they are equal. The Figure 6 characterization counts how many
+// low-order bits of the branch operands must be examined to expose a
+// misprediction.
+func FirstDiffBit(a, b uint32) int {
+	return bits.TrailingZeros32(a ^ b)
+}
+
+// MatchLow reports whether a and b agree in their low k bits. k=0 always
+// matches; k>=32 compares the full words. Early load-store disambiguation
+// (paper §5.1) applies this predicate with growing k as address slices
+// arrive.
+func MatchLow(a, b uint32, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k >= Word {
+		return a == b
+	}
+	return (a^b)&(1<<k-1) == 0
+}
+
+// MatchField reports whether a and b agree on bit positions [lo, lo+k).
+// Partial tag matching (paper §5.2) compares the k tag bits above the
+// cache index that are already known after the first address slice.
+func MatchField(a, b uint32, lo, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if lo+k > Word {
+		k = Word - lo
+	}
+	var mask uint32
+	if k >= Word {
+		mask = ^uint32(0)
+	} else {
+		mask = (1<<k - 1) << lo
+	}
+	return (a^b)&mask == 0
+}
+
+// MulLowSlices computes the low n result slices of a*b one slice at a
+// time, the way a bit-serial multiplier releases its product low-first.
+// Slice i of the product depends only on input slices 0..i.
+func MulLowSlices(a, b uint32, n int) []uint32 {
+	w := Width(n)
+	out := make([]uint32, n)
+	full := uint64(a) * uint64(b)
+	for i := 0; i < n; i++ {
+		out[i] = uint32(full>>(i*w)) & sliceMask(w)
+	}
+	return out
+}
+
+// CompareSigned evaluates a signed a<b comparison from the top slice down,
+// returning the result and the number of slices examined before it
+// resolved. The top slice always participates (sign bits); ties descend.
+func CompareSigned(a, b uint32, n int) (less bool, slicesExamined int) {
+	w := Width(n)
+	as, bs := Split(a, n), Split(b, n)
+	for i := n - 1; i >= 0; i-- {
+		av, bv := as[i], bs[i]
+		if i == n-1 {
+			// Flip the sign bit of the top slice to order signed values.
+			flip := uint32(1) << (w - 1)
+			av ^= flip
+			bv ^= flip
+		}
+		if av != bv {
+			return av < bv, n - i
+		}
+	}
+	return false, n
+}

@@ -1,0 +1,289 @@
+package bitslice
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidth(t *testing.T) {
+	if Width(1) != 32 || Width(2) != 16 || Width(4) != 8 || Width(8) != 4 {
+		t.Fatal("Width wrong")
+	}
+	for _, bad := range []int{0, -1, 3, 5, 7, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Width(%d) did not panic", bad)
+				}
+			}()
+			Width(bad)
+		}()
+	}
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		for _, n := range []int{1, 2, 4, 8} {
+			if Join(Split(v, n)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitValues(t *testing.T) {
+	s := Split(0xdeadbeef, 4)
+	want := []uint32{0xef, 0xbe, 0xad, 0xde}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Split(0xdeadbeef,4) = %x", s)
+		}
+	}
+	s2 := Split(0xdeadbeef, 2)
+	if s2[0] != 0xbeef || s2[1] != 0xdead {
+		t.Fatalf("Split(0xdeadbeef,2) = %x", s2)
+	}
+}
+
+// Property: sliced addition equals full-width addition for every slicing.
+func TestAddMatchesFullWidth(t *testing.T) {
+	f := func(a, b uint32) bool {
+		for _, n := range []int{1, 2, 4} {
+			sums, _ := Add(a, b, n)
+			if Join(sums) != a+b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sliced subtraction equals full-width subtraction.
+func TestSubMatchesFullWidth(t *testing.T) {
+	f := func(a, b uint32) bool {
+		for _, n := range []int{1, 2, 4} {
+			diffs, _ := Sub(a, b, n)
+			if Join(diffs) != a-b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCarries(t *testing.T) {
+	// 0xffff + 1 carries out of the low 16-bit slice.
+	sums, carries := Add(0xffff, 1, 2)
+	if sums[0] != 0 || carries[0] != 1 || sums[1] != 1 || carries[1] != 0 {
+		t.Fatalf("sums=%x carries=%x", sums, carries)
+	}
+	// No carry case.
+	_, carries = Add(1, 2, 2)
+	if carries[0] != 0 {
+		t.Fatal("unexpected carry")
+	}
+	// Carry out of the whole word.
+	_, carries = Add(0xffff_ffff, 1, 4)
+	if carries[3] != 1 {
+		t.Fatal("missing top carry")
+	}
+}
+
+func TestAddStep(t *testing.T) {
+	s, c := AddStep(0xff, 0x01, 0, 8)
+	if s != 0 || c != 1 {
+		t.Fatalf("AddStep = %x,%x", s, c)
+	}
+	s, c = AddStep(0x7f, 0x00, 1, 8)
+	if s != 0x80 || c != 0 {
+		t.Fatalf("AddStep = %x,%x", s, c)
+	}
+}
+
+// Property: per-slice logic equals full-width logic.
+func TestLogicMatchesFullWidth(t *testing.T) {
+	ops := map[LogicOp]func(a, b uint32) uint32{
+		AND: func(a, b uint32) uint32 { return a & b },
+		OR:  func(a, b uint32) uint32 { return a | b },
+		XOR: func(a, b uint32) uint32 { return a ^ b },
+		NOR: func(a, b uint32) uint32 { return ^(a | b) },
+	}
+	f := func(a, b uint32) bool {
+		for op, ref := range ops {
+			for _, n := range []int{2, 4} {
+				w := Width(n)
+				as, bs := Split(a, n), Split(b, n)
+				out := make([]uint32, n)
+				// Evaluate slices deliberately out of order.
+				for i := n - 1; i >= 0; i-- {
+					out[i] = Logic(op, as[i], bs[i], w)
+				}
+				if Join(out) != ref(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slice-wise shifts agree with full-width shifts, using only the
+// input slices the dependence model says are needed.
+func TestShiftSlicesMatchFullWidth(t *testing.T) {
+	f := func(v uint32, shRaw uint8) bool {
+		sh := int(shRaw % 32)
+		for _, n := range []int{2, 4} {
+			in := Split(v, n)
+			// Left shift.
+			out := make([]uint32, n)
+			for s := 0; s < n; s++ {
+				// Zero out the higher slices to prove they are unused.
+				visible := make([]uint32, s+1)
+				copy(visible, in[:s+1])
+				out[s] = ShiftLeftSlice(visible, s, sh, n)
+			}
+			if Join(out) != v<<sh {
+				return false
+			}
+			// Logical right shift.
+			for s := 0; s < n; s++ {
+				visible := make([]uint32, n)
+				copy(visible[s:], in[s:])
+				out[s] = ShiftRightSlice(visible, s, sh, n, false)
+			}
+			if Join(out) != v>>sh {
+				return false
+			}
+			// Arithmetic right shift.
+			for s := 0; s < n; s++ {
+				visible := make([]uint32, n)
+				copy(visible[s:], in[s:])
+				out[s] = ShiftRightSlice(visible, s, sh, n, true)
+			}
+			if Join(out) != uint32(int32(v)>>sh) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstDiffSlice(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		n    int
+		want int
+	}{
+		{5, 5, 4, -1},
+		{0x00000001, 0x00000000, 4, 0},
+		{0x00000100, 0x00000000, 4, 1},
+		{0x00010000, 0x00000000, 4, 2},
+		{0x80000000, 0x00000000, 4, 3},
+		{0x00010000, 0x00000000, 2, 1},
+		{0x0000ffff, 0x0000fffe, 2, 0},
+	}
+	for _, c := range cases {
+		if got := FirstDiffSlice(c.a, c.b, c.n); got != c.want {
+			t.Errorf("FirstDiffSlice(%x,%x,%d) = %d, want %d", c.a, c.b, c.n, got, c.want)
+		}
+	}
+}
+
+// Property: FirstDiffBit agrees with trailing-zero count of xor; the
+// values match in the low k bits iff k <= FirstDiffBit.
+func TestFirstDiffBitAndMatchLow(t *testing.T) {
+	f := func(a, b uint32, kRaw uint8) bool {
+		d := FirstDiffBit(a, b)
+		if d != bits.TrailingZeros32(a^b) {
+			return false
+		}
+		k := int(kRaw % 40)
+		return MatchLow(a, b, k) == (k <= d || a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchField(t *testing.T) {
+	a := uint32(0b1011_0110)
+	b := uint32(0b1001_0110)
+	if !MatchField(a, b, 0, 5) { // low 5 bits agree
+		t.Fatal("low field should match")
+	}
+	if MatchField(a, b, 5, 1) { // bit 5 differs
+		t.Fatal("bit 5 should differ")
+	}
+	if !MatchField(a, b, 6, 2) {
+		t.Fatal("bits 6..7 agree")
+	}
+	if !MatchField(a, b, 0, 0) {
+		t.Fatal("k=0 must always match")
+	}
+	// Ranges extending past bit 31 are clamped to the word.
+	if MatchField(a, b, 30, 10) != (a>>30 == b>>30) {
+		t.Fatal("clamped high field")
+	}
+	// Full-width check.
+	if !MatchField(7, 7, 0, 32) || MatchField(7, 5, 0, 32) {
+		t.Fatal("full width")
+	}
+}
+
+func TestMulLowSlices(t *testing.T) {
+	f := func(a, b uint32) bool {
+		for _, n := range []int{2, 4} {
+			out := MulLowSlices(a, b, n)
+			if Join(out) != a*b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSigned(t *testing.T) {
+	f := func(a, b uint32) bool {
+		for _, n := range []int{1, 2, 4} {
+			less, k := CompareSigned(a, b, n)
+			if less != (int32(a) < int32(b)) {
+				return false
+			}
+			if k < 1 || k > n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	// Values differing in the top slice resolve after one slice.
+	if _, k := CompareSigned(0x8000_0000, 0, 4); k != 1 {
+		t.Fatalf("top-slice compare took %d slices", k)
+	}
+	// Equal values examine every slice.
+	if _, k := CompareSigned(42, 42, 4); k != 4 {
+		t.Fatalf("equal compare took %d slices", k)
+	}
+}

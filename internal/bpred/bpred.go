@@ -1,0 +1,336 @@
+// Package bpred implements the branch prediction substrate the paper's
+// machine configuration specifies (Table 2): a 64k-entry gshare direction
+// predictor, a 4-way 512-set branch target buffer, and an 8-entry return
+// address stack. A bimodal predictor is included for ablation studies.
+package bpred
+
+import "pok/internal/isa"
+
+// saturating 2-bit counter helpers.
+func ctrUp(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return 3
+}
+
+func ctrDown(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// Gshare is a global-history XOR-indexed table of 2-bit counters.
+type Gshare struct {
+	table    []uint8
+	ghr      uint32
+	histBits uint
+	mask     uint32
+}
+
+// NewGshare builds a gshare predictor with 2^log2Entries counters and a
+// matching history length.
+func NewGshare(log2Entries uint) *Gshare {
+	n := uint32(1) << log2Entries
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Gshare{table: t, histBits: log2Entries, mask: n - 1}
+}
+
+func (g *Gshare) index(pc uint32) uint32 {
+	return (pc>>2 ^ g.ghr) & g.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint32) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved outcome and shifts it into
+// the global history register.
+func (g *Gshare) Update(pc uint32, taken bool) {
+	i := g.index(pc)
+	if taken {
+		g.table[i] = ctrUp(g.table[i])
+	} else {
+		g.table[i] = ctrDown(g.table[i])
+	}
+	g.ghr = g.ghr << 1 & g.mask
+	if taken {
+		g.ghr |= 1
+	}
+}
+
+// History exposes the current global history (for tests and checkpointing).
+func (g *Gshare) History() uint32 { return g.ghr }
+
+// Bimodal is a PC-indexed table of 2-bit counters (used as an ablation
+// baseline against gshare).
+type Bimodal struct {
+	table []uint8
+	mask  uint32
+}
+
+// NewBimodal builds a bimodal predictor with 2^log2Entries counters.
+func NewBimodal(log2Entries uint) *Bimodal {
+	n := uint32(1) << log2Entries
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &Bimodal{table: t, mask: n - 1}
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[pc>>2&b.mask] >= 2 }
+
+// Update trains the counter for pc.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := pc >> 2 & b.mask
+	if taken {
+		b.table[i] = ctrUp(b.table[i])
+	} else {
+		b.table[i] = ctrDown(b.table[i])
+	}
+}
+
+// DirPredictor is the direction-prediction interface shared by gshare and
+// bimodal.
+type DirPredictor interface {
+	Predict(pc uint32) bool
+	Update(pc uint32, taken bool)
+}
+
+// btbEntry is one BTB way.
+type btbEntry struct {
+	valid  bool
+	tag    uint32
+	target uint32
+	lru    uint64
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	sets  [][]btbEntry
+	mask  uint32
+	clock uint64
+}
+
+// NewBTB builds a BTB with the given set count and associativity.
+func NewBTB(nSets, assoc int) *BTB {
+	sets := make([][]btbEntry, nSets)
+	for i := range sets {
+		sets[i] = make([]btbEntry, assoc)
+	}
+	return &BTB{sets: sets, mask: uint32(nSets - 1)}
+}
+
+// Lookup returns the predicted target for pc, if present.
+func (b *BTB) Lookup(pc uint32) (target uint32, hit bool) {
+	set := b.sets[pc>>2&b.mask]
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			b.clock++
+			set[i].lru = b.clock
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for pc, evicting the LRU way.
+func (b *BTB) Update(pc uint32, target uint32) {
+	set := b.sets[pc>>2&b.mask]
+	b.clock++
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].target = target
+			set[i].lru = b.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{valid: true, tag: pc, target: target, lru: b.clock}
+}
+
+// RAS is a fixed-depth circular return address stack. Overflow overwrites
+// the oldest entry; underflow returns garbage (0), as in real hardware.
+type RAS struct {
+	stack []uint32
+	top   int
+	count int
+}
+
+// NewRAS builds a return address stack of the given depth.
+func NewRAS(depth int) *RAS {
+	return &RAS{stack: make([]uint32, depth)}
+}
+
+// Push records a return address (on call instructions).
+func (r *RAS) Push(addr uint32) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.count < len(r.stack) {
+		r.count++
+	}
+}
+
+// Pop predicts the return target (on return instructions).
+func (r *RAS) Pop() (uint32, bool) {
+	if r.count == 0 {
+		return 0, false
+	}
+	v := r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.count--
+	return v, true
+}
+
+// Predictor bundles the full front-end prediction machinery per Table 2.
+type Predictor struct {
+	Dir DirPredictor
+	BTB *BTB
+	RAS *RAS
+
+	// Stats.
+	CondBranches uint64
+	CondMispred  uint64
+}
+
+// NewDefault builds the paper's configuration: 64k-entry gshare, 4-way
+// 512-set BTB, 8-entry RAS.
+func NewDefault() *Predictor {
+	return &Predictor{
+		Dir: NewGshare(16),
+		BTB: NewBTB(512, 4),
+		RAS: NewRAS(8),
+	}
+}
+
+// Prediction is the front end's guess for one control instruction.
+type Prediction struct {
+	Taken  bool
+	Target uint32 // valid when Taken
+}
+
+// Predict produces the fetch-redirect prediction for the control
+// instruction in at pc. Unconditional direct jumps are always taken with a
+// computed target; jr-class instructions use the RAS (for returns) or the
+// BTB; conditional branches combine the direction predictor with the
+// branch's encoded target.
+func (p *Predictor) Predict(pc uint32, in *isa.Inst) Prediction {
+	switch in.Op {
+	case isa.OpJ:
+		return Prediction{Taken: true, Target: (pc+4)&0xf000_0000 | in.Target<<2}
+	case isa.OpJAL:
+		p.RAS.Push(pc + 4)
+		return Prediction{Taken: true, Target: (pc+4)&0xf000_0000 | in.Target<<2}
+	case isa.OpJALR:
+		p.RAS.Push(pc + 4)
+		if t, ok := p.BTB.Lookup(pc); ok {
+			return Prediction{Taken: true, Target: t}
+		}
+		return Prediction{Taken: true, Target: pc + 4} // unknown target
+	case isa.OpJR:
+		if in.Rs == isa.RegRA {
+			if t, ok := p.RAS.Pop(); ok {
+				return Prediction{Taken: true, Target: t}
+			}
+		}
+		if t, ok := p.BTB.Lookup(pc); ok {
+			return Prediction{Taken: true, Target: t}
+		}
+		return Prediction{Taken: true, Target: pc + 4}
+	default: // conditional branches
+		taken := p.Dir.Predict(pc)
+		target := uint32(int64(pc) + 4 + int64(in.Imm)*4)
+		return Prediction{Taken: taken, Target: target}
+	}
+}
+
+// Resolve trains the predictor with the actual outcome of a control
+// instruction and reports whether the earlier prediction was wrong.
+func (p *Predictor) Resolve(pc uint32, in *isa.Inst, pred Prediction, taken bool, target uint32) bool {
+	misp := pred.Taken != taken || (taken && pred.Target != target)
+	switch in.Op {
+	case isa.OpJ, isa.OpJAL:
+		// Direct jumps never mispredict.
+	case isa.OpJR, isa.OpJALR:
+		p.BTB.Update(pc, target)
+	default:
+		p.CondBranches++
+		if pred.Taken != taken {
+			p.CondMispred++
+		}
+		p.Dir.Update(pc, taken)
+		if taken {
+			p.BTB.Update(pc, target)
+		}
+	}
+	return misp
+}
+
+// Accuracy returns the conditional branch direction accuracy so far.
+func (p *Predictor) Accuracy() float64 {
+	if p.CondBranches == 0 {
+		return 1
+	}
+	return 1 - float64(p.CondMispred)/float64(p.CondBranches)
+}
+
+// Local is a two-level local-history predictor (PAg): a table of
+// per-branch history registers indexing a shared pattern table of 2-bit
+// counters. It captures per-branch periodic patterns that gshare's global
+// history can miss, at the cost of interference in the shared tables.
+type Local struct {
+	hist     []uint16
+	pattern  []uint8
+	histMask uint16
+	pcMask   uint32
+}
+
+// NewLocal builds a local predictor with 2^log2Hist history registers of
+// log2Pattern bits each and a 2^log2Pattern-entry pattern table.
+func NewLocal(log2Hist, log2Pattern uint) *Local {
+	p := make([]uint8, 1<<log2Pattern)
+	for i := range p {
+		p[i] = 2
+	}
+	return &Local{
+		hist:     make([]uint16, 1<<log2Hist),
+		pattern:  p,
+		histMask: uint16(1<<log2Pattern - 1),
+		pcMask:   uint32(1<<log2Hist - 1),
+	}
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (l *Local) Predict(pc uint32) bool {
+	h := l.hist[pc>>2&l.pcMask] & l.histMask
+	return l.pattern[h] >= 2
+}
+
+// Update trains the pattern counter and shifts the branch's history.
+func (l *Local) Update(pc uint32, taken bool) {
+	i := pc >> 2 & l.pcMask
+	h := l.hist[i] & l.histMask
+	if taken {
+		l.pattern[h] = ctrUp(l.pattern[h])
+	} else {
+		l.pattern[h] = ctrDown(l.pattern[h])
+	}
+	l.hist[i] = l.hist[i] << 1 & l.histMask
+	if taken {
+		l.hist[i] |= 1
+	}
+}

@@ -1,0 +1,234 @@
+package bpred
+
+import (
+	"testing"
+
+	"pok/internal/isa"
+)
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(10)
+	pc := uint32(0x400100)
+	for i := 0; i < 16; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Fatal("always-taken branch predicted not-taken")
+	}
+	for i := 0; i < 16; i++ {
+		g.Update(pc, false)
+	}
+	if g.Predict(pc) {
+		t.Fatal("retrained branch still predicted taken")
+	}
+}
+
+func TestGshareLearnsAlternatingPattern(t *testing.T) {
+	// With history, gshare learns strict alternation; bimodal cannot.
+	g := NewGshare(12)
+	b := NewBimodal(12)
+	pc := uint32(0x400200)
+	gHits, bHits := 0, 0
+	for i := 0; i < 2000; i++ {
+		taken := i%2 == 0
+		if g.Predict(pc) == taken {
+			gHits++
+		}
+		if b.Predict(pc) == taken {
+			bHits++
+		}
+		g.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+	if gHits < 1900 {
+		t.Fatalf("gshare only %d/2000 on alternating pattern", gHits)
+	}
+	if bHits > 1200 {
+		t.Fatalf("bimodal suspiciously good (%d/2000) on alternating pattern", bHits)
+	}
+}
+
+func TestGshareHistoryShifts(t *testing.T) {
+	g := NewGshare(8)
+	g.Update(0, true)
+	g.Update(0, false)
+	g.Update(0, true)
+	if g.History()&7 != 0b101 {
+		t.Fatalf("history = %b", g.History())
+	}
+}
+
+func TestBimodalSaturation(t *testing.T) {
+	b := NewBimodal(8)
+	pc := uint32(64)
+	for i := 0; i < 100; i++ {
+		b.Update(pc, true)
+	}
+	// One not-taken must not flip a saturated counter.
+	b.Update(pc, false)
+	if !b.Predict(pc) {
+		t.Fatal("saturated counter flipped after one opposite outcome")
+	}
+}
+
+func TestBTBHitMissAndLRU(t *testing.T) {
+	btb := NewBTB(2, 2) // tiny: 2 sets, 2 ways
+	if _, hit := btb.Lookup(0x100); hit {
+		t.Fatal("cold BTB hit")
+	}
+	// Three PCs mapping to the same set (pc>>2 & 1): choose pcs with bit2=0.
+	a, b, c := uint32(0x100), uint32(0x110), uint32(0x120)
+	btb.Update(a, 0xaaaa)
+	btb.Update(b, 0xbbbb)
+	if tgt, hit := btb.Lookup(a); !hit || tgt != 0xaaaa {
+		t.Fatal("a missing")
+	}
+	// Insert c: evicts b (a was just touched).
+	btb.Update(c, 0xcccc)
+	if _, hit := btb.Lookup(b); hit {
+		t.Fatal("b should have been evicted")
+	}
+	if tgt, hit := btb.Lookup(c); !hit || tgt != 0xcccc {
+		t.Fatal("c missing")
+	}
+	// Updating an existing entry replaces its target in place.
+	btb.Update(c, 0xdddd)
+	if tgt, _ := btb.Lookup(c); tgt != 0xdddd {
+		t.Fatal("in-place update failed")
+	}
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty RAS popped")
+	}
+	r.Push(1)
+	r.Push(2)
+	r.Push(3)
+	for want := uint32(3); want >= 1; want-- {
+		v, ok := r.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	// Overflow wraps, keeping the newest entries.
+	for i := uint32(1); i <= 6; i++ {
+		r.Push(i)
+	}
+	for want := uint32(6); want >= 3; want-- {
+		v, ok := r.Pop()
+		if !ok || v != want {
+			t.Fatalf("after wrap pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("RAS should be empty after draining")
+	}
+}
+
+func TestPredictorJumpKinds(t *testing.T) {
+	p := NewDefault()
+	// Direct jump: always taken, exact target.
+	j := &isa.Inst{Op: isa.OpJ, Target: 0x500000 >> 2}
+	pr := p.Predict(0x400000, j)
+	if !pr.Taken || pr.Target != 0x500000 {
+		t.Fatalf("j prediction %+v", pr)
+	}
+	if p.Resolve(0x400000, j, pr, true, 0x500000) {
+		t.Fatal("direct jump flagged as mispredict")
+	}
+
+	// jal pushes the RAS; jr $ra pops it.
+	jal := &isa.Inst{Op: isa.OpJAL, Target: 0x500000 >> 2}
+	p.Predict(0x400010, jal)
+	jr := &isa.Inst{Op: isa.OpJR, Rs: isa.RegRA}
+	pr = p.Predict(0x500020, jr)
+	if !pr.Taken || pr.Target != 0x400014 {
+		t.Fatalf("jr prediction %+v, want return to 0x400014", pr)
+	}
+
+	// Indirect jr through a non-RA register trains the BTB.
+	jr2 := &isa.Inst{Op: isa.OpJR, Rs: 8}
+	pr = p.Predict(0x400100, jr2)
+	p.Resolve(0x400100, jr2, pr, true, 0x600000)
+	pr = p.Predict(0x400100, jr2)
+	if pr.Target != 0x600000 {
+		t.Fatalf("BTB-trained jr target = %x", pr.Target)
+	}
+}
+
+func TestPredictorCondBranchAccuracyStats(t *testing.T) {
+	p := NewDefault()
+	br := &isa.Inst{Op: isa.OpBNE, Rs: 8, Rt: 0, Imm: 16}
+	pc := uint32(0x400000)
+	for i := 0; i < 100; i++ {
+		pr := p.Predict(pc, br)
+		p.Resolve(pc, br, pr, true, pr.Target)
+	}
+	if p.CondBranches != 100 {
+		t.Fatalf("counted %d branches", p.CondBranches)
+	}
+	if p.Accuracy() < 0.9 {
+		t.Fatalf("accuracy %.2f on monotone branch", p.Accuracy())
+	}
+}
+
+func TestPredictorMispredictDetection(t *testing.T) {
+	p := NewDefault()
+	br := &isa.Inst{Op: isa.OpBEQ, Rs: 8, Rt: 9, Imm: 4}
+	pc := uint32(0x400040)
+	// Train not-taken.
+	for i := 0; i < 8; i++ {
+		pr := p.Predict(pc, br)
+		p.Resolve(pc, br, pr, false, 0)
+	}
+	pr := p.Predict(pc, br)
+	if pr.Taken {
+		t.Fatal("should predict not-taken")
+	}
+	// Actual taken -> mispredict.
+	if !p.Resolve(pc, br, pr, true, pr.Target) {
+		t.Fatal("mispredict not detected")
+	}
+}
+
+func TestLocalPredictorLearnsPeriodicPattern(t *testing.T) {
+	// A branch taken every 3rd time: local history nails it, bimodal
+	// cannot.
+	l := NewLocal(10, 12)
+	b := NewBimodal(12)
+	pc := uint32(0x400300)
+	lHits, bHits := 0, 0
+	for i := 0; i < 3000; i++ {
+		taken := i%3 == 0
+		if l.Predict(pc) == taken {
+			lHits++
+		}
+		if b.Predict(pc) == taken {
+			bHits++
+		}
+		l.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+	if lHits < 2900 {
+		t.Fatalf("local predictor %d/3000 on periodic pattern", lHits)
+	}
+	if bHits > 2400 {
+		t.Fatalf("bimodal suspiciously good: %d/3000", bHits)
+	}
+	// Two branches with different patterns do not destroy each other's
+	// history registers (they may share pattern entries).
+	pc2 := uint32(0x400400)
+	for i := 0; i < 2000; i++ {
+		l.Update(pc, i%3 == 0)
+		l.Update(pc2, true)
+	}
+	if !l.Predict(pc2) {
+		t.Fatal("always-taken branch lost to interference")
+	}
+}
+
+func TestLocalImplementsDirPredictor(t *testing.T) {
+	var _ DirPredictor = NewLocal(8, 8)
+}

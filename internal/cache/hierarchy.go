@@ -1,0 +1,67 @@
+package cache
+
+// Hierarchy composes the two-level memory system of the paper's machine
+// configuration (Table 2): split L1 instruction and data caches backed by
+// a unified L2 and a fixed-latency main memory.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+
+	MemLatency int
+}
+
+// DefaultConfig returns the paper's Table 2 memory system: 64KB 2-way L1I,
+// 64KB 4-way L1D (1-cycle), 1MB 4-way unified L2 (6-cycle), 100-cycle
+// memory, all with 64B lines.
+func DefaultConfig() *Hierarchy {
+	return &Hierarchy{
+		L1I: New(Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 64,
+			Assoc: 2, HitLatency: 1}),
+		L1D: New(Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64,
+			Assoc: 4, HitLatency: 1}),
+		L2: New(Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64,
+			Assoc: 4, HitLatency: 6}),
+		MemLatency: 100,
+	}
+}
+
+// AccessData references addr through L1D (and on a miss, L2 and memory),
+// returning the total access latency in cycles and whether L1D hit.
+func (h *Hierarchy) AccessData(addr uint32) (latency int, l1Hit bool) {
+	lat := h.L1D.Config().HitLatency
+	if h.L1D.Access(addr) {
+		return lat, true
+	}
+	lat += h.L2.Config().HitLatency
+	if h.L2.Access(addr) {
+		return lat, false
+	}
+	return lat + h.MemLatency, false
+}
+
+// WriteData performs a store reference through L1D (write-back,
+// write-allocate), returning whether L1D hit. Stores drain through the
+// store buffer, so no latency is returned.
+func (h *Hierarchy) WriteData(addr uint32) bool {
+	if h.L1D.AccessWrite(addr) {
+		return true
+	}
+	if !h.L2.AccessWrite(addr) {
+		_ = h.MemLatency // refill from memory; latency absorbed by the buffer
+	}
+	return false
+}
+
+// AccessInst references addr through L1I, returning latency and L1I hit.
+func (h *Hierarchy) AccessInst(addr uint32) (latency int, l1Hit bool) {
+	lat := h.L1I.Config().HitLatency
+	if h.L1I.Access(addr) {
+		return lat, true
+	}
+	lat += h.L2.Config().HitLatency
+	if h.L2.Access(addr) {
+		return lat, false
+	}
+	return lat + h.MemLatency, false
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// TLBConfig describes a translation lookaside buffer. The paper's §7
+// evaluation assumes a virtually-indexed, virtually-tagged L1 (or page
+// coloring) so the TLB sits off the partial-tag critical path; modeling
+// it lets the simulator also evaluate a physically-tagged design where
+// the translation joins the full-tag verification.
+type TLBConfig struct {
+	Name        string
+	Entries     int
+	Assoc       int // 0 means fully associative
+	PageBits    int // log2 page size (default 12 = 4KB)
+	MissLatency int // cycles to walk/refill on a miss
+}
+
+type tlbEntry struct {
+	valid bool
+	tag   uint32
+	lru   uint64
+}
+
+// TLB is a set-associative (or fully associative) translation buffer with
+// true-LRU replacement.
+type TLB struct {
+	cfg      TLBConfig
+	sets     [][]tlbEntry
+	setMask  uint32
+	pageBits uint
+	clock    uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewTLB builds a TLB; it panics on invalid geometry (static machine
+// description).
+func NewTLB(cfg TLBConfig) *TLB {
+	if cfg.PageBits == 0 {
+		cfg.PageBits = 12
+	}
+	if cfg.Assoc == 0 || cfg.Assoc > cfg.Entries {
+		cfg.Assoc = cfg.Entries // fully associative
+	}
+	if cfg.Entries <= 0 || cfg.Entries%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache: bad TLB geometry %+v", cfg))
+	}
+	nSets := cfg.Entries / cfg.Assoc
+	if bits.OnesCount(uint(nSets)) != 1 {
+		panic(fmt.Sprintf("cache: TLB set count %d not a power of two", nSets))
+	}
+	sets := make([][]tlbEntry, nSets)
+	for i := range sets {
+		sets[i] = make([]tlbEntry, cfg.Assoc)
+	}
+	return &TLB{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint32(nSets - 1),
+		pageBits: uint(cfg.PageBits),
+	}
+}
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() TLBConfig { return t.cfg }
+
+func (t *TLB) split(vaddr uint32) (set, tag uint32) {
+	vpn := vaddr >> t.pageBits
+	return vpn & t.setMask, vpn
+}
+
+// Lookup reports whether vaddr's page is resident, without updating state.
+func (t *TLB) Lookup(vaddr uint32) bool {
+	set, tag := t.split(vaddr)
+	for _, e := range t.sets[set] {
+		if e.valid && e.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access translates vaddr, refilling on a miss, and returns the added
+// latency (0 on a hit, MissLatency on a miss) and whether it hit.
+func (t *TLB) Access(vaddr uint32) (latency int, hit bool) {
+	t.Accesses++
+	t.clock++
+	set, tag := t.split(vaddr)
+	ways := t.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = t.clock
+			return 0, true
+		}
+	}
+	t.Misses++
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = tlbEntry{valid: true, tag: tag, lru: t.clock}
+	return t.cfg.MissLatency, false
+}
+
+// MissRate returns the observed miss rate.
+func (t *TLB) MissRate() float64 {
+	if t.Accesses == 0 {
+		return 0
+	}
+	return float64(t.Misses) / float64(t.Accesses)
+}
+
+// DefaultDTLB returns a 64-entry fully-associative 4KB-page data TLB with
+// a 30-cycle walk, a typical configuration for the paper's era.
+func DefaultDTLB() *TLB {
+	return NewTLB(TLBConfig{Name: "DTLB", Entries: 64, PageBits: 12, MissLatency: 30})
+}

@@ -1,0 +1,71 @@
+package cache
+
+import "testing"
+
+func TestTLBHitMissLRU(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Entries: 2, PageBits: 12, MissLatency: 30})
+	lat, hit := tlb.Access(0x0000_1000)
+	if hit || lat != 30 {
+		t.Fatalf("cold access: lat=%d hit=%v", lat, hit)
+	}
+	// Same page, different offset: hit, zero latency.
+	lat, hit = tlb.Access(0x0000_1ffc)
+	if !hit || lat != 0 {
+		t.Fatalf("same page: lat=%d hit=%v", lat, hit)
+	}
+	tlb.Access(0x0000_2000) // second page fills the other way
+	tlb.Access(0x0000_1000) // touch page 1 so page 2 is LRU
+	tlb.Access(0x0000_3000) // evicts page 2
+	if tlb.Lookup(0x0000_2000) {
+		t.Fatal("LRU eviction failed")
+	}
+	if !tlb.Lookup(0x0000_1000) || !tlb.Lookup(0x0000_3000) {
+		t.Fatal("resident pages missing")
+	}
+	if tlb.MissRate() <= 0 || tlb.MissRate() >= 1 {
+		t.Fatalf("miss rate %f", tlb.MissRate())
+	}
+}
+
+func TestTLBSetAssociative(t *testing.T) {
+	// 4 entries, 2-way: 2 sets; pages alternate sets by VPN low bit.
+	tlb := NewTLB(TLBConfig{Entries: 4, Assoc: 2, PageBits: 12, MissLatency: 10})
+	// Three pages mapping to set 0 (even VPNs) thrash a 2-way set.
+	tlb.Access(0 << 12)
+	tlb.Access(2 << 12)
+	tlb.Access(4 << 12)
+	if tlb.Lookup(0 << 12) {
+		t.Fatal("oldest even page should be evicted")
+	}
+	// Odd VPN page is unaffected.
+	tlb.Access(1 << 12)
+	if !tlb.Lookup(1 << 12) {
+		t.Fatal("odd set disturbed")
+	}
+}
+
+func TestTLBGeometryValidation(t *testing.T) {
+	for _, cfg := range []TLBConfig{
+		{Entries: 0},
+		{Entries: 6, Assoc: 4},  // entries % assoc != 0
+		{Entries: 24, Assoc: 2}, // 12 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTLB(%+v) did not panic", cfg)
+				}
+			}()
+			NewTLB(cfg)
+		}()
+	}
+	// Defaults fill in.
+	d := DefaultDTLB()
+	if d.Config().PageBits != 12 || d.Config().Assoc != 64 {
+		t.Fatalf("defaults %+v", d.Config())
+	}
+	var empty TLB
+	if empty.MissRate() != 0 {
+		t.Fatal("empty miss rate")
+	}
+}

@@ -1,0 +1,156 @@
+package cc
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Globals []*Global
+	Funcs   []*Func
+}
+
+// Global is a module-level variable or array.
+type Global struct {
+	Name string
+	// Len is 0 for a scalar, else the array element count.
+	Len int
+	// Init holds the scalar initializer (arrays zero-initialize unless
+	// Elems is set).
+	Init int32
+	// Elems holds the array initializer list (may be shorter than Len;
+	// the remainder zero-fills).
+	Elems []int32
+	Line  int
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+
+	// nLocals is filled by the parser: parameters plus declared locals.
+	nLocals int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtLine() int }
+
+type (
+	// DeclStmt declares a local with an optional initializer.
+	DeclStmt struct {
+		Name string
+		Init Expr // nil = zero
+		Line int
+		slot int
+	}
+	// AssignStmt stores Value into a variable or array element.
+	AssignStmt struct {
+		Target *LValue
+		Value  Expr
+		Line   int
+	}
+	// IfStmt with optional else.
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+		Line int
+	}
+	// WhileStmt loops while Cond is non-zero.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+		Line int
+	}
+	// ForStmt is the C for loop; any of Init/Cond/Post may be nil.
+	ForStmt struct {
+		Init Stmt // DeclStmt or AssignStmt
+		Cond Expr
+		Post Stmt
+		Body []Stmt
+		Line int
+	}
+	// ReturnStmt returns Value (nil = return 0).
+	ReturnStmt struct {
+		Value Expr
+		Line  int
+	}
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{ Line int }
+	// ContinueStmt jumps to the innermost loop's continuation point.
+	ContinueStmt struct{ Line int }
+	// ExprStmt evaluates an expression for its side effects (calls).
+	ExprStmt struct {
+		X    Expr
+		Line int
+	}
+)
+
+func (s *DeclStmt) stmtLine() int     { return s.Line }
+func (s *AssignStmt) stmtLine() int   { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+
+// LValue is an assignable location: a scalar variable or an array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Line  int
+}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+type (
+	// NumExpr is an integer literal.
+	NumExpr struct {
+		Val  int32
+		Line int
+	}
+	// VarExpr reads a scalar variable (local, param or global).
+	VarExpr struct {
+		Name string
+		Line int
+	}
+	// IndexExpr reads a global array element.
+	IndexExpr struct {
+		Name  string
+		Index Expr
+		Line  int
+	}
+	// UnaryExpr applies -, ! or ~.
+	UnaryExpr struct {
+		Op   string
+		X    Expr
+		Line int
+	}
+	// BinExpr applies a binary operator (including short-circuit && / ||).
+	BinExpr struct {
+		Op   string
+		L, R Expr
+		Line int
+	}
+	// CallExpr invokes a function or builtin.
+	CallExpr struct {
+		Name string
+		Args []Expr
+		Line int
+	}
+	// CondExpr is the C ternary operator cond ? then : else.
+	CondExpr struct {
+		Cond, Then, Else Expr
+		Line             int
+	}
+)
+
+func (e *NumExpr) exprLine() int   { return e.Line }
+func (e *VarExpr) exprLine() int   { return e.Line }
+func (e *IndexExpr) exprLine() int { return e.Line }
+func (e *UnaryExpr) exprLine() int { return e.Line }
+func (e *BinExpr) exprLine() int   { return e.Line }
+func (e *CallExpr) exprLine() int  { return e.Line }
+func (e *CondExpr) exprLine() int  { return e.Line }

@@ -1,0 +1,358 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"pok/internal/emu"
+)
+
+// compileRun compiles src, executes it, and returns the program output.
+func compileRun(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := CompileProgram(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	e := emu.New(prog)
+	if _, err := e.Run(50_000_000, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !e.Halted() {
+		t.Fatal("program did not halt")
+	}
+	return e.Output()
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	out := compileRun(t, `
+int main() {
+	print(1 + 2 * 3);          // 7
+	print((1 + 2) * 3);        // 9
+	print(10 - 4 - 3);         // 3 (left assoc)
+	print(100 / 7);            // 14
+	print(100 % 7);            // 2
+	print(-5 + 2);             // -3
+	print(1 << 4 | 1);         // 17
+	print(255 & 15 ^ 1);       // 14
+	print(~0);                 // -1
+	print(!0 + !5);            // 1
+	print(-8 >> 1);            // -4 (arithmetic shift)
+	return 0;
+}`)
+	want := "7\n9\n3\n14\n2\n-3\n17\n14\n-1\n1\n-4\n"
+	if out != want {
+		t.Fatalf("output:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	out := compileRun(t, `
+int side = 0;
+int effect(int v) { side = side + 1; return v; }
+int main() {
+	print(3 < 5);
+	print(5 <= 5);
+	print(5 > 5);
+	print(5 >= 6);
+	print(4 == 4);
+	print(4 != 4);
+	print(-1 < 0);             // signed comparison
+	print(1 && 2);
+	print(1 && 0);
+	print(0 || 3);
+	print(0 || 0);
+	// Short circuit: the right side must not evaluate.
+	int r = 0 && effect(1);
+	r = 1 || effect(1);
+	print(side);               // 0
+	r = 1 && effect(1);
+	print(side);               // 1
+	return 0;
+}`)
+	want := "1\n1\n0\n0\n1\n0\n1\n1\n0\n1\n0\n0\n1\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	out := compileRun(t, `
+int main() {
+	int i;
+	int sum = 0;
+	for (i = 1; i <= 10; i++) sum += i;
+	print(sum);                // 55
+	int n = 0;
+	while (n < 100) {
+		n = n + 7;
+		if (n % 2 == 0) continue;
+		if (n > 60) break;
+	}
+	print(n);                  // 63
+	if (sum > 50) print(1); else print(2);
+	if (sum > 500) { print(3); } else { print(4); }
+	return 0;
+}`)
+	want := "55\n63\n1\n4\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	out := compileRun(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int gcd(int a, int b) {
+	while (b != 0) {
+		int t = b;
+		b = a % b;
+		a = t;
+	}
+	return a;
+}
+int sum4(int a, int b, int c, int d) { return a + b + c + d; }
+int main() {
+	print(fib(15));            // 610
+	print(gcd(1071, 462));     // 21
+	print(sum4(1, 2, 3, 4));   // 10
+	print(sum4(fib(5), gcd(12, 18), 1, 0)); // 5 + 6 + 1 = 12
+	return 0;
+}`)
+	want := "610\n21\n10\n12\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	out := compileRun(t, `
+int counter = 40;
+int neg = -7;
+int a[16];
+int main() {
+	counter += 2;
+	print(counter);            // 42
+	print(neg);                // -7
+	int i;
+	for (i = 0; i < 16; i++) a[i] = i * i;
+	int sum = 0;
+	for (i = 0; i < 16; i++) sum += a[i];
+	print(sum);                // 1240
+	a[3] = a[2] + a[4];        // 4 + 16
+	print(a[3]);               // 20
+	return 0;
+}`)
+	want := "42\n-7\n1240\n20\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestSieve(t *testing.T) {
+	out := compileRun(t, `
+int sieve[100];
+int main() {
+	int i;
+	int count = 0;
+	for (i = 2; i < 100; i++) {
+		if (sieve[i] == 0) {
+			count++;
+			int j;
+			for (j = i + i; j < 100; j += i) sieve[j] = 1;
+		}
+	}
+	print(count);              // 25 primes below 100
+	return 0;
+}`)
+	if out != "25\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestPutcAndCharLiterals(t *testing.T) {
+	out := compileRun(t, `
+int main() {
+	putc('o');
+	putc('k');
+	putc(10);
+	return 0;
+}`)
+	if out != "ok\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestExitCodeIsMainReturn(t *testing.T) {
+	prog, err := CompileProgram(`int main() { return 42; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := emu.New(prog)
+	if _, err := e.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if e.ExitCode() != 42 {
+		t.Fatalf("exit code %d", e.ExitCode())
+	}
+}
+
+func TestCompoundAssignAndIncrement(t *testing.T) {
+	out := compileRun(t, `
+int a[4];
+int main() {
+	int x = 10;
+	x += 5; x -= 3; x *= 2; x /= 3; x %= 5;  // ((10+5-3)*2/3)%5 = 8%5 = 3
+	print(x);
+	x <<= 4; x >>= 2; x |= 1; x &= 13; x ^= 6;  // ((3<<4)>>2|1)&13^6
+	print(x);
+	a[2] = 5;
+	a[2] += 7;
+	a[2]++;
+	print(a[2]);               // 13
+	int i = 0;
+	i++; i++; i--;
+	print(i);                  // 1
+	return 0;
+}`)
+	// ((3<<4)>>2) = 12; 12|1 = 13; 13&13 = 13; 13^6 = 11
+	want := "3\n11\n13\n1\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":          `int f() { return 1; }`,
+		"undefined var":    `int main() { return x; }`,
+		"undefined func":   `int main() { return f(); }`,
+		"redeclare":        `int main() { int x; int x; }`,
+		"dup global":       "int g;\nint g;\nint main() { return 0; }",
+		"dup func":         "int f() { return 0; }\nint f() { return 0; }\nint main() { return 0; }",
+		"arg count":        `int f(int a) { return a; } int main() { return f(); }`,
+		"too many params":  `int f(int a, int b, int c, int d, int e) { return 0; } int main() { return 0; }`,
+		"break outside":    `int main() { break; }`,
+		"continue outside": `int main() { continue; }`,
+		"array no index":   `int a[4]; int main() { return a; }`,
+		"index scalar":     `int x; int main() { x[0] = 1; }`,
+		"assign to func":   `int f() { return 0; } int main() { f = 1; }`,
+		"builtin redef":    `int print(int x) { return x; } int main() { return 0; }`,
+		"bad token":        `int main() { return $; }`,
+		"unterminated":     `int main() { /* forever`,
+		"lex garbage":      "int main() { return 0; } @",
+		"global func name": "int f;\nint f() { return 0; }\nint main() { return 0; }",
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: compile succeeded", name)
+		} else if !strings.Contains(err.Error(), "line") {
+			t.Errorf("%s: error %q lacks position", name, err)
+		}
+	}
+}
+
+func TestNestedCallsPreserveTemporaries(t *testing.T) {
+	// The left operand of + must survive the call on the right.
+	out := compileRun(t, `
+int id(int x) { return x; }
+int main() {
+	int a = 3;
+	print(a + id(4) * id(5));  // 23
+	print(id(a) + a * id(2));  // 9
+	return 0;
+}`)
+	if out != "23\n9\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestDeepRecursionStack(t *testing.T) {
+	// 1000-deep recursion exercises frame handling.
+	out := compileRun(t, `
+int depth(int n) {
+	if (n == 0) return 0;
+	return 1 + depth(n - 1);
+}
+int main() {
+	print(depth(1000));
+	return 0;
+}`)
+	if out != "1000\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestCommentsAndFormats(t *testing.T) {
+	out := compileRun(t, `
+// line comment
+/* block
+   comment */
+int main() {
+	int hex = 0x10;   // 16
+	print(hex /* inline */ + 1);
+	return 0;
+}`)
+	if out != "17\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestTernary(t *testing.T) {
+	out := compileRun(t, `
+int max(int a, int b) { return a > b ? a : b; }
+int main() {
+	print(max(3, 9));                    // 9
+	print(max(-3, -9));                  // -3
+	print(1 ? 2 : 3);                    // folded: 2
+	print(0 ? 2 : 3);                    // folded: 3
+	int x = 5;
+	print(x > 0 ? x > 3 ? 2 : 1 : 0);    // nested, right assoc: 2
+	print((x % 2 == 0) ? 100 : 200);     // 200
+	return 0;
+}`)
+	want := "9\n-3\n2\n3\n2\n200\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+	// Only the taken arm may have side effects.
+	out = compileRun(t, `
+int n = 0;
+int bump() { n++; return n; }
+int main() {
+	int r = 1 == 2 ? bump() : 7;
+	print(r);
+	print(n);
+	return 0;
+}`)
+	if out != "7\n0\n" {
+		t.Fatalf("side effects: %q", out)
+	}
+	if _, err := Compile(`int main() { return 1 ? 2; }`); err == nil {
+		t.Fatal("missing colon accepted")
+	}
+}
+
+func TestGlobalArrayInitializers(t *testing.T) {
+	out := compileRun(t, `
+int lut[8] = {10, -20, 30};
+int full[3] = {1, 2, 3};
+int main() {
+	print(lut[0] + lut[1] + lut[2]);  // 20
+	print(lut[7]);                    // zero-filled
+	print(full[2]);
+	return 0;
+}`)
+	if out != "20\n0\n3\n" {
+		t.Fatalf("output %q", out)
+	}
+	if _, err := Compile(`int a[2] = {1, 2, 3}; int main() { return 0; }`); err == nil {
+		t.Fatal("oversized initializer accepted")
+	}
+	if _, err := Compile(`int a[2] = {1, x}; int main() { return 0; }`); err == nil {
+		t.Fatal("non-constant initializer accepted")
+	}
+}

@@ -1,0 +1,591 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+
+	"pok/internal/asm"
+	"pok/internal/emu"
+)
+
+// Compile translates MiniC source into assembly text for internal/asm.
+func Compile(src string) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	for _, fn := range prog.Funcs {
+		foldStmts(fn.Body)
+	}
+	g := &gen{prog: prog}
+	return g.run()
+}
+
+// CompileProgram compiles and assembles MiniC source into a runnable
+// program image.
+func CompileProgram(src string) (*emu.Program, error) {
+	text, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(text)
+}
+
+// gen holds code-generation state.
+type gen struct {
+	prog *Program
+	out  strings.Builder
+
+	globals map[string]*Global
+	funcs   map[string]*Func
+
+	// per-function state
+	fn       *Func
+	slots    map[string]int // variable name -> frame slot
+	frame    int            // frame size in bytes
+	labelCnt int
+	brkLbl   []string // break targets, innermost last
+	contLbl  []string // continue targets
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.out, format+"\n", args...)
+}
+
+func (g *gen) label(prefix string) string {
+	g.labelCnt++
+	return fmt.Sprintf("L%s%d", prefix, g.labelCnt)
+}
+
+func (g *gen) run() (string, error) {
+	g.globals = make(map[string]*Global)
+	g.funcs = make(map[string]*Func)
+	for _, gl := range g.prog.Globals {
+		if _, dup := g.globals[gl.Name]; dup {
+			return "", errf(gl.Line, "duplicate global %q", gl.Name)
+		}
+		g.globals[gl.Name] = gl
+	}
+	hasMain := false
+	for _, fn := range g.prog.Funcs {
+		if _, dup := g.funcs[fn.Name]; dup {
+			return "", errf(fn.Line, "duplicate function %q", fn.Name)
+		}
+		if _, clash := g.globals[fn.Name]; clash {
+			return "", errf(fn.Line, "%q is both a global and a function", fn.Name)
+		}
+		if fn.Name == "print" || fn.Name == "putc" {
+			return "", errf(fn.Line, "%q is a builtin", fn.Name)
+		}
+		g.funcs[fn.Name] = fn
+		if fn.Name == "main" {
+			hasMain = true
+		}
+	}
+	if !hasMain {
+		return "", errf(1, "no main function")
+	}
+
+	// Data section.
+	if len(g.prog.Globals) > 0 {
+		g.emit(".data")
+		for _, gl := range g.prog.Globals {
+			switch {
+			case gl.Len > 0 && len(gl.Elems) > 0:
+				words := make([]string, len(gl.Elems))
+				for i, v := range gl.Elems {
+					words[i] = fmt.Sprintf("%d", v)
+				}
+				g.emit("g_%s: .word %s", gl.Name, strings.Join(words, ", "))
+				if rest := gl.Len - len(gl.Elems); rest > 0 {
+					g.emit("	.space %d", 4*rest)
+				}
+			case gl.Len > 0:
+				g.emit("g_%s: .space %d", gl.Name, 4*gl.Len)
+			default:
+				g.emit("g_%s: .word %d", gl.Name, gl.Init)
+			}
+		}
+	}
+
+	// Entry shim: call main, exit with its return value.
+	g.emit(".text")
+	g.emit("main:")
+	g.emit("\tjal fn_main")
+	g.emit("\tmove $a0, $v0")
+	g.emit("\tli $v0, 10")
+	g.emit("\tsyscall")
+
+	for _, fn := range g.prog.Funcs {
+		if err := g.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	return g.out.String(), nil
+}
+
+// assignSlots walks the function body allocating a frame slot for every
+// parameter and declaration.
+func (g *gen) assignSlots(fn *Func) error {
+	g.slots = make(map[string]int)
+	for _, p := range fn.Params {
+		if _, dup := g.slots[p]; dup {
+			return errf(fn.Line, "duplicate parameter %q", p)
+		}
+		g.slots[p] = len(g.slots)
+	}
+	var walk func(ss []Stmt) error
+	walk = func(ss []Stmt) error {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *DeclStmt:
+				if _, dup := g.slots[st.Name]; dup {
+					return errf(st.Line, "redeclaration of %q", st.Name)
+				}
+				st.slot = len(g.slots)
+				g.slots[st.Name] = st.slot
+			case *IfStmt:
+				if err := walk(st.Then); err != nil {
+					return err
+				}
+				if err := walk(st.Else); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				if err := walk(st.Body); err != nil {
+					return err
+				}
+			case *ForStmt:
+				if st.Init != nil {
+					if err := walk([]Stmt{st.Init}); err != nil {
+						return err
+					}
+				}
+				if st.Post != nil {
+					if err := walk([]Stmt{st.Post}); err != nil {
+						return err
+					}
+				}
+				if err := walk(st.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk(fn.Body); err != nil {
+		return err
+	}
+	fn.nLocals = len(g.slots)
+	return nil
+}
+
+func (g *gen) genFunc(fn *Func) error {
+	g.fn = fn
+	g.brkLbl, g.contLbl = nil, nil
+	if err := g.assignSlots(fn); err != nil {
+		return err
+	}
+	// Frame: slots + saved $ra + saved $fp, 8-byte aligned for tidiness.
+	g.frame = 4*fn.nLocals + 8
+	if g.frame%8 != 0 {
+		g.frame += 4
+	}
+	g.emit("fn_%s:", fn.Name)
+	g.emit("\taddiu $sp, $sp, -%d", g.frame)
+	g.emit("\tsw $ra, %d($sp)", g.frame-4)
+	g.emit("\tsw $fp, %d($sp)", g.frame-8)
+	g.emit("\tmove $fp, $sp")
+	for i := range fn.Params {
+		g.emit("\tsw $a%d, %d($fp)", i, 4*i)
+	}
+	for _, s := range fn.Body {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	// Implicit `return 0`.
+	g.emit("\tli $v0, 0")
+	g.emit("ret_%s:", fn.Name)
+	g.emit("\tmove $t9, $fp")
+	g.emit("\tlw $ra, %d($t9)", g.frame-4)
+	g.emit("\tlw $fp, %d($t9)", g.frame-8)
+	g.emit("\taddiu $sp, $t9, %d", g.frame)
+	g.emit("\tjr $ra")
+	return nil
+}
+
+func (g *gen) genStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Init != nil {
+			if err := g.genExpr(st.Init); err != nil {
+				return err
+			}
+		} else {
+			g.emit("\tli $v0, 0")
+		}
+		g.emit("\tsw $v0, %d($fp)", 4*st.slot)
+		return nil
+
+	case *AssignStmt:
+		return g.genAssign(st.Target, st.Value)
+
+	case *IfStmt:
+		els := g.label("else")
+		end := g.label("endif")
+		if err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz $v0, %s", els)
+		for _, t := range st.Then {
+			if err := g.genStmt(t); err != nil {
+				return err
+			}
+		}
+		g.emit("\tb %s", end)
+		g.emit("%s:", els)
+		for _, e := range st.Else {
+			if err := g.genStmt(e); err != nil {
+				return err
+			}
+		}
+		g.emit("%s:", end)
+		return nil
+
+	case *WhileStmt:
+		top := g.label("while")
+		end := g.label("endwhile")
+		g.emit("%s:", top)
+		if err := g.genExpr(st.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz $v0, %s", end)
+		g.brkLbl = append(g.brkLbl, end)
+		g.contLbl = append(g.contLbl, top)
+		for _, b := range st.Body {
+			if err := g.genStmt(b); err != nil {
+				return err
+			}
+		}
+		g.brkLbl = g.brkLbl[:len(g.brkLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		g.emit("\tb %s", top)
+		g.emit("%s:", end)
+		return nil
+
+	case *ForStmt:
+		top := g.label("for")
+		cont := g.label("forpost")
+		end := g.label("endfor")
+		if st.Init != nil {
+			if err := g.genStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		g.emit("%s:", top)
+		if st.Cond != nil {
+			if err := g.genExpr(st.Cond); err != nil {
+				return err
+			}
+			g.emit("\tbeqz $v0, %s", end)
+		}
+		g.brkLbl = append(g.brkLbl, end)
+		g.contLbl = append(g.contLbl, cont)
+		for _, b := range st.Body {
+			if err := g.genStmt(b); err != nil {
+				return err
+			}
+		}
+		g.brkLbl = g.brkLbl[:len(g.brkLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		g.emit("%s:", cont)
+		if st.Post != nil {
+			if err := g.genStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		g.emit("\tb %s", top)
+		g.emit("%s:", end)
+		return nil
+
+	case *ReturnStmt:
+		if st.Value != nil {
+			if err := g.genExpr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			g.emit("\tli $v0, 0")
+		}
+		g.emit("\tb ret_%s", g.fn.Name)
+		return nil
+
+	case *BreakStmt:
+		if len(g.brkLbl) == 0 {
+			return errf(st.Line, "break outside loop")
+		}
+		g.emit("\tb %s", g.brkLbl[len(g.brkLbl)-1])
+		return nil
+
+	case *ContinueStmt:
+		if len(g.contLbl) == 0 {
+			return errf(st.Line, "continue outside loop")
+		}
+		g.emit("\tb %s", g.contLbl[len(g.contLbl)-1])
+		return nil
+
+	case *ExprStmt:
+		return g.genExpr(st.X)
+	}
+	return errf(s.stmtLine(), "internal: unhandled statement %T", s)
+}
+
+func (g *gen) genAssign(lv *LValue, val Expr) error {
+	if lv.Index == nil {
+		if err := g.genExpr(val); err != nil {
+			return err
+		}
+		if slot, ok := g.slots[lv.Name]; ok {
+			g.emit("\tsw $v0, %d($fp)", 4*slot)
+			return nil
+		}
+		if gl, ok := g.globals[lv.Name]; ok && gl.Len == 0 {
+			g.emit("\tla $t9, g_%s", lv.Name)
+			g.emit("\tsw $v0, 0($t9)")
+			return nil
+		}
+		return errf(lv.Line, "cannot assign to %q", lv.Name)
+	}
+	gl, ok := g.globals[lv.Name]
+	if !ok || gl.Len == 0 {
+		return errf(lv.Line, "%q is not an array", lv.Name)
+	}
+	if err := g.genExpr(lv.Index); err != nil {
+		return err
+	}
+	g.push()
+	if err := g.genExpr(val); err != nil {
+		return err
+	}
+	g.pop("$t1")
+	g.emit("\tsll $t1, $t1, 2")
+	g.emit("\tla $t9, g_%s", lv.Name)
+	g.emit("\taddu $t9, $t9, $t1")
+	g.emit("\tsw $v0, 0($t9)")
+	return nil
+}
+
+func (g *gen) push() {
+	g.emit("\taddiu $sp, $sp, -4")
+	g.emit("\tsw $v0, 0($sp)")
+}
+
+func (g *gen) pop(reg string) {
+	g.emit("\tlw %s, 0($sp)", reg)
+	g.emit("\taddiu $sp, $sp, 4")
+}
+
+func (g *gen) genExpr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumExpr:
+		g.emit("\tli $v0, %d", ex.Val)
+		return nil
+
+	case *VarExpr:
+		if slot, ok := g.slots[ex.Name]; ok {
+			g.emit("\tlw $v0, %d($fp)", 4*slot)
+			return nil
+		}
+		if gl, ok := g.globals[ex.Name]; ok {
+			if gl.Len > 0 {
+				return errf(ex.Line, "array %q used without index", ex.Name)
+			}
+			g.emit("\tla $t9, g_%s", ex.Name)
+			g.emit("\tlw $v0, 0($t9)")
+			return nil
+		}
+		return errf(ex.Line, "undefined variable %q", ex.Name)
+
+	case *IndexExpr:
+		gl, ok := g.globals[ex.Name]
+		if !ok || gl.Len == 0 {
+			return errf(ex.Line, "%q is not an array", ex.Name)
+		}
+		if err := g.genExpr(ex.Index); err != nil {
+			return err
+		}
+		g.emit("\tsll $v0, $v0, 2")
+		g.emit("\tla $t9, g_%s", ex.Name)
+		g.emit("\taddu $t9, $t9, $v0")
+		g.emit("\tlw $v0, 0($t9)")
+		return nil
+
+	case *UnaryExpr:
+		if err := g.genExpr(ex.X); err != nil {
+			return err
+		}
+		switch ex.Op {
+		case "-":
+			g.emit("\tsubu $v0, $zero, $v0")
+		case "~":
+			g.emit("\tnor $v0, $v0, $zero")
+		case "!":
+			g.emit("\tsltiu $v0, $v0, 1")
+		}
+		return nil
+
+	case *BinExpr:
+		return g.genBinary(ex)
+
+	case *CallExpr:
+		return g.genCall(ex)
+
+	case *CondExpr:
+		els := g.label("terne")
+		end := g.label("ternx")
+		if err := g.genExpr(ex.Cond); err != nil {
+			return err
+		}
+		g.emit("\tbeqz $v0, %s", els)
+		if err := g.genExpr(ex.Then); err != nil {
+			return err
+		}
+		g.emit("\tb %s", end)
+		g.emit("%s:", els)
+		if err := g.genExpr(ex.Else); err != nil {
+			return err
+		}
+		g.emit("%s:", end)
+		return nil
+	}
+	return errf(e.exprLine(), "internal: unhandled expression %T", e)
+}
+
+func (g *gen) genBinary(ex *BinExpr) error {
+	// Short-circuit logicals.
+	if ex.Op == "&&" || ex.Op == "||" {
+		out := g.label("sc")
+		end := g.label("scend")
+		if err := g.genExpr(ex.L); err != nil {
+			return err
+		}
+		if ex.Op == "&&" {
+			g.emit("\tbeqz $v0, %s", out)
+		} else {
+			g.emit("\tbnez $v0, %s", out)
+		}
+		if err := g.genExpr(ex.R); err != nil {
+			return err
+		}
+		if ex.Op == "&&" {
+			g.emit("\tbeqz $v0, %s", out)
+			g.emit("\tli $v0, 1")
+			g.emit("\tb %s", end)
+			g.emit("%s:", out)
+			g.emit("\tli $v0, 0")
+		} else {
+			g.emit("\tbnez $v0, %s", out)
+			g.emit("\tli $v0, 0")
+			g.emit("\tb %s", end)
+			g.emit("%s:", out)
+			g.emit("\tli $v0, 1")
+		}
+		g.emit("%s:", end)
+		return nil
+	}
+
+	if err := g.genExpr(ex.L); err != nil {
+		return err
+	}
+	g.push()
+	if err := g.genExpr(ex.R); err != nil {
+		return err
+	}
+	g.pop("$t1") // $t1 = lhs, $v0 = rhs
+	switch ex.Op {
+	case "+":
+		g.emit("\taddu $v0, $t1, $v0")
+	case "-":
+		g.emit("\tsubu $v0, $t1, $v0")
+	case "*":
+		g.emit("\tmult $t1, $v0")
+		g.emit("\tmflo $v0")
+	case "/":
+		g.emit("\tdiv $t1, $v0")
+		g.emit("\tmflo $v0")
+	case "%":
+		g.emit("\tdiv $t1, $v0")
+		g.emit("\tmfhi $v0")
+	case "&":
+		g.emit("\tand $v0, $t1, $v0")
+	case "|":
+		g.emit("\tor $v0, $t1, $v0")
+	case "^":
+		g.emit("\txor $v0, $t1, $v0")
+	case "<<":
+		g.emit("\tsllv $v0, $t1, $v0")
+	case ">>":
+		g.emit("\tsrav $v0, $t1, $v0")
+	case "<":
+		g.emit("\tslt $v0, $t1, $v0")
+	case ">":
+		g.emit("\tslt $v0, $v0, $t1")
+	case "<=":
+		g.emit("\tslt $v0, $v0, $t1")
+		g.emit("\txori $v0, $v0, 1")
+	case ">=":
+		g.emit("\tslt $v0, $t1, $v0")
+		g.emit("\txori $v0, $v0, 1")
+	case "==":
+		g.emit("\txor $v0, $t1, $v0")
+		g.emit("\tsltiu $v0, $v0, 1")
+	case "!=":
+		g.emit("\txor $v0, $t1, $v0")
+		g.emit("\tsltu $v0, $zero, $v0")
+	default:
+		return errf(ex.Line, "internal: unhandled operator %q", ex.Op)
+	}
+	return nil
+}
+
+func (g *gen) genCall(ex *CallExpr) error {
+	// Builtins.
+	switch ex.Name {
+	case "print", "putc":
+		if len(ex.Args) != 1 {
+			return errf(ex.Line, "%s takes one argument", ex.Name)
+		}
+		if err := g.genExpr(ex.Args[0]); err != nil {
+			return err
+		}
+		g.emit("\tmove $a0, $v0")
+		if ex.Name == "print" {
+			g.emit("\tli $v0, 1")
+			g.emit("\tsyscall")
+			g.emit("\tli $a0, 10") // newline
+		}
+		g.emit("\tli $v0, 11")
+		g.emit("\tsyscall")
+		g.emit("\tli $v0, 0")
+		return nil
+	}
+	fn, ok := g.funcs[ex.Name]
+	if !ok {
+		return errf(ex.Line, "undefined function %q", ex.Name)
+	}
+	if len(ex.Args) != len(fn.Params) {
+		return errf(ex.Line, "%s expects %d arguments, got %d",
+			ex.Name, len(fn.Params), len(ex.Args))
+	}
+	for _, a := range ex.Args {
+		if err := g.genExpr(a); err != nil {
+			return err
+		}
+		g.push()
+	}
+	for i := len(ex.Args) - 1; i >= 0; i-- {
+		g.pop(fmt.Sprintf("$a%d", i))
+	}
+	g.emit("\tjal fn_%s", ex.Name)
+	return nil
+}

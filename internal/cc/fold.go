@@ -1,0 +1,180 @@
+package cc
+
+// fold performs constant folding on an expression tree, evaluating
+// operators whose operands are literals at compile time. It returns the
+// (possibly replaced) expression. Folding matches the emulator's 32-bit
+// two's-complement semantics exactly, including shift masking and the
+// divide-by-zero convention, so folded and unfolded programs print the
+// same output.
+func fold(e Expr) Expr {
+	switch ex := e.(type) {
+	case *UnaryExpr:
+		ex.X = fold(ex.X)
+		if n, ok := ex.X.(*NumExpr); ok {
+			switch ex.Op {
+			case "-":
+				return &NumExpr{Val: -n.Val, Line: ex.Line}
+			case "~":
+				return &NumExpr{Val: ^n.Val, Line: ex.Line}
+			case "!":
+				v := int32(0)
+				if n.Val == 0 {
+					v = 1
+				}
+				return &NumExpr{Val: v, Line: ex.Line}
+			}
+		}
+		return ex
+	case *BinExpr:
+		ex.L = fold(ex.L)
+		ex.R = fold(ex.R)
+		l, lok := ex.L.(*NumExpr)
+		r, rok := ex.R.(*NumExpr)
+		if !lok || !rok {
+			// Partial short-circuit folding: a literal left side decides.
+			if lok && ex.Op == "&&" {
+				if l.Val == 0 {
+					return &NumExpr{Val: 0, Line: ex.Line}
+				}
+				return boolify(ex.R, ex.Line)
+			}
+			if lok && ex.Op == "||" {
+				if l.Val != 0 {
+					return &NumExpr{Val: 1, Line: ex.Line}
+				}
+				return boolify(ex.R, ex.Line)
+			}
+			return ex
+		}
+		if v, ok := evalConst(ex.Op, l.Val, r.Val); ok {
+			return &NumExpr{Val: v, Line: ex.Line}
+		}
+		return ex
+	case *CondExpr:
+		ex.Cond = fold(ex.Cond)
+		ex.Then = fold(ex.Then)
+		ex.Else = fold(ex.Else)
+		if n, ok := ex.Cond.(*NumExpr); ok {
+			if n.Val != 0 {
+				return ex.Then
+			}
+			return ex.Else
+		}
+		return ex
+	case *IndexExpr:
+		ex.Index = fold(ex.Index)
+		return ex
+	case *CallExpr:
+		for i := range ex.Args {
+			ex.Args[i] = fold(ex.Args[i])
+		}
+		return ex
+	default:
+		return e
+	}
+}
+
+// boolify normalizes an expression to 0/1 (the value of a logical
+// operator) without evaluating it twice.
+func boolify(e Expr, line int) Expr {
+	return &BinExpr{Op: "!=", L: e, R: &NumExpr{Val: 0, Line: line}, Line: line}
+}
+
+// evalConst evaluates op over two int32 constants with the machine's
+// semantics. The divide-by-zero case is left to runtime (ok=false) so the
+// emulator's convention applies uniformly.
+func evalConst(op string, a, b int32) (int32, bool) {
+	switch op {
+	case "+":
+		return a + b, true
+	case "-":
+		return a - b, true
+	case "*":
+		return a * b, true
+	case "/":
+		if b == 0 || (a == -1<<31 && b == -1) {
+			return 0, false
+		}
+		return a / b, true
+	case "%":
+		if b == 0 || (a == -1<<31 && b == -1) {
+			return 0, false
+		}
+		return a % b, true
+	case "&":
+		return a & b, true
+	case "|":
+		return a | b, true
+	case "^":
+		return a ^ b, true
+	case "<<":
+		return a << (uint32(b) & 31), true
+	case ">>":
+		return a >> (uint32(b) & 31), true
+	case "<":
+		return b2i(a < b), true
+	case "<=":
+		return b2i(a <= b), true
+	case ">":
+		return b2i(a > b), true
+	case ">=":
+		return b2i(a >= b), true
+	case "==":
+		return b2i(a == b), true
+	case "!=":
+		return b2i(a != b), true
+	case "&&":
+		return b2i(a != 0 && b != 0), true
+	case "||":
+		return b2i(a != 0 || b != 0), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// foldStmts folds every expression in a statement list in place.
+func foldStmts(ss []Stmt) {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case *DeclStmt:
+			if st.Init != nil {
+				st.Init = fold(st.Init)
+			}
+		case *AssignStmt:
+			st.Value = fold(st.Value)
+			if st.Target.Index != nil {
+				st.Target.Index = fold(st.Target.Index)
+			}
+		case *IfStmt:
+			st.Cond = fold(st.Cond)
+			foldStmts(st.Then)
+			foldStmts(st.Else)
+		case *WhileStmt:
+			st.Cond = fold(st.Cond)
+			foldStmts(st.Body)
+		case *ForStmt:
+			if st.Init != nil {
+				foldStmts([]Stmt{st.Init})
+			}
+			if st.Cond != nil {
+				st.Cond = fold(st.Cond)
+			}
+			if st.Post != nil {
+				foldStmts([]Stmt{st.Post})
+			}
+			foldStmts(st.Body)
+		case *ReturnStmt:
+			if st.Value != nil {
+				st.Value = fold(st.Value)
+			}
+		case *ExprStmt:
+			st.X = fold(st.X)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantFoldingShrinksCode(t *testing.T) {
+	folded, err := Compile(`int main() { print(2 * 3 + 4 << 1); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole expression folds to one literal load: no runtime mult.
+	if strings.Contains(folded, "mult") {
+		t.Fatalf("fold failed:\n%s", folded)
+	}
+	if !strings.Contains(folded, "li $v0, 20") {
+		t.Fatalf("folded constant missing:\n%s", folded)
+	}
+}
+
+func TestFoldingPreservesSemantics(t *testing.T) {
+	// Mixed constant and variable subexpressions.
+	out := compileRun(t, `
+int main() {
+	int x = 7;
+	print(2 + 3 * 4 - x);      // 7
+	print((10 / 3) % 2);       // 1
+	print(1 << 31 >> 31);      // -1 (sign extension)
+	print(5 && 0 || 1);        // 1
+	print(0 && x);             // 0, x not folded away incorrectly
+	print(1 || x);             // 1
+	print(0 || x);             // boolified: 1
+	print(1 && x);             // 1
+	print(!3 == 0);            // 1
+	return 0;
+}`)
+	want := "7\n1\n-1\n1\n0\n1\n1\n1\n1\n"
+	if out != want {
+		t.Fatalf("output %q want %q", out, want)
+	}
+}
+
+func TestFoldDivByZeroDeferred(t *testing.T) {
+	// 1/0 must not be folded (runtime semantics apply) and must not
+	// crash the compiler.
+	if _, err := Compile(`int main() { return 1 / 0; }`); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+// Property: evalConst agrees with Go's int32 semantics for total ops.
+func TestEvalConstMatchesGo(t *testing.T) {
+	f := func(a, b int32) bool {
+		cases := map[string]int32{
+			"+": a + b, "-": a - b, "*": a * b,
+			"&": a & b, "|": a | b, "^": a ^ b,
+			"<<": a << (uint32(b) & 31), ">>": a >> (uint32(b) & 31),
+			"<": b2i(a < b), "==": b2i(a == b), "!=": b2i(a != b),
+		}
+		for op, want := range cases {
+			got, ok := evalConst(op, a, b)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package cc implements MiniC, a small C-subset compiler targeting the
+// simulator's assembly language. The paper's benchmarks are compiled C
+// programs; MiniC completes that toolchain story — workloads can be
+// written in a high-level language, compiled with this package, assembled
+// by internal/asm and executed or timed like any hand-written kernel.
+//
+// The language: 32-bit signed int is the only scalar type; global
+// variables and one-dimensional global arrays; functions with up to four
+// int parameters and int return values (recursion supported); if/else,
+// while, for, return, break, continue; the full C expression set over
+// ints (arithmetic, comparison, bitwise, shifts, logical with
+// short-circuit, unary minus/not/complement); and two builtins, print(x)
+// (decimal + newline) and putc(x).
+package cc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // operators and punctuation
+	tokKeyword // int, if, else, while, for, return, break, continue, void
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for numbers
+	line int
+}
+
+// Error reports a compile failure with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cc: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+}
+
+// multi-character operators, longest first.
+var punctuators = []string{
+	"<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+// lex tokenizes MiniC source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, errf(line, "unterminated comment")
+			}
+			line += strings.Count(src[i:i+2+end+2], "\n")
+			i += 2 + end + 2
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (isAlnum(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, errf(line, "bad number %q", text)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line})
+			i = j
+		case c == '\'':
+			j := i + 1
+			esc := false
+			for j < len(src) && (src[j] != '\'' || esc) {
+				esc = !esc && src[j] == '\\'
+				j++
+			}
+			if j >= len(src) {
+				return nil, errf(line, "unterminated char literal")
+			}
+			body, err := strconv.Unquote(src[i : j+1])
+			if err != nil || len(body) != 1 {
+				return nil, errf(line, "bad char literal %s", src[i:j+1])
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i : j+1],
+				val: int64(body[0]), line: line})
+			i = j + 1
+		case isAlpha(c):
+			j := i
+			for j < len(src) && isAlnum(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			k := tokIdent
+			if keywords[text] {
+				k = tokKeyword
+			}
+			toks = append(toks, token{kind: k, text: text, line: line})
+			i = j
+		default:
+			matched := false
+			for _, p := range punctuators {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isAlnum(c byte) bool { return isAlpha(c) || c >= '0' && c <= '9' }

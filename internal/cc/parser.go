@@ -1,0 +1,567 @@
+package cc
+
+import "fmt"
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse builds the AST of a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tokEOF, "") {
+		if err := p.topLevel(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) line() int   { return p.cur().line }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", k)
+	}
+	return t, errf(t.line, "expected %q, found %q", want, t.text)
+}
+
+// topLevel parses one global declaration or function definition.
+func (p *parser) topLevel(prog *Program) error {
+	line := p.line()
+	if !p.accept(tokKeyword, "int") && !p.accept(tokKeyword, "void") {
+		return errf(line, "expected declaration, found %q", p.cur().text)
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.at(tokPunct, "("):
+		fn, err := p.funcRest(name.text, line)
+		if err != nil {
+			return err
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	case p.at(tokPunct, "["):
+		p.next()
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return err
+		}
+		if n.val <= 0 || n.val > 1<<20 {
+			return errf(line, "array %s has invalid length %d", name.text, n.val)
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return err
+		}
+		g := &Global{Name: name.text, Len: int(n.val), Line: line}
+		if p.accept(tokPunct, "=") {
+			if _, err := p.expect(tokPunct, "{"); err != nil {
+				return err
+			}
+			for !p.accept(tokPunct, "}") {
+				v, err := p.constInt()
+				if err != nil {
+					return err
+				}
+				g.Elems = append(g.Elems, v)
+				if !p.accept(tokPunct, ",") {
+					if _, err := p.expect(tokPunct, "}"); err != nil {
+						return err
+					}
+					break
+				}
+			}
+			if len(g.Elems) > g.Len {
+				return errf(line, "array %s has %d initializers for %d elements",
+					name.text, len(g.Elems), g.Len)
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, g)
+	default:
+		g := &Global{Name: name.text, Line: line}
+		if p.accept(tokPunct, "=") {
+			v, err := p.constInt()
+			if err != nil {
+				return errf(line, "global initializers must be constants")
+			}
+			g.Init = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return nil
+}
+
+func (p *parser) funcRest(name string, line int) (*Func, error) {
+	p.next() // consume "("
+	fn := &Func{Name: name, Line: line}
+	if !p.accept(tokPunct, ")") {
+		p.accept(tokKeyword, "void")
+		if !p.at(tokPunct, ")") {
+			for {
+				if !p.accept(tokKeyword, "int") {
+					return nil, errf(p.line(), "parameter must be int")
+				}
+				id, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, id.text)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if len(fn.Params) > 4 {
+		return nil, errf(line, "function %s has %d parameters (max 4)",
+			name, len(fn.Params))
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, errf(p.line(), "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// blockOrStmt parses either a braced block or a single statement.
+func (p *parser) blockOrStmt() ([]Stmt, error) {
+	if p.at(tokPunct, "{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []Stmt{s}, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	line := p.line()
+	switch {
+	case p.accept(tokKeyword, "int"):
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: id.text, Line: line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		if p.accept(tokKeyword, "else") {
+			els, err := p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+
+	case p.accept(tokKeyword, "for"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Line: line}
+		if !p.at(tokPunct, ";") {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ")") {
+			post, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case p.accept(tokKeyword, "return"):
+		st := &ReturnStmt{Line: line}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+
+	case p.accept(tokKeyword, "break"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+
+	case p.accept(tokKeyword, "continue"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// simpleStmt parses a declaration-free statement usable in for-headers:
+// assignment (including op= and ++/--) or expression statement.
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.line()
+	if p.accept(tokKeyword, "int") {
+		id, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Name: id.text, Line: line}
+		if p.accept(tokPunct, "=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return d, nil
+	}
+
+	// Peek for an lvalue followed by an assignment operator.
+	save := p.pos
+	if p.at(tokIdent, "") {
+		id := p.next()
+		var idx Expr
+		if p.accept(tokPunct, "[") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			idx = e
+		}
+		lv := &LValue{Name: id.text, Index: idx, Line: line}
+		t := p.cur()
+		switch t.text {
+		case "=":
+			p.next()
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: lv, Value: val, Line: line}, nil
+		case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.next()
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: lv, Line: line,
+				Value: &BinExpr{Op: t.text[:len(t.text)-1],
+					L: lvalueExpr(lv), R: val, Line: line}}, nil
+		case "++", "--":
+			p.next()
+			op := "+"
+			if t.text == "--" {
+				op = "-"
+			}
+			return &AssignStmt{Target: lv, Line: line,
+				Value: &BinExpr{Op: op, L: lvalueExpr(lv),
+					R: &NumExpr{Val: 1, Line: line}, Line: line}}, nil
+		}
+		p.pos = save // not an assignment: re-parse as expression
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: e, Line: line}, nil
+}
+
+// lvalueExpr converts an lvalue back into the matching read expression.
+func lvalueExpr(lv *LValue) Expr {
+	if lv.Index != nil {
+		return &IndexExpr{Name: lv.Name, Index: lv.Index, Line: lv.Line}
+	}
+	return &VarExpr{Name: lv.Name, Line: lv.Line}
+}
+
+// constInt parses a (possibly negated) integer literal.
+func (p *parser) constInt() (int32, error) {
+	neg := p.accept(tokPunct, "-")
+	n, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v := int32(n.val)
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// Operator precedence, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (Expr, error) {
+	cond, err := p.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, "?") {
+		return cond, nil
+	}
+	line := p.line()
+	p.next()
+	then, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ":"); err != nil {
+		return nil, err
+	}
+	els, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+func (p *parser) binary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unary()
+	}
+	lhs, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.at(tokPunct, op) {
+				line := p.line()
+				p.next()
+				rhs, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &BinExpr{Op: op, L: lhs, R: rhs, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	line := p.line()
+	for _, op := range []string{"-", "!", "~"} {
+		if p.accept(tokPunct, op) {
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: op, X: x, Line: line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &NumExpr{Val: int32(t.val), Line: t.line}, nil
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.next()
+		switch {
+		case p.accept(tokPunct, "("):
+			call := &CallExpr{Name: t.text, Line: t.line}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			if len(call.Args) > 4 {
+				return nil, errf(t.line, "call to %s has %d arguments (max 4)",
+					t.text, len(call.Args))
+			}
+			return call, nil
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.text, Index: idx, Line: t.line}, nil
+		default:
+			return &VarExpr{Name: t.text, Line: t.line}, nil
+		}
+	}
+	return nil, errf(t.line, "unexpected token %q in expression", t.text)
+}

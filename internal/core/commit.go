@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+import ()
+
+// ---------------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------------
+
+func (s *Sim) commit() int {
+	n := 0
+	for n < s.cfg.CommitWidth && len(s.window) > 0 {
+		e := s.window[0]
+		if !s.entryDone(e) {
+			break
+		}
+		e.committed = true
+		s.window = s.window[1:]
+		s.trace("commit   #%d", e.seq)
+		if e.lsqInserted {
+			if e.isStore {
+				// Stores update the cache at commit (write-back,
+				// write-allocate); the latency is absorbed by the store
+				// buffer.
+				s.hier.WriteData(e.d.EffAddr)
+				s.res.Stores++
+			}
+			s.lsq.Remove(e.seq)
+		}
+		for r := range s.regProd {
+			if s.regProd[r] == e {
+				s.regProd[r] = nil
+			}
+		}
+		s.res.Insts++
+		n++
+	}
+	return n
+}
+
+// iqOccupancy returns the number of window entries still holding an
+// issue-queue slot (any slice-op not yet issued). Slots are freed at
+// issue, so the per-slice queues hold at most this many entries.
+func (s *Sim) iqOccupancy() int {
+	n := 0
+	for _, e := range s.window {
+		if !e.execDone {
+			n++
+		}
+	}
+	return n
+}
+
+// entryDone reports whether e has completed every pipeline obligation.
+func (s *Sim) entryDone(e *entry) bool {
+	if !e.dispatched || e.wp {
+		return false
+	}
+	for i := 0; i < e.nSlices; i++ {
+		st := &e.slices[i]
+		if !st.started {
+			return false
+		}
+		end := st.startC + 1
+		if e.nSlices == 1 {
+			end = st.startC + int64(e.fullLat)
+		}
+		if end > s.now {
+			return false
+		}
+	}
+	if e.isLoad && e.memActualDone > s.now {
+		return false
+	}
+	if e.isStore {
+		if q := s.lsq.Find(e.seq); q == nil || !q.DataReady || !q.AddrKnown() {
+			return false
+		}
+	}
+	if e.isCtrl && (!e.resolved || e.resolveC > s.now) {
+		return false
+	}
+	return true
+}
+
+// Summary renders the result as the multi-line human-readable report the
+// pok-sim tool prints.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config            %s\n", r.Config)
+	if r.Benchmark != "" {
+		fmt.Fprintf(&b, "benchmark         %s\n", r.Benchmark)
+	}
+	fmt.Fprintf(&b, "instructions      %d\n", r.Insts)
+	fmt.Fprintf(&b, "cycles            %d\n", r.Cycles)
+	fmt.Fprintf(&b, "IPC               %.4f\n", r.IPC)
+	fmt.Fprintf(&b, "loads / stores    %d / %d\n", r.Loads, r.Stores)
+	fmt.Fprintf(&b, "cond branches     %d (accuracy %.2f%%, %d mispredicted)\n",
+		r.Branches, 100*r.BranchAccuracy, r.Mispredicts)
+	fmt.Fprintf(&b, "L1D / L1I miss    %.2f%% / %.2f%%\n",
+		100*r.L1DMissRate, 100*r.L1IMissRate)
+	if r.DTLBMissRate > 0 {
+		fmt.Fprintf(&b, "DTLB miss         %.2f%%\n", 100*r.DTLBMissRate)
+	}
+	fmt.Fprintf(&b, "store forwards    %d\n", r.StoreForwards)
+	fmt.Fprintf(&b, "replays           %d\n", r.Replays)
+	fmt.Fprintf(&b, "stall cycles      mispredict=%d icache=%d window=%d lsq=%d iq=%d\n",
+		r.StallMispredict, r.StallICache, r.StallWindowFull, r.StallLSQFull,
+		r.StallIQFull)
+	if r.PartialTagAccess > 0 {
+		fmt.Fprintf(&b, "partial-tag use   %d accesses, %d way mispredicts, %d early miss signals\n",
+			r.PartialTagAccess, r.WayMispredicts, r.EarlyMissSignals)
+	}
+	if r.EarlyResolved > 0 {
+		fmt.Fprintf(&b, "early branch res  %d of %d mispredicts\n",
+			r.EarlyResolved, r.Mispredicts)
+	}
+	if r.LoadsEarlyRelease > 0 {
+		fmt.Fprintf(&b, "early l/s release %d loads\n", r.LoadsEarlyRelease)
+	}
+	if r.WrongPathInsts > 0 {
+		fmt.Fprintf(&b, "wrong-path insts  %d\n", r.WrongPathInsts)
+	}
+	return b.String()
+}

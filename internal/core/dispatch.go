@@ -1,0 +1,76 @@
+package core
+
+import (
+	"pok/internal/isa"
+	"pok/internal/lsq"
+)
+
+// ---------------------------------------------------------------------------
+// Dispatch / rename
+// ---------------------------------------------------------------------------
+
+func (s *Sim) dispatch() {
+	for n := 0; n < s.cfg.FetchWidth && len(s.fetchBuf) > 0; n++ {
+		e := s.fetchBuf[0]
+		if s.now < e.fetchC+int64(s.cfg.FrontEndDepth) {
+			return // still in the front-end pipe
+		}
+		if len(s.window) >= s.cfg.WindowSize {
+			if n == 0 {
+				s.res.StallWindowFull++
+			}
+			return
+		}
+		if s.cfg.IssueQueueSize > 0 && s.iqOccupancy() >= s.cfg.IssueQueueSize {
+			if n == 0 {
+				s.res.StallIQFull++
+			}
+			return // per-slice issue queues full (Figure 7)
+		}
+		if e.d.Inst.Op.Class() == isa.ClassSyscall && len(s.window) > 0 && !e.wp {
+			return // serialize syscalls (wrong-path ones never commit anyway)
+		}
+		if (e.isLoad || e.isStore) && s.lsq.Full() {
+			if n == 0 {
+				s.res.StallLSQFull++
+			}
+			return
+		}
+		s.fetchBuf = s.fetchBuf[1:]
+		e.dispatched = true
+		e.dispC = s.now
+		s.trace("dispatch #%d", e.seq)
+
+		// Rename: bind source registers to their in-flight producers.
+		for i := 0; i < e.d.NSrc; i++ {
+			if p := s.regProd[e.d.Src[i]]; p != nil && !p.committed {
+				e.srcProd[i] = p
+			}
+		}
+		if d := e.d.Dst; d != isa.RegZero {
+			e.prevDstProd = s.regProd[d]
+			s.regProd[d] = e
+		}
+		if d2 := e.d.Dst2; d2 != isa.RegZero {
+			e.prevDst2Prod = s.regProd[d2]
+			s.regProd[d2] = e
+		}
+
+		if e.isLoad || e.isStore {
+			_ = s.lsq.Insert(&lsq.Entry{
+				Seq:     e.seq,
+				IsStore: e.isStore,
+				Addr:    e.d.EffAddr,
+				Size:    e.d.Inst.Op.MemSize(),
+			})
+			e.lsqInserted = true
+		}
+
+		// Direct jumps resolve at dispatch; they can never mispredict.
+		if e.d.Inst.Op == isa.OpJ || e.d.Inst.Op == isa.OpJAL {
+			e.resolved = true
+			e.resolveC = s.now
+		}
+		s.window = append(s.window, e)
+	}
+}

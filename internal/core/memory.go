@@ -1,0 +1,227 @@
+package core
+
+import (
+	"pok/internal/cache"
+	"pok/internal/lsq"
+)
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+func (s *Sim) memoryStage() {
+	for _, e := range s.window {
+		if e.committed {
+			continue
+		}
+		if e.isStore && e.lsqInserted {
+			// Store data becomes forwardable when the data operand's full
+			// value is available.
+			if q := s.lsq.Find(e.seq); q != nil && !q.DataReady {
+				ready := true
+				if e.dataSrc >= 0 {
+					for k := 0; k < s.cfg.Slices; k++ {
+						if s.srcAvail(e, e.dataSrc, k, false) > s.now {
+							ready = false
+							break
+						}
+					}
+				}
+				if ready {
+					q.DataReady = true
+				}
+			}
+		}
+		if e.isLoad && !e.memIssued && e.lsqInserted {
+			s.tryIssueLoad(e)
+		}
+		if e.isLoad && e.memIssued && e.memPendFull != pendNone {
+			// A partial-tag access whose outcome needs the full address:
+			// finalize once address generation completes.
+			if _, fullC := s.agenTimes(e); fullC < inf {
+				switch e.memPendFull {
+				case pendWayMispred:
+					e.memActualDone = fullC + 1 + int64(s.cfg.L1DLat)
+				case pendMiss:
+					e.memActualDone = fullC + e.memPendLat
+				}
+				e.memPendFull = pendNone
+			}
+		}
+	}
+}
+
+// tryIssueLoad attempts to send a load to the memory system this cycle.
+func (s *Sim) tryIssueLoad(e *entry) {
+	if s.portsUsed >= s.cfg.CachePorts {
+		return
+	}
+	q := s.lsq.Find(e.seq)
+	if q == nil {
+		return
+	}
+	// How much of the address do we have, and when did we get it?
+	partialC, fullC := s.agenTimes(e)
+	if s.cfg.PartialTag {
+		if partialC > s.now {
+			return // not even the low 16 bits yet
+		}
+	} else if fullC > s.now {
+		return
+	}
+
+	status, fwdSeq := s.lsq.Disambiguate(e.seq, s.cfg.EarlyLSDisambig)
+	if status == lsq.LoadWait {
+		return
+	}
+	// "Early release": the load issued while its own or some prior store's
+	// address was still incomplete — impossible without partial operands.
+	early := q.KnownBits < 32
+	for _, st := range s.lsq.PriorStores(e.seq) {
+		if !st.AddrKnown() {
+			early = true
+			break
+		}
+	}
+	if early && !e.wp {
+		e.earlyRelease = true
+		s.res.LoadsEarlyRelease++
+	}
+	if status == lsq.LoadForward {
+		_ = fwdSeq
+		e.memIssued = true
+		e.forwarded = true
+		e.memPredDone = s.now + 1
+		e.memActualDone = s.now + 1
+		if !e.wp {
+			s.res.StoreForwards++
+			s.res.Loads++
+		}
+		s.portsUsed++
+		return
+	}
+
+	s.portsUsed++
+	e.memIssued = true
+	if !e.wp {
+		s.res.Loads++
+	}
+	addr := e.d.EffAddr
+	// Data TLB: a miss adds the walk latency to the load's completion
+	// (the translation joins the full-tag verification).
+	tlbLat := int64(0)
+	if s.dtlb != nil {
+		walk, _ := s.dtlb.Access(addr)
+		tlbLat = int64(walk)
+	}
+	l1 := s.hier.L1D
+	hit := l1.Lookup(addr)
+	e.l1Hit = hit
+
+	if s.cfg.PartialTag && fullC > s.now {
+		// Partial-tag access: we have the index and a few tag bits only.
+		if !e.wp {
+			s.res.PartialTagAccess++
+		}
+		tagBits := l1.KnownTagBits(16)
+		kind := l1.ClassifyPartial(addr, tagBits)
+		_, _, correct := l1.PredictWay(addr, tagBits)
+		lat, _ := s.hier.AccessData(addr)
+		switch {
+		case kind == cache.ZeroMatch:
+			// Miss known early and non-speculatively: the L2 access
+			// overlaps the remaining address generation.
+			e.earlyMissSignal = true
+			if !e.wp {
+				s.res.EarlyMissSignals++
+			}
+			e.memActualDone = s.now + int64(lat)
+		case hit && correct:
+			// Way prediction verified: data returned before the full
+			// address was even generated.
+			e.memActualDone = s.now + int64(lat)
+		case hit && !correct:
+			// Way mispredict: replay the access once the full address
+			// arrives (the selective-recovery extension of §7).
+			e.wayMispred = true
+			if !e.wp {
+				s.res.WayMispredicts++
+			}
+			if fullC < inf {
+				e.memActualDone = fullC + 1 + int64(s.cfg.L1DLat)
+			} else {
+				e.memPendFull = pendWayMispred
+				e.memActualDone = inf
+			}
+		default:
+			// Partial match existed but the access misses: the miss is
+			// confirmed at full-address time; the refill already started.
+			if fullC < inf {
+				e.memActualDone = fullC + int64(lat)
+			} else {
+				e.memPendFull = pendMiss
+				e.memPendLat = int64(lat)
+				e.memActualDone = inf
+			}
+		}
+		e.memPredDone = s.now + int64(s.cfg.L1DLat)
+		e.memActualDone += tlbLat
+		s.trace("mem      #%d partial-tag addr=0x%x kind=%v done=%d", e.seq, addr, kind, e.memActualDone)
+		return
+	}
+
+	// Conventional access with the full address.
+	lat, _ := s.hier.AccessData(addr)
+	e.memActualDone = s.now + int64(lat) + tlbLat
+	e.memPredDone = s.now + int64(s.cfg.L1DLat)
+	s.trace("mem      #%d conventional addr=0x%x done=%d", e.seq, addr, e.memActualDone)
+}
+
+// agenTimes returns the cycles at which (a) the low 16 address bits and
+// (b) the complete address become available, or inf if not yet computed.
+func (s *Sim) agenTimes(e *entry) (partial, full int64) {
+	if e.nSlices == 1 {
+		st := &e.slices[0]
+		if !st.started {
+			return inf, inf
+		}
+		t := st.startC + int64(e.fullLat)
+		return t, t
+	}
+	p := &e.slices[s.cfg.AddrSliceFor16Bits()]
+	partial = inf
+	if p.started {
+		partial = p.avail()
+	}
+	full = inf
+	if allSlicesStarted(e) {
+		full = lastSliceAvail(e)
+	}
+	if s.cfg.SumAddressed {
+		// The cache decoder computes base+offset itself: the speculative
+		// index is ready when the base register's low slices are, without
+		// waiting for the agen slice-op to execute.
+		if t := s.sumAddrReady(e); t < partial {
+			partial = t
+		}
+	}
+	return partial, full
+}
+
+// sumAddrReady returns when a sum-addressed decoder could start the
+// speculative access: all base-operand slices covering the low 16 bits.
+func (s *Sim) sumAddrReady(e *entry) int64 {
+	t := e.dispC + int64(s.cfg.RFStages) + 1
+	k := s.cfg.AddrSliceFor16Bits()
+	for i := 0; i < e.d.NSrc; i++ {
+		if i == e.dataSrc {
+			continue
+		}
+		for sl := 0; sl <= k; sl++ {
+			if a := s.srcAvail(e, i, sl, false); a > t {
+				t = a
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"pok/internal/bitslice"
+	"pok/internal/emu"
+	"pok/internal/isa"
+)
+
+// ---------------------------------------------------------------------------
+// Operand availability
+// ---------------------------------------------------------------------------
+
+// srcAvail returns when slice `sl` of source operand i of e becomes
+// available. announce selects the speculative (load-hit assumed) view used
+// for wakeup; the non-announce view is ground truth used at execute.
+func (s *Sim) srcAvail(e *entry, i, sl int, announce bool) int64 {
+	p := e.srcProd[i]
+	if p == nil {
+		return 0 // architecturally ready before dispatch
+	}
+	if p.isLoad {
+		if announce {
+			return p.memPredDone
+		}
+		return p.memActualDone
+	}
+	if p.nSlices == 1 {
+		st := &p.slices[0]
+		if !st.started {
+			return inf
+		}
+		done := st.startC + int64(p.fullLat)
+		if s.cfg.SerialMul && p.d.Inst.Op.SliceProfile() == isa.SliceSerialMul {
+			// Bit-serial product: slice sl emerges (nSlices-1-sl) cycles
+			// before the final slice, never earlier than one cycle in.
+			early := done - int64(s.cfg.Slices-1-min(sl, s.cfg.Slices-1))
+			if early < st.startC+1 {
+				early = st.startC + 1
+			}
+			return early
+		}
+		return done
+	}
+	if !s.cfg.PartialBypass {
+		// Atomic operands: wait for the producer's last slice.
+		last := &p.slices[p.nSlices-1]
+		if !last.started {
+			return inf
+		}
+		return last.startC + 1
+	}
+	if sl >= p.nSlices {
+		sl = p.nSlices - 1
+	}
+	if sl > 0 && p.narrow {
+		// Narrow result: the upper slices are a known extension of the
+		// low slice and become available with it.
+		return p.slices[0].avail()
+	}
+	return p.slices[sl].avail()
+}
+
+// depsAvail computes when slice sl of e can begin executing, considering
+// the slice-dependence profile, the carry chain, and in-order slice
+// issue when out-of-order slices are disabled.
+func (s *Sim) depsAvail(e *entry, sl int, announce bool) int64 {
+	t := e.dispC + int64(s.cfg.RFStages) + 1 // earliest possible execute
+	if st := &e.slices[sl]; st.retryC > t {
+		t = st.retryC
+	}
+	op := e.d.Inst.Op
+	if e.nSlices == 1 {
+		// Full-width: all slices of all sources.
+		for i := 0; i < e.d.NSrc; i++ {
+			for k := 0; k < s.cfg.Slices; k++ {
+				if a := s.srcAvail(e, i, k, announce); a > t {
+					t = a
+				}
+			}
+		}
+		return t
+	}
+	inSlices, carry := op.InputSlicesFor(sl, e.nSlices)
+	for i := 0; i < e.d.NSrc; i++ {
+		// A store's data operand is not consumed by the address-generation
+		// slices; it is handled by the LSQ.
+		if i == e.dataSrc {
+			continue
+		}
+		// Variable shifts additionally need slice 0 of the amount operand.
+		if i == e.amountSrc {
+			if a := s.srcAvail(e, i, 0, announce); a > t {
+				t = a
+			}
+			continue
+		}
+		for _, k := range inSlices {
+			if a := s.srcAvail(e, i, k, announce); a > t {
+				t = a
+			}
+		}
+	}
+	if carry || !s.cfg.OoOSlices {
+		if sl > 0 {
+			prev := &e.slices[sl-1]
+			if !prev.started {
+				return inf
+			}
+			if a := prev.startC + 1; a > t {
+				t = a
+			}
+		}
+	}
+	return t
+}
+
+// needsAmount reports whether the op's first source is a shift amount
+// (variable shifts encode the amount in rs, which maps to source 0).
+func needsAmount(op isa.Op) bool {
+	return op == isa.OpSLLV || op == isa.OpSRLV || op == isa.OpSRAV
+}
+
+// actualReady verifies (non-speculatively) that slice sl could have
+// executed at time t — used to detect load-hit misspeculation.
+func (s *Sim) actualReady(e *entry, sl int, t int64) bool {
+	return s.depsAvail(e, sl, false) <= t
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling / execute
+// ---------------------------------------------------------------------------
+
+func (s *Sim) schedule() {
+	for _, e := range s.window {
+		if e.committed || e.execDone {
+			continue
+		}
+		if e.nSlices == 1 {
+			s.scheduleFull(e)
+			continue
+		}
+		all := true
+		for sl := 0; sl < e.nSlices; sl++ {
+			st := &e.slices[sl]
+			if st.started {
+				continue
+			}
+			if s.issueUsed[sl] >= s.cfg.IssueWidth || s.aluUsed[sl] >= s.cfg.IntALUs {
+				all = false
+				continue
+			}
+			if s.depsAvail(e, sl, true) > s.now {
+				all = false
+				continue
+			}
+			s.issueUsed[sl]++
+			s.aluUsed[sl]++
+			if !s.actualReady(e, sl, s.now) {
+				// Load-hit misspeculation: the slot is wasted and the
+				// slice-op replays once its operand truly arrives.
+				st.retryC = s.depsAvail(e, sl, false)
+				s.res.Replays++
+				all = false
+				continue
+			}
+			st.started = true
+			st.startC = s.now
+			s.trace("exec     #%d slice %d", e.seq, sl)
+			s.onSliceExecuted(e, sl)
+		}
+		if all {
+			e.execDone = true
+		}
+	}
+}
+
+func (s *Sim) scheduleFull(e *entry) {
+	st := &e.slices[0]
+	if st.started {
+		return
+	}
+	// Resource selection by class.
+	op := e.d.Inst.Op
+	switch op.Class() {
+	case isa.ClassIntMul:
+		if s.mulUsed >= s.cfg.IntMul {
+			return
+		}
+	case isa.ClassIntDiv:
+		if s.divFree > s.now {
+			return
+		}
+	case isa.ClassFP:
+		if s.fpUsed >= s.cfg.FPALUs {
+			return
+		}
+	case isa.ClassFPMulDiv:
+		if s.fpmdFree > s.now {
+			return
+		}
+	default:
+		if s.issueUsed[0] >= s.cfg.IssueWidth || s.aluUsed[0] >= s.cfg.IntALUs {
+			return
+		}
+	}
+	if s.depsAvail(e, 0, true) > s.now {
+		return
+	}
+	switch op.Class() {
+	case isa.ClassIntMul:
+		s.mulUsed++
+	case isa.ClassIntDiv:
+		s.divFree = s.now + int64(e.fullLat)
+	case isa.ClassFP:
+		s.fpUsed++
+	case isa.ClassFPMulDiv:
+		s.fpmdFree = s.now + int64(e.fullLat)
+	default:
+		s.issueUsed[0]++
+		s.aluUsed[0]++
+	}
+	if !s.actualReady(e, 0, s.now) {
+		st.retryC = s.depsAvail(e, 0, false)
+		s.res.Replays++
+		return
+	}
+	st.started = true
+	st.startC = s.now
+	e.execDone = true
+	s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
+	s.onSliceExecuted(e, 0)
+}
+
+// onSliceExecuted handles per-slice side effects: branch resolution and
+// LSQ address updates.
+func (s *Sim) onSliceExecuted(e *entry, sl int) {
+	availC := e.slices[sl].startC + 1
+	if e.nSlices == 1 {
+		availC = e.slices[sl].startC + int64(e.fullLat)
+	}
+
+	if e.isCtrl && !e.resolved {
+		s.maybeResolveBranch(e, sl, availC)
+	}
+
+	if (e.isLoad || e.isStore) && e.lsqInserted {
+		// Address-generation progress: after slice sl completes, bits
+		// [0, (sl+1)*W) of the effective address are known.
+		if q := s.lsq.Find(e.seq); q != nil {
+			known := (sl + 1) * s.cfg.SliceWidth()
+			if e.nSlices == 1 {
+				known = 32
+			}
+			if known > q.KnownBits {
+				q.KnownBits = known
+			}
+		}
+	}
+}
+
+// branchOperands returns the two compared values of a conditional branch.
+func branchOperands(d *emu.DynInst) (a, b uint32) {
+	switch d.NSrc {
+	case 2:
+		return d.SrcVal[0], d.SrcVal[1]
+	case 1:
+		return d.SrcVal[0], 0
+	default:
+		return 0, 0
+	}
+}
+
+// maybeResolveBranch updates resolution state after slice sl of a control
+// instruction has executed (its comparison result available at availC).
+func (s *Sim) maybeResolveBranch(e *entry, sl int, availC int64) {
+	op := e.d.Inst.Op
+	// Jumps and full-width control resolve when their single op executes.
+	if e.nSlices == 1 {
+		s.resolveBranchAt(e, availC, false)
+		return
+	}
+	a, b := branchOperands(&e.d)
+	if s.cfg.EarlyBranch && op.EqualityBranch() && e.mispred {
+		// A mispredicted equality branch asserted the wrong relation. If
+		// the operands differ in this very slice, the comparison just
+		// performed refutes the prediction immediately.
+		w := s.cfg.SliceWidth()
+		if !bitslice.MatchField(a, b, sl*w, w) {
+			s.resolveBranchAt(e, availC, true)
+			return
+		}
+	}
+	// Otherwise resolution requires the complete comparison.
+	if allSlicesStarted(e) {
+		s.resolveBranchAt(e, lastSliceAvail(e), false)
+	}
+}
+
+func allSlicesStarted(e *entry) bool {
+	for i := 0; i < e.nSlices; i++ {
+		if !e.slices[i].started {
+			return false
+		}
+	}
+	return true
+}
+
+func lastSliceAvail(e *entry) int64 {
+	var t int64
+	for i := 0; i < e.nSlices; i++ {
+		if a := e.slices[i].avail(); a > t {
+			t = a
+		}
+	}
+	return t
+}
+
+func (s *Sim) resolveBranchAt(e *entry, c int64, early bool) {
+	if e.resolved && e.resolveC <= c {
+		return
+	}
+	e.resolved = true
+	e.resolveC = c
+	s.trace("resolve  #%d at %d early=%v mispred=%v", e.seq, c, early, e.mispred)
+	if early {
+		e.earlyResolved = true
+		s.res.EarlyResolved++
+	}
+}

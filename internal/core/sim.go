@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pok/internal/bpred"
+	"pok/internal/cache"
+	"pok/internal/emu"
+	"pok/internal/isa"
+	"pok/internal/lsq"
+)
+
+const inf = int64(math.MaxInt64 / 4)
+
+// Deferred partial-tag completion kinds: a load issued with only its low
+// address bits cannot finalize a miss (or way-mispredict replay) time
+// until the rest of the address exists.
+const (
+	pendNone uint8 = iota
+	pendWayMispred
+	pendMiss
+)
+
+// sliceState tracks one slice-op of an in-flight instruction.
+type sliceState struct {
+	started bool
+	startC  int64 // cycle execution of this slice began
+	retryC  int64 // earliest re-execution after a replay
+}
+
+// avail returns when this slice's result is bypassable (1-cycle slice FU).
+func (s *sliceState) avail() int64 {
+	if !s.started {
+		return inf
+	}
+	return s.startC + 1
+}
+
+// entry is one in-flight instruction in the window (RUU).
+type entry struct {
+	d   emu.DynInst
+	seq uint64
+
+	fetchC     int64
+	dispC      int64
+	dispatched bool
+	committed  bool
+
+	nSlices  int
+	slices   [8]sliceState
+	execDone bool // all slice-ops started (scheduling fast path)
+
+	// fullOp state for full-width operations (nSlices == 1 and class not
+	// a simple ALU op): started/start tracked in slices[0], latency here.
+	fullLat int
+
+	srcProd [2]*entry
+
+	// Memory state.
+	isLoad, isStore bool
+	lsqInserted     bool
+	memIssued       bool
+	memPredDone     int64
+	memActualDone   int64
+	forwarded       bool
+	wayMispred      bool
+	memPendFull     uint8 // deferred completion kind (pendNone/WayMispred/Miss)
+	memPendLat      int64 // latency parameter for the deferred completion
+	earlyRelease    bool  // disambiguated with partial bits
+	l1Hit           bool
+	earlyMissSignal bool // partial tag ruled out all ways: miss known early
+
+	// Source-operand roles (index into srcProd/d.Src, -1 if absent).
+	dataSrc   int // stores: the data operand, not consumed by agen
+	amountSrc int // variable shifts: the shift-amount operand
+
+	// narrow marks results whose upper slices are a sign/zero extension
+	// of the low slice (the NarrowWidth optimization applies).
+	narrow bool
+
+	// Wrong-path state: wp entries never commit and are squashed when
+	// their shadowing branch resolves; prevDstProd/prevDst2Prod record the
+	// rename-map entries to restore at squash.
+	wp           bool
+	prevDstProd  *entry
+	prevDst2Prod *entry
+
+	// Control state.
+	isCtrl        bool
+	pred          bpred.Prediction
+	mispred       bool
+	resolved      bool
+	resolveC      int64
+	earlyResolved bool // mispredict exposed by a partial comparison
+}
+
+// Result aggregates the statistics of one timing run.
+type Result struct {
+	Benchmark string
+	Config    string
+
+	Cycles int64
+	Insts  uint64
+	IPC    float64
+
+	Loads, Stores     uint64
+	Branches          uint64 // conditional
+	Mispredicts       uint64
+	BranchAccuracy    float64
+	EqBranches        uint64
+	EarlyResolved     uint64 // mispredicts redirected before full compare
+	LoadsEarlyRelease uint64 // loads issued on partial disambiguation
+	StoreForwards     uint64
+	WayMispredicts    uint64 // partial-tag way mispredictions
+	PartialTagAccess  uint64 // loads that used a partial-tag access
+	EarlyMissSignals  uint64 // partial tag proved a miss early
+	Replays           uint64 // slice-ops squashed by load-hit misspeculation
+	WrongPathInsts    uint64 // wrong-path instructions fetched and squashed
+	DTLBMissRate      float64
+
+	// Stall attribution: cycles the front end spent blocked, by cause.
+	StallMispredict uint64 // waiting for a branch to resolve
+	StallICache     uint64 // instruction cache miss in progress
+	StallWindowFull uint64 // dispatch blocked on a full RUU
+	StallLSQFull    uint64 // dispatch blocked on a full load/store queue
+	StallIQFull     uint64 // dispatch blocked on full issue queues
+	L1DMissRate     float64
+	L1IMissRate     float64
+}
+
+// Sim is one timing simulation in progress.
+type Sim struct {
+	cfg  Config
+	em   *emu.Emulator
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
+	dtlb *cache.TLB
+	lsq  *lsq.Queue
+
+	now      int64
+	window   []*entry
+	fetchBuf []*entry
+
+	regProd [isa.NumRegs]*entry
+
+	fetchBlockedBy *entry
+	fetchStallTo   int64
+	lastFetchLine  uint32
+	haveLine       bool
+
+	pendingInst *emu.DynInst
+	traceDone   bool
+	fetchedCnt  uint64
+	maxInsts    uint64
+	seqCtr      uint64
+
+	// Wrong-path fetch state.
+	wpFork    *emu.Emulator
+	wpBranch  *entry
+	wpStopped bool
+
+	// Per-cycle resource accounting.
+	aluUsed   [8]int
+	issueUsed [8]int
+	mulUsed   int
+	fpUsed    int
+	divFree   int64
+	fpmdFree  int64
+	portsUsed int
+
+	res Result
+}
+
+// NewSim builds a simulation of prog under cfg, limited to maxInsts
+// committed instructions (0 = run to program exit).
+func NewSim(prog *emu.Program, cfg Config, maxInsts uint64) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred := bpred.NewDefault()
+	if cfg.UseBimodal {
+		pred.Dir = bpred.NewBimodal(16)
+	}
+	if cfg.UseLocal {
+		pred.Dir = bpred.NewLocal(12, 14)
+	}
+	var dtlb *cache.TLB
+	if cfg.UseDTLB {
+		dtlb = cache.DefaultDTLB()
+	}
+	return &Sim{
+		cfg:      cfg,
+		em:       emu.New(prog),
+		pred:     pred,
+		dtlb:     dtlb,
+		hier:     cfg.Hierarchy(),
+		lsq:      lsq.New(cfg.LSQSize),
+		maxInsts: maxInsts,
+		divFree:  -1,
+		fpmdFree: -1,
+		res:      Result{Config: cfg.Name},
+	}, nil
+}
+
+// FastForward functionally executes n instructions before timing begins,
+// skipping initialization phases the way the paper's 1B-instruction
+// fast-forward does. It must be called before Run.
+func (s *Sim) FastForward(n uint64) error {
+	if s.now != 0 || s.fetchedCnt != 0 {
+		return fmt.Errorf("core: FastForward after simulation started")
+	}
+	_, err := s.em.Run(n, nil)
+	return err
+}
+
+// Run executes the simulation to completion and returns the statistics.
+func Run(prog *emu.Program, cfg Config, maxInsts uint64) (*Result, error) {
+	return RunWarm(prog, cfg, 0, maxInsts)
+}
+
+// RunWarm fast-forwards warmup instructions functionally, then simulates
+// up to maxInsts committed instructions.
+func RunWarm(prog *emu.Program, cfg Config, warmup, maxInsts uint64) (*Result, error) {
+	s, err := NewSim(prog, cfg, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	if warmup > 0 {
+		if err := s.FastForward(warmup); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run()
+}
+
+// Run drives cycles until the instruction budget commits or the program
+// ends, then finalizes statistics.
+func (s *Sim) Run() (*Result, error) {
+	const safety = 40_000 // cycles with no commit => livelock guard
+	lastCommit := int64(0)
+	lastCount := uint64(0)
+	for {
+		committed, err := s.cycle()
+		if err != nil {
+			return nil, err
+		}
+		if committed > 0 {
+			lastCommit = s.now
+			lastCount += uint64(committed)
+		}
+		if s.drained() {
+			break
+		}
+		if s.now-lastCommit > safety {
+			return nil, fmt.Errorf("core: no commit for %d cycles at cycle %d (%d committed)",
+				safety, s.now, s.res.Insts)
+		}
+		s.now++
+	}
+	s.res.Cycles = s.now + 1
+	if s.res.Cycles > 0 {
+		s.res.IPC = float64(s.res.Insts) / float64(s.res.Cycles)
+	}
+	if s.res.Branches > 0 {
+		s.res.BranchAccuracy = 1 - float64(s.res.Mispredicts)/float64(s.res.Branches)
+	} else {
+		s.res.BranchAccuracy = 1
+	}
+	s.res.L1DMissRate = s.hier.L1D.MissRate()
+	s.res.L1IMissRate = s.hier.L1I.MissRate()
+	if s.dtlb != nil {
+		s.res.DTLBMissRate = s.dtlb.MissRate()
+	}
+	return &s.res, nil
+}
+
+// trace emits one pipeline-event line when tracing is enabled.
+func (s *Sim) trace(format string, args ...any) {
+	if s.cfg.Trace != nil {
+		fmt.Fprintf(s.cfg.Trace, "%8d  "+format+"\n",
+			append([]any{s.now}, args...)...)
+	}
+}
+
+func (s *Sim) drained() bool {
+	return s.traceDone && len(s.window) == 0 && len(s.fetchBuf) == 0
+}
+
+// cycle advances the machine one clock and returns how many instructions
+// committed.
+func (s *Sim) cycle() (int, error) {
+	s.aluUsed = [8]int{}
+	s.issueUsed = [8]int{}
+	s.mulUsed, s.fpUsed, s.portsUsed = 0, 0, 0
+
+	n := s.commit()
+	s.memoryStage()
+	s.schedule()
+	s.dispatch()
+	if err := s.fetch(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import "testing"
+
+// mispredictHeavy is an LCG-driven unpredictable branch kernel with work
+// on both paths and a store on the (often wrong) taken path.
+const mispredictHeavy = `
+.data
+buf: .space 256
+.text
+main:
+	li $s0, 2000
+	li $s7, 424243
+	la $s1, buf
+loop:
+	li $t8, 1103515245
+	mult $s7, $t8
+	mflo $s7
+	addiu $s7, $s7, 12345
+	srl $t0, $s7, 13
+	andi $t0, $t0, 1
+	beq $t0, $zero, skip
+	andi $t1, $s7, 252
+	addu $t2, $s1, $t1
+	sw $s0, 0($t2)
+	lw $t3, 0($t2)
+	addu $s2, $s2, $t3
+skip:
+	addiu $s0, $s0, -1
+	bne $s0, $zero, loop
+	li $v0, 10
+	syscall
+`
+
+// TestWrongPathRunsAndSquashes: enabling wrong-path simulation fetches
+// and squashes speculative instructions without changing the committed
+// instruction stream.
+func TestWrongPathRunsAndSquashes(t *testing.T) {
+	off := BaseConfig()
+	on := BaseConfig()
+	on.WrongPath = true
+	on.Name = "base+wp"
+
+	roff := run(t, mustProg(t, mispredictHeavy), off)
+	ron := run(t, mustProg(t, mispredictHeavy), on)
+
+	if ron.Insts != roff.Insts {
+		t.Fatalf("committed counts diverge: %d vs %d", ron.Insts, roff.Insts)
+	}
+	if ron.WrongPathInsts == 0 {
+		t.Fatal("no wrong-path instructions simulated")
+	}
+	if roff.WrongPathInsts != 0 {
+		t.Fatal("wrong-path counter active while disabled")
+	}
+	if ron.Mispredicts == 0 || ron.Mispredicts != roff.Mispredicts {
+		t.Fatalf("mispredict counts diverge: %d vs %d", ron.Mispredicts, roff.Mispredicts)
+	}
+	// Wrong-path loads pollute the D-cache: same committed loads, more
+	// cache accesses => (weakly) different miss behaviour is allowed, but
+	// correct-path load counts must match exactly.
+	if ron.Loads != roff.Loads {
+		t.Fatalf("correct-path load counts diverge: %d vs %d", ron.Loads, roff.Loads)
+	}
+}
+
+// TestWrongPathDeterministic: back-to-back wrong-path runs are identical.
+func TestWrongPathDeterministic(t *testing.T) {
+	cfg := BitSliced(2)
+	cfg.WrongPath = true
+	r1 := run(t, mustProg(t, mispredictHeavy), cfg)
+	r2 := run(t, mustProg(t, mispredictHeavy), cfg)
+	if *r1 != *r2 {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// TestWrongPathWithBitSlicing: the full machine with every technique plus
+// wrong-path simulation completes and stays architecturally clean.
+func TestWrongPathWithBitSlicing(t *testing.T) {
+	for _, sliceBy := range []int{2, 4} {
+		cfg := BitSliced(sliceBy)
+		cfg.WrongPath = true
+		r := run(t, mustProg(t, mispredictHeavy), cfg)
+		if r.Insts == 0 || r.WrongPathInsts == 0 {
+			t.Fatalf("x%d: %+v", sliceBy, r)
+		}
+	}
+}
+
+// TestWrongPathBudget: instruction budgets count only correct-path
+// instructions.
+func TestWrongPathBudget(t *testing.T) {
+	cfg := BaseConfig()
+	cfg.WrongPath = true
+	r, err := Run(mustProg(t, mispredictHeavy), cfg, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Insts != 5000 {
+		t.Fatalf("committed %d, want 5000", r.Insts)
+	}
+}
+
+// TestAllConfigsCommitSameInstructions: timing configuration must never
+// change the architectural instruction stream — every machine commits
+// exactly the same count for the same program and budget.
+func TestAllConfigsCommitSameInstructions(t *testing.T) {
+	configs := []Config{
+		BaseConfig(), SimplePipelined(2), SimplePipelined(4),
+		BitSliced(2), BitSliced(4),
+	}
+	wp := BitSliced(2)
+	wp.WrongPath = true
+	wp.Name = "bit-slice-x2+wp"
+	nw := BitSliced(4)
+	nw.NarrowWidth = true
+	nw.SerialMul = true
+	nw.SumAddressed = true
+	nw.Name = "bit-slice-x4+ext"
+	configs = append(configs, wp, nw)
+
+	var want uint64
+	for i, cfg := range configs {
+		r, err := Run(mustProg(t, mispredictHeavy), cfg, 8000)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if i == 0 {
+			want = r.Insts
+			continue
+		}
+		if r.Insts != want {
+			t.Fatalf("%s committed %d, want %d", cfg.Name, r.Insts, want)
+		}
+		if r.IPC > float64(cfg.CommitWidth) {
+			t.Fatalf("%s: IPC %.2f exceeds commit width", cfg.Name, r.IPC)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package emu
+
+// Backend is the byte-addressed memory interface the emulator executes
+// against. Memory implements it directly; Overlay implements it as a
+// copy-on-write view for speculative (wrong-path) execution.
+type Backend interface {
+	Read8(addr uint32) byte
+	Write8(addr uint32, b byte)
+	Read16(addr uint32) uint16
+	Write16(addr uint32, v uint16)
+	Read32(addr uint32) uint32
+	Write32(addr uint32, v uint32)
+	ReadCString(addr uint32) (string, error)
+}
+
+var (
+	_ Backend = (*Memory)(nil)
+	_ Backend = (*Overlay)(nil)
+)
+
+// Overlay is a copy-on-write view over a base memory: writes land in a
+// private byte map and reads prefer it, so a speculative execution path
+// can run ahead without disturbing the architectural image. Overlays are
+// intended for short excursions (a misprediction shadow); the write set
+// is byte-granular.
+type Overlay struct {
+	base   Backend
+	writes map[uint32]byte
+}
+
+// NewOverlay creates an empty copy-on-write view of base.
+func NewOverlay(base Backend) *Overlay {
+	return &Overlay{base: base, writes: make(map[uint32]byte)}
+}
+
+// Read8 returns the overlaid byte at addr.
+func (o *Overlay) Read8(addr uint32) byte {
+	if b, ok := o.writes[addr]; ok {
+		return b
+	}
+	return o.base.Read8(addr)
+}
+
+// Write8 stores b privately at addr.
+func (o *Overlay) Write8(addr uint32, b byte) { o.writes[addr] = b }
+
+// Read16 returns the overlaid little-endian 16-bit value at addr.
+func (o *Overlay) Read16(addr uint32) uint16 {
+	return uint16(o.Read8(addr)) | uint16(o.Read8(addr+1))<<8
+}
+
+// Write16 stores v privately, little-endian.
+func (o *Overlay) Write16(addr uint32, v uint16) {
+	o.Write8(addr, byte(v))
+	o.Write8(addr+1, byte(v>>8))
+}
+
+// Read32 returns the overlaid little-endian 32-bit value at addr.
+func (o *Overlay) Read32(addr uint32) uint32 {
+	// Fast path: no private bytes in this word.
+	if len(o.writes) == 0 {
+		return o.base.Read32(addr)
+	}
+	return uint32(o.Read16(addr)) | uint32(o.Read16(addr+2))<<16
+}
+
+// Write32 stores v privately, little-endian.
+func (o *Overlay) Write32(addr uint32, v uint32) {
+	o.Write16(addr, uint16(v))
+	o.Write16(addr+2, uint16(v>>16))
+}
+
+// ReadCString reads a NUL-terminated string through the overlay.
+func (o *Overlay) ReadCString(addr uint32) (string, error) {
+	const limit = 1 << 20
+	var buf []byte
+	for i := 0; i < limit; i++ {
+		b := o.Read8(addr + uint32(i))
+		if b == 0 {
+			return string(buf), nil
+		}
+		buf = append(buf, b)
+	}
+	return "", errUnterminated(addr)
+}
+
+// WriteCount reports how many private bytes the overlay holds.
+func (o *Overlay) WriteCount() int { return len(o.writes) }

@@ -1,0 +1,147 @@
+package emu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pok/internal/isa"
+)
+
+// Profile accumulates the dynamic instruction mix of a run — the
+// workload-characterization companion to the timing statistics (the paper
+// reports %loads and branch composition; this generalizes both).
+type Profile struct {
+	Total   uint64
+	ByOp    [isa.NumOps]uint64
+	ByClass map[isa.Class]uint64
+
+	Loads, Stores   uint64
+	Branches        uint64 // conditional
+	TakenBranches   uint64
+	EqBranches      uint64 // beq/bne
+	SignBranches    uint64 // blez/bgtz/bltz/bgez
+	Jumps           uint64
+	MemBytes        uint64 // bytes transferred by loads+stores
+	UniqueLoadLines map[uint32]struct{}
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		ByClass:         make(map[isa.Class]uint64),
+		UniqueLoadLines: make(map[uint32]struct{}),
+	}
+}
+
+// Observe records one executed instruction.
+func (p *Profile) Observe(d *DynInst) {
+	op := d.Inst.Op
+	p.Total++
+	p.ByOp[op]++
+	p.ByClass[op.Class()]++
+	switch {
+	case op.IsLoad():
+		p.Loads++
+		p.MemBytes += uint64(op.MemSize())
+		p.UniqueLoadLines[d.EffAddr>>6] = struct{}{}
+	case op.IsStore():
+		p.Stores++
+		p.MemBytes += uint64(op.MemSize())
+	case op.IsBranch():
+		p.Branches++
+		if d.Taken {
+			p.TakenBranches++
+		}
+		if op.EqualityBranch() {
+			p.EqBranches++
+		}
+		if op.NeedsSignBit() {
+			p.SignBranches++
+		}
+	case op.Class() == isa.ClassJump:
+		p.Jumps++
+	}
+}
+
+// Frac returns count/Total (0 when empty).
+func (p *Profile) Frac(count uint64) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(count) / float64(p.Total)
+}
+
+// TopOps returns the n most frequent opcodes with their counts.
+func (p *Profile) TopOps(n int) []struct {
+	Op    isa.Op
+	Count uint64
+} {
+	type oc struct {
+		Op    isa.Op
+		Count uint64
+	}
+	var all []oc
+	for op, c := range p.ByOp {
+		if c > 0 {
+			all = append(all, oc{isa.Op(op), c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Op < all[j].Op
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Op    isa.Op
+		Count uint64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Op    isa.Op
+			Count uint64
+		}{all[i].Op, all[i].Count}
+	}
+	return out
+}
+
+// String renders a human-readable summary.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "instructions: %d\n", p.Total)
+	fmt.Fprintf(&b, "loads: %.1f%%  stores: %.1f%%  cond branches: %.1f%% (%.1f%% taken)  jumps: %.1f%%\n",
+		100*p.Frac(p.Loads), 100*p.Frac(p.Stores), 100*p.Frac(p.Branches),
+		100*safeDiv(p.TakenBranches, p.Branches), 100*p.Frac(p.Jumps))
+	fmt.Fprintf(&b, "branch mix: %.1f%% beq/bne, %.1f%% sign-test\n",
+		100*safeDiv(p.EqBranches, p.Branches), 100*safeDiv(p.SignBranches, p.Branches))
+	fmt.Fprintf(&b, "memory: %d bytes moved, %d distinct load lines\n",
+		p.MemBytes, len(p.UniqueLoadLines))
+	b.WriteString("top ops:")
+	for _, oc := range p.TopOps(8) {
+		fmt.Fprintf(&b, " %s=%.1f%%", oc.Op, 100*p.Frac(oc.Count))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ProfileProgram executes prog for up to maxInsts instructions and
+// returns its dynamic profile.
+func ProfileProgram(prog *Program, maxInsts uint64) (*Profile, error) {
+	p := NewProfile()
+	e := New(prog)
+	if _, err := e.Run(maxInsts, p.Observe); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

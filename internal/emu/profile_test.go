@@ -1,0 +1,64 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"pok/internal/isa"
+)
+
+func TestProfileObserve(t *testing.T) {
+	p := NewProfile()
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpLW}, EffAddr: 0x100})
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpLW}, EffAddr: 0x104}) // same line
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpSW}, EffAddr: 0x2000})
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpBEQ}, Taken: true})
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpBLEZ}})
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpJ}, Taken: true})
+	p.Observe(&DynInst{Inst: isa.Inst{Op: isa.OpADDU}})
+
+	if p.Total != 7 || p.Loads != 2 || p.Stores != 1 || p.Branches != 2 {
+		t.Fatalf("counts: %+v", p)
+	}
+	if p.TakenBranches != 1 || p.EqBranches != 1 || p.SignBranches != 1 || p.Jumps != 1 {
+		t.Fatalf("branch mix: %+v", p)
+	}
+	if p.MemBytes != 12 {
+		t.Fatalf("mem bytes %d", p.MemBytes)
+	}
+	if len(p.UniqueLoadLines) != 1 { // both loads hit line 0x100>>6
+		t.Fatalf("unique lines %d", len(p.UniqueLoadLines))
+	}
+	if got := p.Frac(p.Loads); got != 2.0/7 {
+		t.Fatalf("frac %f", got)
+	}
+	top := p.TopOps(2)
+	if len(top) != 2 || top[0].Op != isa.OpLW || top[0].Count != 2 {
+		t.Fatalf("top ops %+v", top)
+	}
+	s := p.String()
+	if !strings.Contains(s, "instructions: 7") || !strings.Contains(s, "lw") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func TestProfileProgram(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.OpADDIU, Rt: 8, Rs: isa.RegZero, Imm: 3},
+		{Op: isa.OpSW, Rs: 8, Rt: 8, Imm: 0x100},
+		{Op: isa.OpLW, Rs: 8, Rt: 9, Imm: 0x100},
+	}
+	insts = append(insts, exitSeq()...)
+	prog := buildProg(t, insts...)
+	p, err := ProfileProgram(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Loads != 1 || p.Stores != 1 || p.Total != 5 {
+		t.Fatalf("profile %+v", p)
+	}
+	// Empty profile renders without dividing by zero.
+	if NewProfile().String() == "" {
+		t.Fatal("empty render")
+	}
+}

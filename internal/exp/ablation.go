@@ -1,0 +1,232 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/core"
+	"pok/internal/stats"
+)
+
+// AblationRow compares one benchmark under two configurations.
+type AblationRow struct {
+	Benchmark string
+	BaseIPC   float64 // reference configuration
+	ExtIPC    float64 // configuration under study
+}
+
+// Gain returns the relative IPC change of the studied configuration.
+func (r AblationRow) Gain() float64 { return r.ExtIPC/r.BaseIPC - 1 }
+
+func runPair(opt Options, name string, a, b core.Config) (AblationRow, error) {
+	row := AblationRow{Benchmark: name}
+	for i, cfg := range []core.Config{a, b} {
+		prog, ff, err := opt.program(name)
+		if err != nil {
+			return row, err
+		}
+		r, err := core.RunWarm(prog, cfg, ff, opt.budget())
+		if err != nil {
+			return row, fmt.Errorf("exp: ablation %s %s: %w", name, cfg.Name, err)
+		}
+		if i == 0 {
+			row.BaseIPC = r.IPC
+		} else {
+			row.ExtIPC = r.IPC
+		}
+	}
+	return row, nil
+}
+
+// NarrowWidthAblation measures the paper's §6 future-work extension: on
+// top of the full bit-sliced machine, treat narrow results (upper slices
+// all zeros/ones) as fully available once their low slice is produced.
+func NarrowWidthAblation(opt Options, sliceBy int) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		base := core.BitSliced(sliceBy)
+		ext := core.BitSliced(sliceBy)
+		ext.NarrowWidth = true
+		ext.Name = base.Name + "+narrow"
+		row, err := runPair(opt, name, base, ext)
+		if err != nil {
+			return err
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PredictorAblation swaps the 64k gshare for an equal-size bimodal table
+// on the base machine (Table 2 justification: the paper's gshare choice).
+func PredictorAblation(opt Options) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		g := core.BaseConfig()
+		b := core.BaseConfig()
+		b.UseBimodal = true
+		b.Name = "base+bimodal"
+		row, err := runPair(opt, name, g, b)
+		if err != nil {
+			return err
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// WrongPathAblation measures the second-order effect of simulating
+// wrong-path instructions (cache pollution and front-end contention) on
+// the full bit-sliced machine — the effect the paper's Figure 11
+// discussion attributes part of li's above-ideal IPC to.
+func WrongPathAblation(opt Options, sliceBy int) ([]AblationRow, error) {
+	rows := make([]AblationRow, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		base := core.BitSliced(sliceBy)
+		ext := core.BitSliced(sliceBy)
+		ext.WrongPath = true
+		ext.Name = base.Name + "+wrongpath"
+		row, err := runPair(opt, name, base, ext)
+		if err != nil {
+			return err
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderAblation prints an ablation comparison.
+func RenderAblation(title, baseLabel, extLabel string, rows []AblationRow) string {
+	t := stats.NewTable(title, "benchmark", baseLabel, extLabel, "change")
+	var sum float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, stats.F2(r.BaseIPC), stats.F2(r.ExtIPC),
+			fmt.Sprintf("%+.1f%%", 100*r.Gain()))
+		sum += r.Gain()
+	}
+	return t.Render() +
+		fmt.Sprintf("mean change: %+.1f%%\n", 100*sum/float64(len(rows)))
+}
+
+// WindowSweepRow holds IPC at each window size for one benchmark.
+type WindowSweepRow struct {
+	Benchmark string
+	Sizes     []int
+	IPC       []float64
+}
+
+// WindowSweep varies the RUU size on the full bit-sliced slice-by-2
+// machine — the design-space check that 64 entries (Table 2) sit on the
+// knee of the curve.
+func WindowSweep(opt Options, sizes []int) ([]WindowSweepRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 64, 128}
+	}
+	rows := make([]WindowSweepRow, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		row := WindowSweepRow{Benchmark: name, Sizes: sizes}
+		for _, size := range sizes {
+			cfg := core.BitSliced(2)
+			cfg.WindowSize = size
+			cfg.Name = fmt.Sprintf("bit-slice-x2/ruu%d", size)
+			prog, ff, err := opt.program(name)
+			if err != nil {
+				return err
+			}
+			r, err := core.RunWarm(prog, cfg, ff, opt.budget())
+			if err != nil {
+				return fmt.Errorf("exp: window sweep %s: %w", name, err)
+			}
+			row.IPC = append(row.IPC, r.IPC)
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// LSQSweep varies the load/store queue size on the full bit-sliced
+// slice-by-2 machine (the paper's Table 2 uses 32 entries).
+func LSQSweep(opt Options, sizes []int) ([]WindowSweepRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32, 64}
+	}
+	rows := make([]WindowSweepRow, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		row := WindowSweepRow{Benchmark: name, Sizes: sizes}
+		for _, size := range sizes {
+			cfg := core.BitSliced(2)
+			cfg.LSQSize = size
+			cfg.Name = fmt.Sprintf("bit-slice-x2/lsq%d", size)
+			prog, ff, err := opt.program(name)
+			if err != nil {
+				return err
+			}
+			r, err := core.RunWarm(prog, cfg, ff, opt.budget())
+			if err != nil {
+				return fmt.Errorf("exp: lsq sweep %s: %w", name, err)
+			}
+			row.IPC = append(row.IPC, r.IPC)
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderLSQSweep prints the LSQ sensitivity table.
+func RenderLSQSweep(rows []WindowSweepRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	headers := []string{"benchmark"}
+	for _, s := range rows[0].Sizes {
+		headers = append(headers, fmt.Sprintf("LSQ %d", s))
+	}
+	t := stats.NewTable("Ablation: LSQ size (bit-slice-x2)", headers...)
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, ipc := range r.IPC {
+			row = append(row, stats.F2(ipc))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// RenderWindowSweep prints the window sensitivity table.
+func RenderWindowSweep(rows []WindowSweepRow) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	headers := []string{"benchmark"}
+	for _, s := range rows[0].Sizes {
+		headers = append(headers, fmt.Sprintf("RUU %d", s))
+	}
+	t := stats.NewTable("Ablation: RUU window size (bit-slice-x2)", headers...)
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, ipc := range r.IPC {
+			row = append(row, stats.F2(ipc))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/core"
+	"pok/internal/stats"
+	"pok/internal/workload"
+)
+
+// CompiledSuiteRow is the timing of one compiled (MiniC) workload across
+// the three headline machines.
+type CompiledSuiteRow struct {
+	Benchmark string
+	IdealIPC  float64
+	SimpleIPC float64
+	SlicedIPC float64
+}
+
+// CompiledSuite times the MiniC-compiled workload suite on the ideal,
+// simple-pipelined and bit-sliced machines, checking that the paper's
+// shape generalizes from hand-written assembly to compiler output.
+func CompiledSuite(opt Options, sliceBy int) ([]CompiledSuiteRow, error) {
+	names := workload.CompiledNames()
+	rows := make([]CompiledSuiteRow, len(names))
+	cfgs := []core.Config{
+		core.BaseConfig(), core.SimplePipelined(sliceBy), core.BitSliced(sliceBy),
+	}
+	run := func(idx int, name string) error {
+		w, err := workload.GetCompiled(name)
+		if err != nil {
+			return err
+		}
+		row := CompiledSuiteRow{Benchmark: name}
+		for i, cfg := range cfgs {
+			prog, err := w.Program(w.DefaultScale)
+			if err != nil {
+				return err
+			}
+			r, err := core.Run(prog, cfg, opt.budget())
+			if err != nil {
+				return fmt.Errorf("exp: compiled %s %s: %w", name, cfg.Name, err)
+			}
+			switch i {
+			case 0:
+				row.IdealIPC = r.IPC
+			case 1:
+				row.SimpleIPC = r.IPC
+			case 2:
+				row.SlicedIPC = r.IPC
+			}
+		}
+		rows[idx] = row
+		return nil
+	}
+	// Reuse the bounded pool shape from forEachBenchmark, but over the
+	// compiled names.
+	saved := opt.Benchmarks
+	opt.Benchmarks = names
+	err := opt.forEachBenchmark(run)
+	opt.Benchmarks = saved
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderCompiledSuite prints the compiled-suite comparison.
+func RenderCompiledSuite(rows []CompiledSuiteRow, sliceBy int) string {
+	t := stats.NewTable(
+		fmt.Sprintf("Compiled (MiniC) suite: IPC, slice-by-%d", sliceBy),
+		"benchmark", "ideal", "simple", "bit-sliced", "sliced/simple")
+	var sum float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark, stats.F2(r.IdealIPC), stats.F2(r.SimpleIPC),
+			stats.F2(r.SlicedIPC),
+			fmt.Sprintf("%.3f", r.SlicedIPC/r.SimpleIPC))
+		sum += r.SlicedIPC / r.SimpleIPC
+	}
+	return t.Render() + fmt.Sprintf("mean speedup over simple pipelining: %+.1f%%\n",
+		100*(sum/float64(len(rows))-1))
+}

@@ -1,0 +1,152 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation, mapping each onto the simulator substrates:
+//
+//	Table 1  — baseline benchmark characteristics   (core, bpred)
+//	Figure 2 — early load-store disambiguation      (lsq, trace-driven)
+//	Figure 4 — partial tag matching                 (cache, trace-driven)
+//	Figure 6 — early branch misprediction detection (bpred, trace-driven)
+//	Figure 11 — IPC of the bit-sliced microarchitecture (core)
+//	Figure 12 — speedup breakdown per technique     (derived from Fig. 11)
+//
+// Each driver returns structured results plus a Render helper that prints
+// the same rows/series the paper reports. Absolute values differ from the
+// paper (synthetic kernels instead of SPEC, see DESIGN.md); the shapes are
+// the reproduction target, recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"pok/internal/emu"
+	"pok/internal/workload"
+)
+
+// Options controls experiment scope and cost.
+type Options struct {
+	// Benchmarks to run; nil means the full Table 1 suite.
+	Benchmarks []string
+	// MaxInsts is the dynamic instruction budget per benchmark per run
+	// (the paper simulates 500M after 1B fast-forward; the default here is
+	// laptop-scale). 0 selects the default.
+	MaxInsts uint64
+	// Scale overrides the workload outer-iteration count (0 = default,
+	// which is large enough to outlast any budget).
+	Scale int
+	// NoFastForward disables each workload's initialization skip.
+	NoFastForward bool
+	// Parallel bounds how many benchmarks run concurrently in the
+	// heavyweight experiments (Table 1, Figures 11/12 and the ablations).
+	// 0 or 1 means sequential; simulations are independent, so the
+	// results are identical regardless of the setting.
+	Parallel int
+}
+
+// DefaultMaxInsts is the per-run instruction budget when none is given.
+const DefaultMaxInsts = 300_000
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.Names()
+}
+
+// parallelism returns the worker count for concurrent experiment runs.
+func (o Options) parallelism() int {
+	if o.Parallel < 1 {
+		return 1
+	}
+	return o.Parallel
+}
+
+// forEachBenchmark runs fn once per selected benchmark, fanning out over
+// a bounded worker pool when Parallel > 1. Results are delivered through
+// fn in any order; callers index by benchmark position to keep the
+// paper's table ordering deterministic.
+func (o Options) forEachBenchmark(fn func(idx int, name string) error) error {
+	names := o.benchmarks()
+	workers := o.parallelism()
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		for i, n := range names {
+			if err := fn(i, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type job struct {
+		idx  int
+		name string
+	}
+	jobs := make(chan job)
+	errs := make(chan error, len(names))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				errs <- fn(j.idx, j.name)
+			}
+		}()
+	}
+	for i, n := range names {
+		jobs <- job{i, n}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o Options) budget() uint64 {
+	if o.MaxInsts > 0 {
+		return o.MaxInsts
+	}
+	return DefaultMaxInsts
+}
+
+func (o Options) program(name string) (*emu.Program, uint64, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	scale := o.Scale
+	if scale <= 0 {
+		scale = w.DefaultScale
+	}
+	ff := w.FastForward
+	if o.NoFastForward {
+		ff = 0
+	}
+	prog, err := w.Program(scale)
+	return prog, ff, err
+}
+
+// forEachInst streams up to the budget of dynamic instructions of the
+// named benchmark through visit.
+func (o Options) forEachInst(name string, visit func(*emu.DynInst)) error {
+	prog, ff, err := o.program(name)
+	if err != nil {
+		return err
+	}
+	e := emu.New(prog)
+	if ff > 0 {
+		if _, err := e.Run(ff, nil); err != nil {
+			return fmt.Errorf("exp: %s fast-forward: %w", name, err)
+		}
+	}
+	if _, err := e.Run(o.budget(), visit); err != nil {
+		return fmt.Errorf("exp: %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pok/internal/cache"
+	"pok/internal/lsq"
+)
+
+// Small budgets keep the test suite fast; shape assertions are loose
+// enough to hold at this scale.
+var testOpt = Options{
+	Benchmarks: []string{"bzip", "li"},
+	MaxInsts:   40_000,
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 || r.IPC > 4 {
+			t.Errorf("%s: IPC %.2f out of range", r.Benchmark, r.IPC)
+		}
+		if r.PctLoads <= 0 || r.PctLoads > 0.6 {
+			t.Errorf("%s: %%loads %.2f out of range", r.Benchmark, r.PctLoads)
+		}
+		if r.BranchAccuracy < 0.5 || r.BranchAccuracy > 1 {
+			t.Errorf("%s: accuracy %.2f out of range", r.Benchmark, r.BranchAccuracy)
+		}
+		if r.Insts == 0 {
+			t.Errorf("%s: no instructions", r.Benchmark)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "bzip") || !strings.Contains(out, "Branch Accuracy") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	results, err := Figure2(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Loads == 0 {
+			t.Fatalf("%s: no loads", r.Benchmark)
+		}
+		// Fractions at each prefix sum to 1.
+		for i := range r.Bits {
+			var sum float64
+			for k := 0; k < lsq.NumAliasKinds; k++ {
+				sum += r.Frac[i][k]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: fractions at bit %d sum to %f", r.Benchmark, r.Bits[i], sum)
+			}
+		}
+		// The paper's observation: resolution improves monotonically and
+		// is (near-)total by the full comparison.
+		if r.ResolvedFrac(9) > r.ResolvedFrac(32)+1e-9 {
+			t.Fatalf("%s: resolution regressed: %.3f@9 vs %.3f@32",
+				r.Benchmark, r.ResolvedFrac(9), r.ResolvedFrac(32))
+		}
+		if r.ResolvedFrac(32) < 0.99 {
+			t.Fatalf("%s: full comparison resolves only %.3f",
+				r.Benchmark, r.ResolvedFrac(32))
+		}
+		// Early disambiguation must already resolve most loads by bit 9
+		// (the paper: all of them; synthetic kernels with tight address
+		// reuse stay a little lower).
+		if r.ResolvedFrac(9) < 0.5 {
+			t.Errorf("%s: only %.2f resolved by bit 9", r.Benchmark, r.ResolvedFrac(9))
+		}
+	}
+	if out := RenderFigure2(results); !strings.Contains(out, "Figure 2") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	geoms := []Figure4Geometry{{64 << 10, 64, 4}, {8 << 10, 32, 2}}
+	results, err := Figure4(Options{Benchmarks: []string{"mcf"}, MaxInsts: 60_000}, geoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Accesses == 0 {
+			t.Fatal("no accesses")
+		}
+		// Fractions sum to 1 at every width.
+		for tb := 1; tb <= r.TagBits; tb++ {
+			var sum float64
+			for k := 0; k < 4; k++ {
+				sum += r.Frac[tb-1][k]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: fractions at %d bits sum to %f", r.Geometry, tb, sum)
+			}
+		}
+		// With all tag bits, multi-match is impossible and uniqueness is
+		// total.
+		if r.Frac[r.TagBits-1][cache.MultiMatch] != 0 {
+			t.Fatal("full-width multi match")
+		}
+		if r.UniqueFrac(r.TagBits) < 0.999 {
+			t.Fatalf("full-width unique frac %.3f", r.UniqueFrac(r.TagBits))
+		}
+		// Uniqueness grows with tag bits (monotone convergence).
+		for tb := 2; tb <= r.TagBits; tb++ {
+			if r.UniqueFrac(tb) < r.UniqueFrac(tb-1)-1e-9 {
+				t.Fatalf("%s: uniqueness regressed at %d bits", r.Geometry, tb)
+			}
+		}
+	}
+	if out := RenderFigure4(results); !strings.Contains(out, "Figure 4") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFigure4DefaultGeometries(t *testing.T) {
+	gs := Figure4Geometries()
+	if len(gs) != 6 {
+		t.Fatalf("geometries = %d", len(gs))
+	}
+	if gs[0].String() != "64KB/64B/2-way" {
+		t.Fatalf("label %q", gs[0].String())
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	// li's mark-bit loop is the paper's Figure 5 example: its bne
+	// mispredictions must be detectable from the low bit.
+	results, err := Figure6(Options{Benchmarks: []string{"li", "parser"}, MaxInsts: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Branches == 0 || r.Mispredicts == 0 {
+			t.Fatalf("%s: no branches/mispredicts (%d/%d)",
+				r.Benchmark, r.Mispredicts, r.Branches)
+		}
+		if r.CumFrac[31] < 0.999 {
+			t.Fatalf("%s: cum frac at bit 31 = %.3f", r.Benchmark, r.CumFrac[31])
+		}
+		for b := 1; b < 32; b++ {
+			if r.CumFrac[b] < r.CumFrac[b-1]-1e-9 {
+				t.Fatalf("%s: cum frac not monotone at bit %d", r.Benchmark, b)
+			}
+		}
+		if r.EqBranchFrac <= 0 || r.EqBranchFrac > 1 {
+			t.Fatalf("%s: eq branch frac %.2f", r.Benchmark, r.EqBranchFrac)
+		}
+	}
+	// li: flag-test branches expose mispredictions at bit 0.
+	var li Figure6Result
+	for _, r := range results {
+		if r.Benchmark == "li" {
+			li = r
+		}
+	}
+	if li.CumFrac[0] < 0.2 {
+		t.Errorf("li: only %.2f of mispredicts detected at bit 0", li.CumFrac[0])
+	}
+	if out := RenderFigure6(results); !strings.Contains(out, "Figure 6") {
+		t.Fatal("render missing title")
+	}
+	if avg := AverageCumFrac(results, 7); avg <= 0 || avg > 1 {
+		t.Fatalf("average at bit 7 = %f", avg)
+	}
+}
+
+func TestConfigLadder(t *testing.T) {
+	for _, sliceBy := range []int{2, 4} {
+		ladder := ConfigLadder(sliceBy)
+		if len(ladder) != len(TechniqueNames) {
+			t.Fatalf("ladder size %d", len(ladder))
+		}
+		// First step: plain pipelining; last: everything on.
+		first, last := ladder[0], ladder[len(ladder)-1]
+		if first.PartialBypass || first.PartialTag {
+			t.Fatal("first step has techniques enabled")
+		}
+		if !last.PartialBypass || !last.OoOSlices || !last.EarlyBranch ||
+			!last.EarlyLSDisambig || !last.PartialTag {
+			t.Fatal("last step incomplete")
+		}
+		// Monotone accumulation.
+		count := func(c interface{ flags() int }) {}
+		_ = count
+		prev := 0
+		for _, c := range ladder {
+			n := 0
+			for _, f := range []bool{c.PartialBypass, c.OoOSlices, c.EarlyBranch,
+				c.EarlyLSDisambig, c.PartialTag} {
+				if f {
+					n++
+				}
+			}
+			if n != prev {
+				t.Fatalf("ladder step %q enables %d techniques, want %d", c.Name, n, prev)
+			}
+			prev++
+			if c.Slices != sliceBy {
+				t.Fatalf("ladder step %q has %d slices", c.Name, c.Slices)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFigure11And12(t *testing.T) {
+	opt := Options{Benchmarks: []string{"gzip"}, MaxInsts: 25_000}
+	rows, err := Figure11(opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if len(r.StackIPC) != len(TechniqueNames) {
+		t.Fatalf("stack size %d", len(r.StackIPC))
+	}
+	// Shape: simple pipelining loses IPC vs ideal; the full bit-sliced
+	// machine recovers (most of) it.
+	if r.StackIPC[0] >= r.BaseIPC {
+		t.Fatalf("simple pipelining (%.3f) not slower than ideal (%.3f)",
+			r.StackIPC[0], r.BaseIPC)
+	}
+	if r.FinalIPC() <= r.StackIPC[0] {
+		t.Fatalf("bit-sliced (%.3f) not faster than simple (%.3f)",
+			r.FinalIPC(), r.StackIPC[0])
+	}
+	if r.SpeedupOverSimple() < 1.02 {
+		t.Fatalf("speedup over simple only %.3f", r.SpeedupOverSimple())
+	}
+	if r.VsBase() < 0.7 || r.VsBase() > 1.2 {
+		t.Fatalf("vs base ratio %.3f out of plausible range", r.VsBase())
+	}
+
+	f12 := Figure12(rows)
+	if len(f12) != 1 || len(f12[0].Contribution) != len(TechniqueNames)-1 {
+		t.Fatalf("figure 12 shape wrong: %+v", f12)
+	}
+	var sum float64
+	for _, c := range f12[0].Contribution {
+		sum += c
+	}
+	if math.Abs(sum-f12[0].Total) > 1e-9 {
+		t.Fatalf("contributions (%.4f) do not sum to total (%.4f)", sum, f12[0].Total)
+	}
+	if out := RenderFigure11(rows); !strings.Contains(out, "Figure 11") {
+		t.Fatal("render 11 missing title")
+	}
+	if out := RenderFigure12(f12); !strings.Contains(out, "Figure 12") {
+		t.Fatal("render 12 missing title")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if len(o.benchmarks()) != 11 {
+		t.Fatalf("default benchmarks = %d", len(o.benchmarks()))
+	}
+	if o.budget() != DefaultMaxInsts {
+		t.Fatal("default budget")
+	}
+	if _, _, err := o.program("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNarrowWidthAblation(t *testing.T) {
+	rows, err := NarrowWidthAblation(Options{Benchmarks: []string{"li"}, MaxInsts: 20_000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].BaseIPC <= 0 || rows[0].ExtIPC <= 0 {
+		t.Fatalf("rows %+v", rows)
+	}
+	// The extension must not hurt (it only relaxes dependences).
+	if rows[0].Gain() < -0.02 {
+		t.Fatalf("narrow-width hurt: %+.2f%%", 100*rows[0].Gain())
+	}
+	out := RenderAblation("t", "base", "ext", rows)
+	if !strings.Contains(out, "li") {
+		t.Fatal("render")
+	}
+}
+
+func TestPredictorAblation(t *testing.T) {
+	rows, err := PredictorAblation(Options{Benchmarks: []string{"parser"}, MaxInsts: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].BaseIPC <= 0 {
+		t.Fatalf("rows %+v", rows)
+	}
+}
+
+func TestWindowSweep(t *testing.T) {
+	rows, err := WindowSweep(Options{Benchmarks: []string{"gzip"}, MaxInsts: 20_000},
+		[]int{8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.IPC) != 2 {
+		t.Fatalf("ipc %v", r.IPC)
+	}
+	// A 64-entry window must beat a tiny 8-entry one.
+	if r.IPC[1] <= r.IPC[0] {
+		t.Fatalf("window size had no effect: %v", r.IPC)
+	}
+	if !strings.Contains(RenderWindowSweep(rows), "RUU 64") {
+		t.Fatal("render")
+	}
+}
+
+// TestParallelMatchesSequential: the worker pool must not change results.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := Options{Benchmarks: []string{"li", "gzip", "bzip"}, MaxInsts: 15_000}
+	par := seq
+	par.Parallel = 3
+	a, err := Table1(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelErrorPropagates: a failing benchmark must surface its error
+// through the pool.
+func TestParallelErrorPropagates(t *testing.T) {
+	opt := Options{Benchmarks: []string{"li", "nope"}, MaxInsts: 1000, Parallel: 2}
+	if _, err := Table1(opt); err == nil {
+		t.Fatal("error swallowed by worker pool")
+	}
+}
+
+func TestPlots(t *testing.T) {
+	f6, err := Figure6(Options{Benchmarks: []string{"li"}, MaxInsts: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := PlotFigure6(f6); !strings.Contains(out, "li") ||
+		!strings.Contains(out, "*") {
+		t.Fatalf("figure 6 plot:\n%s", out)
+	}
+	f11, err := Figure11(Options{Benchmarks: []string{"li"}, MaxInsts: 10_000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := PlotFigure11(f11); !strings.Contains(out, "li/bitslice") {
+		t.Fatalf("figure 11 plot:\n%s", out)
+	}
+	if out := PlotFigure12(Figure12(f11)); !strings.Contains(out, "legend") {
+		t.Fatalf("figure 12 plot:\n%s", out)
+	}
+}
+
+func TestWrongPathAblation(t *testing.T) {
+	rows, err := WrongPathAblation(Options{Benchmarks: []string{"parser"}, MaxInsts: 20_000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].BaseIPC <= 0 || rows[0].ExtIPC <= 0 {
+		t.Fatalf("rows %+v", rows)
+	}
+	// Wrong-path pollution should not speed the machine up materially.
+	if rows[0].Gain() > 0.05 {
+		t.Fatalf("wrong path helped suspiciously: %+.1f%%", 100*rows[0].Gain())
+	}
+}
+
+func TestCompiledSuite(t *testing.T) {
+	rows, err := CompiledSuite(Options{MaxInsts: 20_000, Parallel: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var speedup float64
+	for _, r := range rows {
+		if r.IdealIPC <= 0 || r.SimpleIPC <= 0 || r.SlicedIPC <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		speedup += r.SlicedIPC / r.SimpleIPC
+	}
+	// The paper shape must hold on compiled code too, on average.
+	if speedup/float64(len(rows)) <= 1.0 {
+		t.Fatalf("bit slicing did not help compiled code: mean ratio %.3f",
+			speedup/float64(len(rows)))
+	}
+	if out := RenderCompiledSuite(rows, 2); !strings.Contains(out, "cc-queens") {
+		t.Fatal("render")
+	}
+}
+
+// TestRenderHeadersStable locks the table headers downstream tooling
+// (and EXPERIMENTS.md) depends on.
+func TestRenderHeadersStable(t *testing.T) {
+	t1 := RenderTable1([]Table1Row{{Benchmark: "x", Insts: 1, IPC: 1,
+		PctLoads: 0.1, BranchAccuracy: 0.9}})
+	if !strings.Contains(t1, "Benchmark  Simulated Instr  IPC   % Loads  Branch Accuracy") {
+		t.Fatalf("table1 header changed:\n%s", t1)
+	}
+	f2 := RenderFigure2([]Figure2Result{{Benchmark: "x", Bits: []int{3},
+		Frac: make([][7]float64, 1)}})
+	for _, col := range []string{"no stores", "zero match", "1:non-match",
+		"n:same addr", "resolved"} {
+		if !strings.Contains(f2, col) {
+			t.Fatalf("figure2 column %q missing:\n%s", col, f2)
+		}
+	}
+	f4 := RenderFigure4([]Figure4Result{{Benchmark: "x",
+		Geometry: Figure4Geometry{8 << 10, 32, 2}, TagBits: 1,
+		Frac: make([][4]float64, 1)}})
+	for _, col := range []string{"zero match", "single-hit", "single-miss",
+		"mult match", "unique"} {
+		if !strings.Contains(f4, col) {
+			t.Fatalf("figure4 column %q missing:\n%s", col, f4)
+		}
+	}
+}
+
+func TestLSQSweep(t *testing.T) {
+	rows, err := LSQSweep(Options{Benchmarks: []string{"twolf"}, MaxInsts: 20_000},
+		[]int{2, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if len(r.IPC) != 2 || r.IPC[1] <= r.IPC[0] {
+		t.Fatalf("LSQ size had no effect: %v", r.IPC)
+	}
+	if !strings.Contains(RenderLSQSweep(rows), "LSQ 32") {
+		t.Fatal("render")
+	}
+}

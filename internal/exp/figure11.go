@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/core"
+	"pok/internal/stats"
+)
+
+// TechniqueNames lists the Figure 11/12 optimization ladder in the order
+// the paper applies it (each step includes all earlier ones).
+var TechniqueNames = []string{
+	"simple pipelining",
+	"+partial operand bypassing",
+	"+out-of-order slices",
+	"+early branch resolution",
+	"+early l/s disambiguation",
+	"+partial tag matching",
+}
+
+// ConfigLadder builds the cumulative configuration ladder for a slice
+// count: simple pipelining first, then each partial-operand technique
+// stacked in the paper's order.
+func ConfigLadder(sliceBy int) []core.Config {
+	var out []core.Config
+	c := core.SimplePipelined(sliceBy)
+	c.Name = fmt.Sprintf("x%d %s", sliceBy, TechniqueNames[0])
+	out = append(out, c)
+	steps := []func(*core.Config){
+		func(c *core.Config) { c.PartialBypass = true },
+		func(c *core.Config) { c.OoOSlices = true },
+		func(c *core.Config) { c.EarlyBranch = true },
+		func(c *core.Config) { c.EarlyLSDisambig = true },
+		func(c *core.Config) { c.PartialTag = true },
+	}
+	for i, step := range steps {
+		c := out[len(out)-1]
+		step(&c)
+		c.Name = fmt.Sprintf("x%d %s", sliceBy, TechniqueNames[i+1])
+		out = append(out, c)
+	}
+	return out
+}
+
+// Figure11Row is one benchmark's IPC stack for one slice count.
+type Figure11Row struct {
+	Benchmark string
+	SliceBy   int
+	// BaseIPC is the ideal machine (single-cycle EX) IPC — the thin bar
+	// at the top of each Figure 11 stack.
+	BaseIPC float64
+	// StackIPC[i] is the IPC with TechniqueNames[:i+1] applied.
+	StackIPC []float64
+	// Results holds the full statistics of each ladder step (same
+	// indexing as StackIPC); Results[len-1] is the complete bit-sliced
+	// machine.
+	Results []*core.Result
+	// BaseResult is the ideal machine's statistics.
+	BaseResult *core.Result
+}
+
+// FinalIPC returns the fully bit-sliced IPC.
+func (r *Figure11Row) FinalIPC() float64 { return r.StackIPC[len(r.StackIPC)-1] }
+
+// SpeedupOverSimple returns FinalIPC / simple-pipelining IPC (the paper's
+// 16% and 44% headline numbers for slice-by-2 and slice-by-4).
+func (r *Figure11Row) SpeedupOverSimple() float64 {
+	return r.FinalIPC() / r.StackIPC[0]
+}
+
+// VsBase returns FinalIPC / BaseIPC (the paper: ~1.00 for slice-by-2,
+// ~0.82 for slice-by-4).
+func (r *Figure11Row) VsBase() float64 { return r.FinalIPC() / r.BaseIPC }
+
+// Figure11 reproduces the paper's Figure 11 for one slice count: the IPC
+// of the ideal machine, simple pipelining, and each partial-operand
+// technique added cumulatively. Benchmarks run concurrently when
+// opt.Parallel > 1 (each ladder stays sequential within its worker).
+func Figure11(opt Options, sliceBy int) ([]Figure11Row, error) {
+	ladder := ConfigLadder(sliceBy)
+	rows := make([]Figure11Row, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		row := Figure11Row{Benchmark: name, SliceBy: sliceBy}
+		prog, ff, err := opt.program(name)
+		if err != nil {
+			return err
+		}
+		base, err := core.RunWarm(prog, core.BaseConfig(), ff, opt.budget())
+		if err != nil {
+			return fmt.Errorf("exp: fig11 %s base: %w", name, err)
+		}
+		base.Benchmark = name
+		row.BaseIPC = base.IPC
+		row.BaseResult = base
+		for _, cfg := range ladder {
+			prog, ff, err := opt.program(name)
+			if err != nil {
+				return err
+			}
+			r, err := core.RunWarm(prog, cfg, ff, opt.budget())
+			if err != nil {
+				return fmt.Errorf("exp: fig11 %s %s: %w", name, cfg.Name, err)
+			}
+			r.Benchmark = name
+			row.StackIPC = append(row.StackIPC, r.IPC)
+			row.Results = append(row.Results, r)
+		}
+		rows[idx] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderFigure11 prints the IPC stacks plus the suite averages the paper
+// quotes in §7.1.
+func RenderFigure11(rows []Figure11Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	headers := []string{"benchmark", "ideal"}
+	headers = append(headers, TechniqueNames...)
+	headers = append(headers, "vs ideal", "vs simple")
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 11: IPC, slice-by-%d", rows[0].SliceBy), headers...)
+	var sumVsBase, sumSpeedup float64
+	for _, r := range rows {
+		row := []string{r.Benchmark, stats.F2(r.BaseIPC)}
+		for _, ipc := range r.StackIPC {
+			row = append(row, stats.F2(ipc))
+		}
+		row = append(row,
+			fmt.Sprintf("%.3f", r.VsBase()),
+			fmt.Sprintf("%.3f", r.SpeedupOverSimple()))
+		t.AddRow(row...)
+		sumVsBase += r.VsBase()
+		sumSpeedup += r.SpeedupOverSimple()
+	}
+	n := float64(len(rows))
+	out := t.Render()
+	out += fmt.Sprintf(
+		"mean: bit-slice/ideal IPC ratio %.3f, speedup over simple pipelining %.1f%%\n",
+		sumVsBase/n, 100*(sumSpeedup/n-1))
+
+	// §7.1 partial-tag accuracy: way mispredict rate of the full machine.
+	var wm, acc uint64
+	for _, r := range rows {
+		final := r.Results[len(r.Results)-1]
+		wm += final.WayMispredicts
+		acc += final.PartialTagAccess
+	}
+	if acc > 0 {
+		out += fmt.Sprintf("partial tag way-mispredict rate: %s (%d of %d partial-tag accesses)\n",
+			stats.Pct(wm, acc), wm, acc)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/stats"
+)
+
+// Figure12Row is the per-technique speedup breakdown of one benchmark:
+// the contribution of each ladder step to the total speedup of bit-slice
+// pipelining over simple pipelining (the paper's stacked Figure 12).
+type Figure12Row struct {
+	Benchmark string
+	SliceBy   int
+	// Contribution[i] is the incremental speedup (as a fraction of the
+	// simple-pipelining cycle count) added by TechniqueNames[i+1].
+	Contribution []float64
+	// Total is the overall speedup minus one (e.g. 0.16 = 16%).
+	Total float64
+	// NewTechniques is the part of Total contributed by the three new
+	// §5 applications plus out-of-order slices (everything beyond partial
+	// operand bypassing) — the paper reports +8% (x2) and +13% (x4).
+	NewTechniques float64
+}
+
+// Figure12 derives the paper's Figure 12 from Figure 11 data.
+func Figure12(rows []Figure11Row) []Figure12Row {
+	var out []Figure12Row
+	for _, r := range rows {
+		simple := r.StackIPC[0]
+		row := Figure12Row{Benchmark: r.Benchmark, SliceBy: r.SliceBy}
+		prev := simple
+		for _, ipc := range r.StackIPC[1:] {
+			row.Contribution = append(row.Contribution, (ipc-prev)/simple)
+			prev = ipc
+		}
+		row.Total = r.FinalIPC()/simple - 1
+		// Everything beyond the (existing) partial operand bypassing
+		// technique counts as the paper's "new" contribution.
+		bypassOnly := r.StackIPC[1]
+		row.NewTechniques = (r.FinalIPC() - bypassOnly) / simple
+		out = append(out, row)
+	}
+	return out
+}
+
+// RenderFigure12 prints the speedup breakdown.
+func RenderFigure12(rows []Figure12Row) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	headers := []string{"benchmark"}
+	headers = append(headers, TechniqueNames[1:]...)
+	headers = append(headers, "total speedup", "new techniques")
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 12: Speed-Up of Bit-Slice Pipelining over Simple Pipelining, slice-by-%d",
+			rows[0].SliceBy),
+		headers...)
+	var sumTotal, sumNew float64
+	for _, r := range rows {
+		row := []string{r.Benchmark}
+		for _, c := range r.Contribution {
+			row = append(row, fmt.Sprintf("%+.1f%%", 100*c))
+		}
+		row = append(row,
+			fmt.Sprintf("%+.1f%%", 100*r.Total),
+			fmt.Sprintf("%+.1f%%", 100*r.NewTechniques))
+		t.AddRow(row...)
+		sumTotal += r.Total
+		sumNew += r.NewTechniques
+	}
+	n := float64(len(rows))
+	return t.Render() + fmt.Sprintf(
+		"mean: total %+.1f%%, from new partial-operand techniques %+.1f%%\n",
+		100*sumTotal/n, 100*sumNew/n)
+}

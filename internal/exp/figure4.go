@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/cache"
+	"pok/internal/emu"
+	"pok/internal/stats"
+)
+
+// Figure4Geometry is one cache geometry of the Figure 4 sweep.
+type Figure4Geometry struct {
+	SizeBytes int
+	LineBytes int
+	Assoc     int
+}
+
+func (g Figure4Geometry) String() string {
+	return fmt.Sprintf("%dKB/%dB/%d-way", g.SizeBytes>>10, g.LineBytes, g.Assoc)
+}
+
+// Figure4Geometries returns the paper's sweep: 64KB/64B and 8KB/32B caches
+// at 2-, 4- and 8-way associativity.
+func Figure4Geometries() []Figure4Geometry {
+	var out []Figure4Geometry
+	for _, base := range []struct{ size, line int }{
+		{64 << 10, 64}, {8 << 10, 32},
+	} {
+		for _, assoc := range []int{2, 4, 8} {
+			out = append(out, Figure4Geometry{base.size, base.line, assoc})
+		}
+	}
+	return out
+}
+
+// Figure4Result is the partial tag matching characterization of one
+// benchmark on one geometry: for each partial tag width, the fraction of
+// loads in each match category.
+type Figure4Result struct {
+	Benchmark string
+	Geometry  Figure4Geometry
+	TagBits   int
+	// Frac[t-1][kind] is the fraction of accesses classified as kind when
+	// t low tag bits are compared.
+	Frac     [][4]float64
+	Accesses uint64
+	// MissRate is the cache's true miss rate over the run (the value the
+	// zero-match + single-miss categories converge to).
+	MissRate float64
+}
+
+// Figure4 reproduces the paper's Figure 4: serial partial tag comparison
+// of each load against the indexed set, classifying the match state as
+// tag bits are added.
+func Figure4(opt Options, geoms []Figure4Geometry) ([]Figure4Result, error) {
+	if len(geoms) == 0 {
+		geoms = Figure4Geometries()
+	}
+	var out []Figure4Result
+	for _, name := range opt.benchmarks() {
+		for _, g := range geoms {
+			c := cache.New(cache.Config{
+				Name: g.String(), SizeBytes: g.SizeBytes,
+				LineBytes: g.LineBytes, Assoc: g.Assoc, HitLatency: 1,
+			})
+			res := Figure4Result{Benchmark: name, Geometry: g, TagBits: c.TagBits()}
+			counts := make([][4]uint64, res.TagBits)
+			err := opt.forEachInst(name, func(d *emu.DynInst) {
+				if !d.Inst.Op.IsLoad() {
+					return
+				}
+				for t := 1; t <= res.TagBits; t++ {
+					counts[t-1][c.ClassifyPartial(d.EffAddr, t)]++
+				}
+				res.Accesses++
+				c.Access(d.EffAddr)
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.Frac = make([][4]float64, res.TagBits)
+			for i := range counts {
+				for k := 0; k < 4; k++ {
+					if res.Accesses > 0 {
+						res.Frac[i][k] = float64(counts[i][k]) / float64(res.Accesses)
+					}
+				}
+			}
+			res.MissRate = c.MissRate()
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// UniqueFrac returns the fraction of accesses resolved to a unique answer
+// (single hit or provable miss) with t tag bits compared.
+func (r *Figure4Result) UniqueFrac(t int) float64 {
+	if t < 1 || t > r.TagBits {
+		return 0
+	}
+	f := r.Frac[t-1]
+	return f[cache.ZeroMatch] + f[cache.SingleHit] + f[cache.SingleMiss]
+}
+
+// RenderFigure4 prints the characterization tables.
+func RenderFigure4(results []Figure4Result) string {
+	var out string
+	for _, r := range results {
+		t := stats.NewTable(
+			fmt.Sprintf("Figure 4: Partial Tag Matching — %s, %s (%d accesses, %.1f%% miss rate)",
+				r.Benchmark, r.Geometry, r.Accesses, 100*r.MissRate),
+			"tag bits", "zero match", "single-hit", "single-miss", "mult match", "unique")
+		for tb := 1; tb <= r.TagBits; tb++ {
+			f := r.Frac[tb-1]
+			t.AddRow(fmt.Sprintf("%d", tb),
+				pct(f[cache.ZeroMatch]), pct(f[cache.SingleHit]),
+				pct(f[cache.SingleMiss]), pct(f[cache.MultiMatch]),
+				pct(r.UniqueFrac(tb)))
+		}
+		out += t.Render() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/bitslice"
+	"pok/internal/bpred"
+	"pok/internal/emu"
+	"pok/internal/isa"
+	"pok/internal/stats"
+)
+
+// Figure6Result is the early branch misprediction detection
+// characterization of one benchmark: the cumulative fraction of all
+// conditional branch mispredictions exposed after examining operand bits
+// [0, b] (a 64k-entry gshare supplies the predictions, as in the paper).
+type Figure6Result struct {
+	Benchmark string
+	// CumFrac[b] is the fraction of mispredictions detectable after
+	// examining bits 0..b of the branch comparison. CumFrac[31] == 1.
+	CumFrac [32]float64
+	// Mispredicts and Branches are the raw counts.
+	Mispredicts uint64
+	Branches    uint64
+	// EqBranchFrac is the fraction of dynamic conditional branches that
+	// are beq/bne (the paper reports 61% on average).
+	EqBranchFrac float64
+	// EqMispredFrac is the fraction of mispredictions from beq/bne (48%
+	// in the paper).
+	EqMispredFrac float64
+}
+
+// branchAssertsEquality reports whether the predicted direction of the
+// branch asserts that its comparison operands are equal — the case a
+// single differing slice can refute.
+func branchAssertsEquality(op isa.Op, predictedTaken bool) bool {
+	switch op {
+	case isa.OpBEQ:
+		return predictedTaken
+	case isa.OpBNE:
+		return !predictedTaken
+	}
+	return false
+}
+
+// Figure6 reproduces the paper's Figure 6.
+func Figure6(opt Options) ([]Figure6Result, error) {
+	var out []Figure6Result
+	for _, name := range opt.benchmarks() {
+		g := bpred.NewGshare(16) // 64k entries
+		res := Figure6Result{Benchmark: name}
+		dist := stats.NewDist(32)
+		var eqBranches, eqMispred uint64
+
+		err := opt.forEachInst(name, func(d *emu.DynInst) {
+			op := d.Inst.Op
+			if !op.IsBranch() || op == isa.OpBC1T || op == isa.OpBC1F {
+				return
+			}
+			predTaken := g.Predict(d.PC)
+			g.Update(d.PC, d.Taken)
+			res.Branches++
+			if op.EqualityBranch() {
+				eqBranches++
+			}
+			if predTaken == d.Taken {
+				return
+			}
+			res.Mispredicts++
+			if op.EqualityBranch() {
+				eqMispred++
+			}
+			// How many low bits expose the misprediction?
+			bin := 31 // default: the sign bit / full comparison
+			if branchAssertsEquality(op, predTaken) {
+				a, b := branchCompareOperands(d)
+				if diff := bitslice.FirstDiffBit(a, b); diff < 32 {
+					bin = diff
+				}
+			}
+			dist.Add(bin)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < 32; b++ {
+			res.CumFrac[b] = dist.CumFrac(b)
+		}
+		if res.Branches > 0 {
+			res.EqBranchFrac = float64(eqBranches) / float64(res.Branches)
+		}
+		if res.Mispredicts > 0 {
+			res.EqMispredFrac = float64(eqMispred) / float64(res.Mispredicts)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// branchCompareOperands returns the two values a conditional branch
+// compares ($zero substituted for absent sources).
+func branchCompareOperands(d *emu.DynInst) (a, b uint32) {
+	switch d.NSrc {
+	case 2:
+		return d.SrcVal[0], d.SrcVal[1]
+	case 1:
+		return d.SrcVal[0], 0
+	default:
+		return 0, 0
+	}
+}
+
+// RenderFigure6 prints the cumulative detection series; the sampled bit
+// positions match reading the paper's plot left to right.
+func RenderFigure6(results []Figure6Result) string {
+	samples := []int{0, 1, 3, 7, 8, 15, 23, 30, 31}
+	headers := []string{"benchmark", "mispred", "beq/bne br", "beq/bne misp"}
+	for _, b := range samples {
+		headers = append(headers, fmt.Sprintf("<=bit %d", b))
+	}
+	t := stats.NewTable(
+		"Figure 6: % of Mispredictions Detected vs Operand Bits Examined (64k gshare)",
+		headers...)
+	for _, r := range results {
+		row := []string{
+			r.Benchmark,
+			fmt.Sprintf("%d", r.Mispredicts),
+			pct(r.EqBranchFrac),
+			pct(r.EqMispredFrac),
+		}
+		for _, b := range samples {
+			row = append(row, pct(r.CumFrac[b]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render()
+}
+
+// AverageCumFrac averages the cumulative detection fraction at bit b over
+// all results (the paper quotes the suite average at bits 0 and 7).
+func AverageCumFrac(results []Figure6Result, b int) float64 {
+	if len(results) == 0 || b < 0 || b > 31 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.CumFrac[b]
+	}
+	return sum / float64(len(results))
+}

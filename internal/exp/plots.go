@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pok/internal/plot"
+)
+
+// PlotFigure6 sketches each benchmark's cumulative misprediction
+// detection curve (the visual shape of the paper's Figure 6: an early
+// rise followed by the spike at bit 31).
+func PlotFigure6(results []Figure6Result) string {
+	var b strings.Builder
+	for _, r := range results {
+		ys := make([]float64, 32)
+		for i := range ys {
+			ys[i] = r.CumFrac[i]
+		}
+		b.WriteString(plot.Curve(
+			fmt.Sprintf("%s: cumulative fraction of mispredictions detected vs bits examined",
+				r.Benchmark),
+			ys, 8))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PlotFigure11 sketches the Figure 11 comparison as horizontal IPC bars:
+// for each benchmark, the simple-pipelining IPC, the full bit-sliced IPC
+// and the ideal machine's IPC.
+func PlotFigure11(rows []Figure11Row) string {
+	var labels []string
+	var values []float64
+	for _, r := range rows {
+		labels = append(labels,
+			r.Benchmark+"/simple", r.Benchmark+"/bitslice", r.Benchmark+"/ideal")
+		values = append(values, r.StackIPC[0], r.FinalIPC(), r.BaseIPC)
+	}
+	title := ""
+	if len(rows) > 0 {
+		title = fmt.Sprintf("Figure 11 sketch: IPC, slice-by-%d", rows[0].SliceBy)
+	}
+	return plot.HBar(title, labels, values, 50)
+}
+
+// PlotFigure12 sketches the per-technique speedup stacks.
+func PlotFigure12(rows []Figure12Row) string {
+	var groups []string
+	var values [][]float64
+	for _, r := range rows {
+		groups = append(groups, r.Benchmark)
+		values = append(values, r.Contribution)
+	}
+	title := ""
+	if len(rows) > 0 {
+		title = fmt.Sprintf(
+			"Figure 12 sketch: speedup contributions over simple pipelining, slice-by-%d",
+			rows[0].SliceBy)
+	}
+	return plot.Stack(title, groups, TechniqueNames[1:], values, 50)
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+
+	"pok/internal/core"
+	"pok/internal/stats"
+)
+
+// Table1Row is one line of the paper's Table 1: baseline characteristics
+// of a benchmark on the base (single-cycle EX) machine.
+type Table1Row struct {
+	Benchmark      string
+	Insts          uint64
+	IPC            float64
+	PctLoads       float64
+	BranchAccuracy float64
+}
+
+// Table1 reproduces the paper's Table 1 on the base machine. Benchmarks
+// run concurrently when opt.Parallel > 1.
+func Table1(opt Options) ([]Table1Row, error) {
+	rows := make([]Table1Row, len(opt.benchmarks()))
+	err := opt.forEachBenchmark(func(idx int, name string) error {
+		prog, ff, err := opt.program(name)
+		if err != nil {
+			return err
+		}
+		r, err := core.RunWarm(prog, core.BaseConfig(), ff, opt.budget())
+		if err != nil {
+			return fmt.Errorf("exp: table1 %s: %w", name, err)
+		}
+		rows[idx] = Table1Row{
+			Benchmark:      name,
+			Insts:          r.Insts,
+			IPC:            r.IPC,
+			PctLoads:       float64(r.Loads) / float64(r.Insts),
+			BranchAccuracy: r.BranchAccuracy,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the rows in the paper's Table 1 format.
+func RenderTable1(rows []Table1Row) string {
+	t := stats.NewTable("Table 1: Benchmark Programs Simulated",
+		"Benchmark", "Simulated Instr", "IPC", "% Loads", "Branch Accuracy")
+	for _, r := range rows {
+		t.AddRow(r.Benchmark,
+			fmt.Sprintf("%d", r.Insts),
+			stats.F2(r.IPC),
+			fmt.Sprintf("%.1f%%", 100*r.PctLoads),
+			fmt.Sprintf("%.0f%%", 100*r.BranchAccuracy))
+	}
+	return t.Render()
+}

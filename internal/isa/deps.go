@@ -1,0 +1,129 @@
+package isa
+
+// SliceProfile classifies how an operation's output slices depend on its
+// input slices in a bit-sliced datapath (paper §6, Figure 8). The timing
+// model uses the profile to build per-slice dependence edges; the
+// functional substrate in internal/bitslice implements the matching
+// slice-at-a-time arithmetic.
+type SliceProfile uint8
+
+// Slice profiles.
+const (
+	// SliceLogic: output slice s depends only on input slices s. Slices may
+	// execute out of order (Figure 8c).
+	SliceLogic SliceProfile = iota
+	// SliceCarry: output slice s depends on input slices s and the carry
+	// out of slice s-1, forcing serial low-to-high evaluation (Figure 8b).
+	SliceCarry
+	// SliceCompareLow: the boolean result lands in bit 0 but requires the
+	// full-width comparison; the upper (all-zero) slices are known at
+	// decode while slice 0 becomes available only after the top slice of
+	// the inputs has been examined (slt and friends).
+	SliceCompareLow
+	// SliceShiftLeft: output slice s depends on input slices <= s (data
+	// moves toward higher bits), enabling low-first pipelined evaluation.
+	SliceShiftLeft
+	// SliceShiftRight: output slice s depends on input slices >= s, so the
+	// high slice of the result is available first.
+	SliceShiftRight
+	// SliceSerialMul: bit-serial multiplication; output slices emerge
+	// low-first, one per cycle after all input slices arrive serially.
+	SliceSerialMul
+	// SliceFullWidth: the unit collects every input slice before starting
+	// and produces all output slices together (divide, floating point).
+	SliceFullWidth
+)
+
+// SliceProfile returns the slice-dependency profile for the op. For memory
+// ops the profile describes the address-generation add; the memory data
+// itself is full-width. For branches it describes the comparison.
+func (o Op) SliceProfile() SliceProfile {
+	switch o {
+	case OpAND, OpOR, OpXOR, OpNOR, OpANDI, OpORI, OpXORI, OpLUI,
+		OpMFHI, OpMFLO, OpMTHI, OpMTLO, OpNOP:
+		return SliceLogic
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpADDI, OpADDIU:
+		return SliceCarry
+	case OpSLT, OpSLTU, OpSLTI, OpSLTIU:
+		return SliceCompareLow
+	case OpSLL, OpSLLV:
+		return SliceShiftLeft
+	case OpSRL, OpSRA, OpSRLV, OpSRAV:
+		return SliceShiftRight
+	case OpMULT, OpMULTU:
+		return SliceSerialMul
+	case OpDIV, OpDIVU,
+		OpADDS, OpSUBS, OpMULS, OpDIVS, OpSQRTS, OpABSS, OpNEGS, OpMOVS,
+		OpCVTSW, OpCVTWS, OpCEQS, OpCLTS, OpCLES, OpMFC1, OpMTC1:
+		return SliceFullWidth
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWC1,
+		OpSB, OpSH, OpSW, OpSWC1:
+		return SliceCarry // effective address generation
+	case OpBEQ, OpBNE:
+		return SliceLogic // per-slice equality comparison
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return SliceCompareLow // sign test needs the top slice
+	case OpJ, OpJAL:
+		return SliceLogic
+	case OpJR, OpJALR:
+		return SliceFullWidth // full target address required to redirect
+	case OpBC1T, OpBC1F:
+		return SliceFullWidth
+	}
+	return SliceFullWidth
+}
+
+// EqualityBranch reports whether the op is one of the two conditional
+// branch types (beq, bne) that can detect a misprediction from a partial
+// comparison: a single differing operand slice refutes asserted equality
+// without knowledge of the remaining bits (paper §5.3).
+func (o Op) EqualityBranch() bool { return o == OpBEQ || o == OpBNE }
+
+// NeedsSignBit reports whether the branch type tests the operand sign and
+// therefore cannot resolve before the top slice is available.
+func (o Op) NeedsSignBit() bool {
+	switch o {
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return true
+	}
+	return false
+}
+
+// InputSlicesFor returns which input slices (of the op's register sources)
+// are required to produce output slice out, for a datapath split into
+// nSlices slices. The boolean serialCarry result indicates an additional
+// dependence on the op's own previous output slice (the carry chain).
+func (o Op) InputSlicesFor(out, nSlices int) (in []int, serialCarry bool) {
+	switch o.SliceProfile() {
+	case SliceLogic:
+		return []int{out}, false
+	case SliceCarry:
+		return []int{out}, out > 0
+	case SliceCompareLow:
+		if out == 0 {
+			in = make([]int, nSlices)
+			for i := range in {
+				in[i] = i
+			}
+			return in, false
+		}
+		return nil, false // upper slices are constant zero
+	case SliceShiftLeft:
+		in = make([]int, out+1)
+		for i := 0; i <= out; i++ {
+			in[i] = i
+		}
+		return in, false
+	case SliceShiftRight:
+		for i := out; i < nSlices; i++ {
+			in = append(in, i)
+		}
+		return in, false
+	default: // SliceSerialMul, SliceFullWidth
+		in = make([]int, nSlices)
+		for i := range in {
+			in[i] = i
+		}
+		return in, false
+	}
+}

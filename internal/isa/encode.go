@@ -1,0 +1,459 @@
+package isa
+
+import "fmt"
+
+// Binary encoding follows the classic MIPS-I layout:
+//
+//	R-type: op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)
+//	I-type: op(6) rs(5) rt(5) imm(16)
+//	J-type: op(6) target(26)
+//
+// Branch displacements are encoded in words relative to the next
+// instruction; Decode leaves Imm as that word displacement (the emulator
+// computes targets). J/JAL targets are absolute word addresses within the
+// current 256MB segment.
+
+// Primary opcode values.
+const (
+	popSpecial = 0
+	popRegimm  = 1
+	popJ       = 2
+	popJAL     = 3
+	popBEQ     = 4
+	popBNE     = 5
+	popBLEZ    = 6
+	popBGTZ    = 7
+	popADDI    = 8
+	popADDIU   = 9
+	popSLTI    = 10
+	popSLTIU   = 11
+	popANDI    = 12
+	popORI     = 13
+	popXORI    = 14
+	popLUI     = 15
+	popCOP1    = 17
+	popLB      = 32
+	popLH      = 33
+	popLW      = 35
+	popLBU     = 36
+	popLHU     = 37
+	popSB      = 40
+	popSH      = 41
+	popSW      = 43
+	popLWC1    = 49
+	popSWC1    = 57
+)
+
+// SPECIAL funct values.
+const (
+	fnSLL     = 0
+	fnSRL     = 2
+	fnSRA     = 3
+	fnSLLV    = 4
+	fnSRLV    = 6
+	fnSRAV    = 7
+	fnJR      = 8
+	fnJALR    = 9
+	fnSYSCALL = 12
+	fnBREAK   = 13
+	fnMFHI    = 16
+	fnMTHI    = 17
+	fnMFLO    = 18
+	fnMTLO    = 19
+	fnMULT    = 24
+	fnMULTU   = 25
+	fnDIV     = 26
+	fnDIVU    = 27
+	fnADD     = 32
+	fnADDU    = 33
+	fnSUB     = 34
+	fnSUBU    = 35
+	fnAND     = 36
+	fnOR      = 37
+	fnXOR     = 38
+	fnNOR     = 39
+	fnSLT     = 42
+	fnSLTU    = 43
+)
+
+// COP1 rs-field selectors and FP funct values.
+const (
+	copMF  = 0
+	copMT  = 4
+	copBC  = 8
+	fmtS   = 16
+	fmtW   = 20
+	ffADD  = 0
+	ffSUB  = 1
+	ffMUL  = 2
+	ffDIV  = 3
+	ffSQRT = 4
+	ffABS  = 5
+	ffMOV  = 6
+	ffNEG  = 7
+	ffCVTS = 32
+	ffCVTW = 36
+	ffCEQ  = 50
+	ffCLT  = 60
+	ffCLE  = 62
+)
+
+func rtype(funct uint32, rs, rt, rd Reg, shamt uint8) uint32 {
+	return uint32(rs)&31<<21 | uint32(rt)&31<<16 | uint32(rd)&31<<11 |
+		uint32(shamt)&31<<6 | funct&63
+}
+
+func itype(pop uint32, rs, rt Reg, imm int32) uint32 {
+	return pop<<26 | uint32(rs)&31<<21 | uint32(rt)&31<<16 | uint32(uint16(imm))
+}
+
+func fpr(r Reg) uint32 {
+	if r >= RegF0 && r < RegF0+32 {
+		return uint32(r - RegF0)
+	}
+	return uint32(r) & 31
+}
+
+// Encode converts a decoded instruction into its 32-bit machine word.
+func Encode(in Inst) (uint32, error) {
+	switch in.Op {
+	case OpNOP:
+		return 0, nil
+	case OpSLL:
+		return rtype(fnSLL, 0, in.Rt, in.Rd, in.Shamt), nil
+	case OpSRL:
+		return rtype(fnSRL, 0, in.Rt, in.Rd, in.Shamt), nil
+	case OpSRA:
+		return rtype(fnSRA, 0, in.Rt, in.Rd, in.Shamt), nil
+	case OpSLLV:
+		return rtype(fnSLLV, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpSRLV:
+		return rtype(fnSRLV, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpSRAV:
+		return rtype(fnSRAV, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpJR:
+		return rtype(fnJR, in.Rs, 0, 0, 0), nil
+	case OpJALR:
+		return rtype(fnJALR, in.Rs, 0, in.Rd, 0), nil
+	case OpSYSCALL:
+		return rtype(fnSYSCALL, 0, 0, 0, 0), nil
+	case OpBREAK:
+		return rtype(fnBREAK, 0, 0, 0, 0), nil
+	case OpMFHI:
+		return rtype(fnMFHI, 0, 0, in.Rd, 0), nil
+	case OpMTHI:
+		return rtype(fnMTHI, in.Rs, 0, 0, 0), nil
+	case OpMFLO:
+		return rtype(fnMFLO, 0, 0, in.Rd, 0), nil
+	case OpMTLO:
+		return rtype(fnMTLO, in.Rs, 0, 0, 0), nil
+	case OpMULT:
+		return rtype(fnMULT, in.Rs, in.Rt, 0, 0), nil
+	case OpMULTU:
+		return rtype(fnMULTU, in.Rs, in.Rt, 0, 0), nil
+	case OpDIV:
+		return rtype(fnDIV, in.Rs, in.Rt, 0, 0), nil
+	case OpDIVU:
+		return rtype(fnDIVU, in.Rs, in.Rt, 0, 0), nil
+	case OpADD:
+		return rtype(fnADD, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpADDU:
+		return rtype(fnADDU, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpSUB:
+		return rtype(fnSUB, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpSUBU:
+		return rtype(fnSUBU, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpAND:
+		return rtype(fnAND, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpOR:
+		return rtype(fnOR, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpXOR:
+		return rtype(fnXOR, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpNOR:
+		return rtype(fnNOR, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpSLT:
+		return rtype(fnSLT, in.Rs, in.Rt, in.Rd, 0), nil
+	case OpSLTU:
+		return rtype(fnSLTU, in.Rs, in.Rt, in.Rd, 0), nil
+
+	case OpBLTZ:
+		return itype(popRegimm, in.Rs, 0, in.Imm), nil
+	case OpBGEZ:
+		return itype(popRegimm, in.Rs, 1, in.Imm), nil
+	case OpJ:
+		return popJ<<26 | in.Target&0x03ffffff, nil
+	case OpJAL:
+		return popJAL<<26 | in.Target&0x03ffffff, nil
+	case OpBEQ:
+		return itype(popBEQ, in.Rs, in.Rt, in.Imm), nil
+	case OpBNE:
+		return itype(popBNE, in.Rs, in.Rt, in.Imm), nil
+	case OpBLEZ:
+		return itype(popBLEZ, in.Rs, 0, in.Imm), nil
+	case OpBGTZ:
+		return itype(popBGTZ, in.Rs, 0, in.Imm), nil
+	case OpADDI:
+		return itype(popADDI, in.Rs, in.Rt, in.Imm), nil
+	case OpADDIU:
+		return itype(popADDIU, in.Rs, in.Rt, in.Imm), nil
+	case OpSLTI:
+		return itype(popSLTI, in.Rs, in.Rt, in.Imm), nil
+	case OpSLTIU:
+		return itype(popSLTIU, in.Rs, in.Rt, in.Imm), nil
+	case OpANDI:
+		return itype(popANDI, in.Rs, in.Rt, in.Imm), nil
+	case OpORI:
+		return itype(popORI, in.Rs, in.Rt, in.Imm), nil
+	case OpXORI:
+		return itype(popXORI, in.Rs, in.Rt, in.Imm), nil
+	case OpLUI:
+		return itype(popLUI, 0, in.Rt, in.Imm), nil
+	case OpLB:
+		return itype(popLB, in.Rs, in.Rt, in.Imm), nil
+	case OpLH:
+		return itype(popLH, in.Rs, in.Rt, in.Imm), nil
+	case OpLW:
+		return itype(popLW, in.Rs, in.Rt, in.Imm), nil
+	case OpLBU:
+		return itype(popLBU, in.Rs, in.Rt, in.Imm), nil
+	case OpLHU:
+		return itype(popLHU, in.Rs, in.Rt, in.Imm), nil
+	case OpSB:
+		return itype(popSB, in.Rs, in.Rt, in.Imm), nil
+	case OpSH:
+		return itype(popSH, in.Rs, in.Rt, in.Imm), nil
+	case OpSW:
+		return itype(popSW, in.Rs, in.Rt, in.Imm), nil
+	case OpLWC1:
+		return popLWC1<<26 | uint32(in.Rs)&31<<21 | fpr(in.Rt)<<16 |
+			uint32(uint16(in.Imm)), nil
+	case OpSWC1:
+		return popSWC1<<26 | uint32(in.Rs)&31<<21 | fpr(in.Rt)<<16 |
+			uint32(uint16(in.Imm)), nil
+
+	case OpMFC1:
+		return popCOP1<<26 | copMF<<21 | uint32(in.Rt)&31<<16 | fpr(in.Rs)<<11, nil
+	case OpMTC1:
+		return popCOP1<<26 | copMT<<21 | uint32(in.Rt)&31<<16 | fpr(in.Rd)<<11, nil
+	case OpBC1F:
+		return popCOP1<<26 | copBC<<21 | 0<<16 | uint32(uint16(in.Imm)), nil
+	case OpBC1T:
+		return popCOP1<<26 | copBC<<21 | 1<<16 | uint32(uint16(in.Imm)), nil
+	case OpADDS, OpSUBS, OpMULS, OpDIVS, OpSQRTS, OpABSS, OpMOVS, OpNEGS, OpCVTWS:
+		var ff uint32
+		switch in.Op {
+		case OpADDS:
+			ff = ffADD
+		case OpSUBS:
+			ff = ffSUB
+		case OpMULS:
+			ff = ffMUL
+		case OpDIVS:
+			ff = ffDIV
+		case OpSQRTS:
+			ff = ffSQRT
+		case OpABSS:
+			ff = ffABS
+		case OpMOVS:
+			ff = ffMOV
+		case OpNEGS:
+			ff = ffNEG
+		case OpCVTWS:
+			ff = ffCVTW
+		}
+		return popCOP1<<26 | fmtS<<21 | fpr(in.Rt)<<16 | fpr(in.Rs)<<11 |
+			fpr(in.Rd)<<6 | ff, nil
+	case OpCVTSW:
+		return popCOP1<<26 | fmtW<<21 | 0<<16 | fpr(in.Rs)<<11 |
+			fpr(in.Rd)<<6 | ffCVTS, nil
+	case OpCEQS, OpCLTS, OpCLES:
+		var ff uint32
+		switch in.Op {
+		case OpCEQS:
+			ff = ffCEQ
+		case OpCLTS:
+			ff = ffCLT
+		case OpCLES:
+			ff = ffCLE
+		}
+		return popCOP1<<26 | fmtS<<21 | fpr(in.Rt)<<16 | fpr(in.Rs)<<11 | ff, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+}
+
+// Decode converts a 32-bit machine word back into a decoded instruction.
+func Decode(word uint32) (Inst, error) {
+	pop := word >> 26
+	rs := Reg(word >> 21 & 31)
+	rt := Reg(word >> 16 & 31)
+	rd := Reg(word >> 11 & 31)
+	shamt := uint8(word >> 6 & 31)
+	imm := int32(int16(word & 0xffff))
+	switch pop {
+	case popSpecial:
+		funct := word & 63
+		if word == 0 {
+			return Inst{Op: OpNOP}, nil
+		}
+		switch funct {
+		case fnSLL:
+			return Inst{Op: OpSLL, Rt: rt, Rd: rd, Shamt: shamt}, nil
+		case fnSRL:
+			return Inst{Op: OpSRL, Rt: rt, Rd: rd, Shamt: shamt}, nil
+		case fnSRA:
+			return Inst{Op: OpSRA, Rt: rt, Rd: rd, Shamt: shamt}, nil
+		case fnSLLV:
+			return Inst{Op: OpSLLV, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnSRLV:
+			return Inst{Op: OpSRLV, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnSRAV:
+			return Inst{Op: OpSRAV, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnJR:
+			return Inst{Op: OpJR, Rs: rs}, nil
+		case fnJALR:
+			return Inst{Op: OpJALR, Rs: rs, Rd: rd}, nil
+		case fnSYSCALL:
+			return Inst{Op: OpSYSCALL}, nil
+		case fnBREAK:
+			return Inst{Op: OpBREAK}, nil
+		case fnMFHI:
+			return Inst{Op: OpMFHI, Rd: rd}, nil
+		case fnMTHI:
+			return Inst{Op: OpMTHI, Rs: rs}, nil
+		case fnMFLO:
+			return Inst{Op: OpMFLO, Rd: rd}, nil
+		case fnMTLO:
+			return Inst{Op: OpMTLO, Rs: rs}, nil
+		case fnMULT:
+			return Inst{Op: OpMULT, Rs: rs, Rt: rt}, nil
+		case fnMULTU:
+			return Inst{Op: OpMULTU, Rs: rs, Rt: rt}, nil
+		case fnDIV:
+			return Inst{Op: OpDIV, Rs: rs, Rt: rt}, nil
+		case fnDIVU:
+			return Inst{Op: OpDIVU, Rs: rs, Rt: rt}, nil
+		case fnADD:
+			return Inst{Op: OpADD, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnADDU:
+			return Inst{Op: OpADDU, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnSUB:
+			return Inst{Op: OpSUB, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnSUBU:
+			return Inst{Op: OpSUBU, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnAND:
+			return Inst{Op: OpAND, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnOR:
+			return Inst{Op: OpOR, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnXOR:
+			return Inst{Op: OpXOR, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnNOR:
+			return Inst{Op: OpNOR, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnSLT:
+			return Inst{Op: OpSLT, Rs: rs, Rt: rt, Rd: rd}, nil
+		case fnSLTU:
+			return Inst{Op: OpSLTU, Rs: rs, Rt: rt, Rd: rd}, nil
+		}
+	case popRegimm:
+		switch rt {
+		case 0:
+			return Inst{Op: OpBLTZ, Rs: rs, Imm: imm}, nil
+		case 1:
+			return Inst{Op: OpBGEZ, Rs: rs, Imm: imm}, nil
+		}
+	case popJ:
+		return Inst{Op: OpJ, Target: word & 0x03ffffff}, nil
+	case popJAL:
+		return Inst{Op: OpJAL, Target: word & 0x03ffffff}, nil
+	case popBEQ:
+		return Inst{Op: OpBEQ, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popBNE:
+		return Inst{Op: OpBNE, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popBLEZ:
+		return Inst{Op: OpBLEZ, Rs: rs, Imm: imm}, nil
+	case popBGTZ:
+		return Inst{Op: OpBGTZ, Rs: rs, Imm: imm}, nil
+	case popADDI:
+		return Inst{Op: OpADDI, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popADDIU:
+		return Inst{Op: OpADDIU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popSLTI:
+		return Inst{Op: OpSLTI, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popSLTIU:
+		return Inst{Op: OpSLTIU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popANDI:
+		return Inst{Op: OpANDI, Rs: rs, Rt: rt, Imm: int32(word & 0xffff)}, nil
+	case popORI:
+		return Inst{Op: OpORI, Rs: rs, Rt: rt, Imm: int32(word & 0xffff)}, nil
+	case popXORI:
+		return Inst{Op: OpXORI, Rs: rs, Rt: rt, Imm: int32(word & 0xffff)}, nil
+	case popLUI:
+		return Inst{Op: OpLUI, Rt: rt, Imm: int32(word & 0xffff)}, nil
+	case popLB:
+		return Inst{Op: OpLB, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popLH:
+		return Inst{Op: OpLH, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popLW:
+		return Inst{Op: OpLW, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popLBU:
+		return Inst{Op: OpLBU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popLHU:
+		return Inst{Op: OpLHU, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popSB:
+		return Inst{Op: OpSB, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popSH:
+		return Inst{Op: OpSH, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popSW:
+		return Inst{Op: OpSW, Rs: rs, Rt: rt, Imm: imm}, nil
+	case popLWC1:
+		return Inst{Op: OpLWC1, Rs: rs, Rt: RegF0 + rt, Imm: imm}, nil
+	case popSWC1:
+		return Inst{Op: OpSWC1, Rs: rs, Rt: RegF0 + rt, Imm: imm}, nil
+	case popCOP1:
+		sel := word >> 21 & 31
+		switch sel {
+		case copMF:
+			return Inst{Op: OpMFC1, Rt: rt, Rs: RegF0 + rd}, nil
+		case copMT:
+			return Inst{Op: OpMTC1, Rt: rt, Rd: RegF0 + rd}, nil
+		case copBC:
+			if rt&1 == 1 {
+				return Inst{Op: OpBC1T, Imm: imm}, nil
+			}
+			return Inst{Op: OpBC1F, Imm: imm}, nil
+		case fmtS:
+			ft, fs, fd := RegF0+rt, RegF0+rd, RegF0+Reg(shamt)
+			switch word & 63 {
+			case ffADD:
+				return Inst{Op: OpADDS, Rs: fs, Rt: ft, Rd: fd}, nil
+			case ffSUB:
+				return Inst{Op: OpSUBS, Rs: fs, Rt: ft, Rd: fd}, nil
+			case ffMUL:
+				return Inst{Op: OpMULS, Rs: fs, Rt: ft, Rd: fd}, nil
+			case ffDIV:
+				return Inst{Op: OpDIVS, Rs: fs, Rt: ft, Rd: fd}, nil
+			case ffSQRT:
+				return Inst{Op: OpSQRTS, Rs: fs, Rd: fd}, nil
+			case ffABS:
+				return Inst{Op: OpABSS, Rs: fs, Rd: fd}, nil
+			case ffMOV:
+				return Inst{Op: OpMOVS, Rs: fs, Rd: fd}, nil
+			case ffNEG:
+				return Inst{Op: OpNEGS, Rs: fs, Rd: fd}, nil
+			case ffCVTW:
+				return Inst{Op: OpCVTWS, Rs: fs, Rd: fd}, nil
+			case ffCEQ:
+				return Inst{Op: OpCEQS, Rs: fs, Rt: ft}, nil
+			case ffCLT:
+				return Inst{Op: OpCLTS, Rs: fs, Rt: ft}, nil
+			case ffCLE:
+				return Inst{Op: OpCLES, Rs: fs, Rt: ft}, nil
+			}
+		case fmtW:
+			fs, fd := RegF0+rd, RegF0+Reg(shamt)
+			if word&63 == ffCVTS {
+				return Inst{Op: OpCVTSW, Rs: fs, Rd: fd}, nil
+			}
+		}
+	}
+	return Inst{}, fmt.Errorf("isa: cannot decode word 0x%08x", word)
+}

@@ -1,0 +1,463 @@
+// Package isa defines the 32-bit PISA-like instruction set used throughout
+// the simulator. The ISA follows the SimpleScalar PISA conventions the paper
+// evaluates on: a MIPS-derived register ISA with no branch delay slots,
+// 32 general-purpose registers, HI/LO multiply registers and a small
+// single-precision floating-point extension.
+//
+// Instructions have a fixed 32-bit binary encoding (R/I/J formats) so
+// programs can be assembled to, stored as, and decoded from real machine
+// words; the timing model additionally consults per-opcode slice-dependency
+// metadata (see deps.go) to schedule bit-sliced execution.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. 0..31 are the general-purpose
+// registers, RegHI/RegLO the multiply-divide pair, 34..65 the FP registers
+// and RegFCC the floating-point condition flag.
+type Reg uint8
+
+// Special register indices beyond the 32 GPRs.
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegAT   Reg = 1 // assembler temporary
+	RegV0   Reg = 2 // syscall selector / return value
+	RegV1   Reg = 3
+	RegA0   Reg = 4 // first argument
+	RegA1   Reg = 5
+	RegA2   Reg = 6
+	RegA3   Reg = 7
+	RegT0   Reg = 8
+	RegS0   Reg = 16
+	RegGP   Reg = 28
+	RegSP   Reg = 29
+	RegFP   Reg = 30
+	RegRA   Reg = 31
+
+	RegHI  Reg = 32
+	RegLO  Reg = 33
+	RegF0  Reg = 34 // FP register file base: $f0 == RegF0+0 ... $f31 == RegF0+31
+	RegFCC Reg = 66 // FP condition code
+
+	// NumRegs is the size of the flat architectural register file used by
+	// the emulator and renamer (GPRs + HI/LO + 32 FP + FCC).
+	NumRegs = 67
+)
+
+var gprNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional MIPS name for the register ("$v0", "$f2").
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return "$" + gprNames[r]
+	case r == RegHI:
+		return "$hi"
+	case r == RegLO:
+		return "$lo"
+	case r >= RegF0 && r < RegF0+32:
+		return fmt.Sprintf("$f%d", r-RegF0)
+	case r == RegFCC:
+		return "$fcc"
+	}
+	return fmt.Sprintf("$r%d", uint8(r))
+}
+
+// GPRByName maps "$t0"/"t0"/"$8"/"8" style names to a GPR index.
+func GPRByName(name string) (Reg, bool) {
+	if len(name) > 0 && name[0] == '$' {
+		name = name[1:]
+	}
+	for i, n := range gprNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	// numeric form
+	v := 0
+	if len(name) == 0 {
+		return 0, false
+	}
+	for _, c := range name {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+	}
+	if v < 32 {
+		return Reg(v), true
+	}
+	return 0, false
+}
+
+// Op enumerates the decoded operations of the ISA.
+type Op uint8
+
+// Operation codes. The groupings (arithmetic, logic, shift, memory,
+// control, FP) drive both functional execution and slice scheduling.
+const (
+	OpInvalid Op = iota
+
+	// Integer arithmetic.
+	OpADD
+	OpADDU
+	OpSUB
+	OpSUBU
+	OpADDI
+	OpADDIU
+	OpSLT
+	OpSLTU
+	OpSLTI
+	OpSLTIU
+	OpMULT
+	OpMULTU
+	OpDIV
+	OpDIVU
+	OpMFHI
+	OpMFLO
+	OpMTHI
+	OpMTLO
+
+	// Logic.
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+
+	// Shifts.
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+
+	// Memory.
+	OpLB
+	OpLBU
+	OpLH
+	OpLHU
+	OpLW
+	OpSB
+	OpSH
+	OpSW
+	OpLWC1
+	OpSWC1
+
+	// Control.
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpBLTZ
+	OpBGEZ
+	OpJ
+	OpJAL
+	OpJR
+	OpJALR
+	OpBC1T
+	OpBC1F
+
+	// Floating point (single precision).
+	OpADDS
+	OpSUBS
+	OpMULS
+	OpDIVS
+	OpSQRTS
+	OpABSS
+	OpNEGS
+	OpMOVS
+	OpCVTSW
+	OpCVTWS
+	OpCEQS
+	OpCLTS
+	OpCLES
+	OpMFC1
+	OpMTC1
+
+	// System.
+	OpSYSCALL
+	OpBREAK
+	OpNOP
+
+	NumOps = int(OpNOP) + 1
+)
+
+var opNames = map[Op]string{
+	OpADD: "add", OpADDU: "addu", OpSUB: "sub", OpSUBU: "subu",
+	OpADDI: "addi", OpADDIU: "addiu", OpSLT: "slt", OpSLTU: "sltu",
+	OpSLTI: "slti", OpSLTIU: "sltiu", OpMULT: "mult", OpMULTU: "multu",
+	OpDIV: "div", OpDIVU: "divu", OpMFHI: "mfhi", OpMFLO: "mflo",
+	OpMTHI: "mthi", OpMTLO: "mtlo",
+	OpAND: "and", OpOR: "or", OpXOR: "xor", OpNOR: "nor",
+	OpANDI: "andi", OpORI: "ori", OpXORI: "xori", OpLUI: "lui",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra",
+	OpSLLV: "sllv", OpSRLV: "srlv", OpSRAV: "srav",
+	OpLB: "lb", OpLBU: "lbu", OpLH: "lh", OpLHU: "lhu", OpLW: "lw",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw", OpLWC1: "lwc1", OpSWC1: "swc1",
+	OpBEQ: "beq", OpBNE: "bne", OpBLEZ: "blez", OpBGTZ: "bgtz",
+	OpBLTZ: "bltz", OpBGEZ: "bgez", OpJ: "j", OpJAL: "jal",
+	OpJR: "jr", OpJALR: "jalr", OpBC1T: "bc1t", OpBC1F: "bc1f",
+	OpADDS: "add.s", OpSUBS: "sub.s", OpMULS: "mul.s", OpDIVS: "div.s",
+	OpSQRTS: "sqrt.s", OpABSS: "abs.s", OpNEGS: "neg.s", OpMOVS: "mov.s",
+	OpCVTSW: "cvt.s.w", OpCVTWS: "cvt.w.s",
+	OpCEQS: "c.eq.s", OpCLTS: "c.lt.s", OpCLES: "c.le.s",
+	OpMFC1: "mfc1", OpMTC1: "mtc1",
+	OpSYSCALL: "syscall", OpBREAK: "break", OpNOP: "nop",
+}
+
+// String returns the assembler mnemonic for the op.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpByName maps an assembler mnemonic back to its Op.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, n := range opNames {
+		m[n] = op
+	}
+	return m
+}()
+
+// Class partitions ops by how the pipeline treats them.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassIntALU   Class = iota // single-cycle integer (full-width) / sliceable
+	ClassIntMul                // multiply (bit-serial capable)
+	ClassIntDiv                // divide (full-width unit)
+	ClassLoad                  // memory read
+	ClassStore                 // memory write
+	ClassBranch                // conditional branch
+	ClassJump                  // unconditional control
+	ClassFP                    // floating-point ALU (full-width unit)
+	ClassFPMulDiv              // FP multiply/divide/sqrt
+	ClassSyscall               // system / serializing
+)
+
+// Class returns the pipeline class of the op.
+func (o Op) Class() Class {
+	switch o {
+	case OpMULT, OpMULTU:
+		return ClassIntMul
+	case OpDIV, OpDIVU:
+		return ClassIntDiv
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWC1:
+		return ClassLoad
+	case OpSB, OpSH, OpSW, OpSWC1:
+		return ClassStore
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ, OpBC1T, OpBC1F:
+		return ClassBranch
+	case OpJ, OpJAL, OpJR, OpJALR:
+		return ClassJump
+	case OpADDS, OpSUBS, OpABSS, OpNEGS, OpMOVS, OpCVTSW, OpCVTWS,
+		OpCEQS, OpCLTS, OpCLES, OpMFC1, OpMTC1:
+		return ClassFP
+	case OpMULS, OpDIVS, OpSQRTS:
+		return ClassFPMulDiv
+	case OpSYSCALL, OpBREAK:
+		return ClassSyscall
+	}
+	return ClassIntALU
+}
+
+// IsLoad reports whether the op reads memory.
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// IsBranch reports whether the op is a conditional branch.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsControl reports whether the op can redirect the PC.
+func (o Op) IsControl() bool {
+	c := o.Class()
+	return c == ClassBranch || c == ClassJump
+}
+
+// MemSize returns the access width in bytes for memory ops (0 otherwise).
+func (o Op) MemSize() uint8 {
+	switch o {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpSW, OpLWC1, OpSWC1:
+		return 4
+	}
+	return 0
+}
+
+// Inst is a decoded instruction. Rs/Rt/Rd follow MIPS conventions; ops that
+// do not use a field leave it as RegZero. Imm holds the sign- or
+// zero-extended immediate as appropriate for the op; Target holds the
+// absolute word target for J/JAL; Shamt the shift amount for immediate
+// shifts.
+type Inst struct {
+	Op     Op
+	Rs     Reg
+	Rt     Reg
+	Rd     Reg
+	Shamt  uint8
+	Imm    int32
+	Target uint32
+}
+
+// Sources returns the architectural registers the instruction reads.
+// The zero register is omitted (it is never a real dependence).
+func (in *Inst) Sources() []Reg {
+	var out []Reg
+	add := func(r Reg) {
+		if r != RegZero {
+			out = append(out, r)
+		}
+	}
+	switch in.Op {
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpSLT, OpSLTU,
+		OpAND, OpOR, OpXOR, OpNOR, OpSLLV, OpSRLV, OpSRAV:
+		add(in.Rs)
+		add(in.Rt)
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		add(in.Rs)
+	case OpLUI:
+	case OpSLL, OpSRL, OpSRA:
+		add(in.Rt)
+	case OpMULT, OpMULTU, OpDIV, OpDIVU:
+		add(in.Rs)
+		add(in.Rt)
+	case OpMFHI:
+		add(RegHI)
+	case OpMFLO:
+		add(RegLO)
+	case OpMTHI, OpMTLO:
+		add(in.Rs)
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWC1:
+		add(in.Rs)
+	case OpSB, OpSH, OpSW:
+		add(in.Rs)
+		add(in.Rt)
+	case OpSWC1:
+		add(in.Rs)
+		add(in.Rt) // FP source
+	case OpBEQ, OpBNE:
+		add(in.Rs)
+		add(in.Rt)
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		add(in.Rs)
+	case OpJR, OpJALR:
+		add(in.Rs)
+	case OpBC1T, OpBC1F:
+		add(RegFCC)
+	case OpADDS, OpSUBS, OpMULS, OpDIVS, OpCEQS, OpCLTS, OpCLES:
+		add(in.Rs)
+		add(in.Rt)
+	case OpSQRTS, OpABSS, OpNEGS, OpMOVS, OpCVTSW, OpCVTWS:
+		add(in.Rs)
+	case OpMFC1:
+		add(in.Rs) // FP source
+	case OpMTC1:
+		add(in.Rt) // GPR source
+	case OpSYSCALL:
+		add(RegV0)
+		add(RegA0)
+	}
+	return out
+}
+
+// Dest returns the architectural register the instruction writes, or
+// RegZero if it writes none.
+func (in *Inst) Dest() Reg {
+	switch in.Op {
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpSLT, OpSLTU,
+		OpAND, OpOR, OpXOR, OpNOR,
+		OpSLL, OpSRL, OpSRA, OpSLLV, OpSRLV, OpSRAV:
+		return in.Rd
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI:
+		return in.Rt
+	case OpMULT, OpMULTU, OpDIV, OpDIVU:
+		return RegLO // HI handled as implicit second dest by emulator
+	case OpMFHI, OpMFLO:
+		return in.Rd
+	case OpMTHI:
+		return RegHI
+	case OpMTLO:
+		return RegLO
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWC1, OpMTC1:
+		return in.Rt
+	case OpJAL:
+		return RegRA
+	case OpJALR:
+		return in.Rd
+	case OpADDS, OpSUBS, OpMULS, OpDIVS, OpSQRTS, OpABSS, OpNEGS,
+		OpMOVS, OpCVTSW, OpCVTWS:
+		return in.Rd
+	case OpCEQS, OpCLTS, OpCLES:
+		return RegFCC
+	case OpMFC1:
+		return in.Rt
+	}
+	return RegZero
+}
+
+// String disassembles the instruction.
+func (in *Inst) String() string {
+	switch in.Op {
+	case OpNOP, OpSYSCALL, OpBREAK:
+		return in.Op.String()
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpSLT, OpSLTU,
+		OpAND, OpOR, OpXOR, OpNOR:
+		return fmt.Sprintf("%s %s,%s,%s", in.Op, in.Rd, in.Rs, in.Rt)
+	case OpSLLV, OpSRLV, OpSRAV:
+		return fmt.Sprintf("%s %s,%s,%s", in.Op, in.Rd, in.Rt, in.Rs)
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, in.Rt, in.Rs, in.Imm)
+	case OpLUI:
+		return fmt.Sprintf("lui %s,0x%x", in.Rt, uint16(in.Imm))
+	case OpSLL, OpSRL, OpSRA:
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, in.Rd, in.Rt, in.Shamt)
+	case OpMULT, OpMULTU, OpDIV, OpDIVU:
+		return fmt.Sprintf("%s %s,%s", in.Op, in.Rs, in.Rt)
+	case OpMFHI, OpMFLO:
+		return fmt.Sprintf("%s %s", in.Op, in.Rd)
+	case OpMTHI, OpMTLO, OpJR:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs)
+	case OpJALR:
+		return fmt.Sprintf("jalr %s,%s", in.Rd, in.Rs)
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpSB, OpSH, OpSW, OpLWC1, OpSWC1:
+		return fmt.Sprintf("%s %s,%d(%s)", in.Op, in.Rt, in.Imm, in.Rs)
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s %s,%s,%d", in.Op, in.Rs, in.Rt, in.Imm)
+	case OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ:
+		return fmt.Sprintf("%s %s,%d", in.Op, in.Rs, in.Imm)
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	case OpBC1T, OpBC1F:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case OpMFC1:
+		return fmt.Sprintf("mfc1 %s,%s", in.Rt, in.Rs)
+	case OpMTC1:
+		return fmt.Sprintf("mtc1 %s,%s", in.Rt, in.Rd)
+	default:
+		return fmt.Sprintf("%s %s,%s,%s", in.Op, in.Rd, in.Rs, in.Rt)
+	}
+}

@@ -1,0 +1,273 @@
+// Package lsq models the unified 32-entry load/store queue of the paper's
+// machine and the early (partial-address) load-store disambiguation
+// mechanism of §5.1: as the low bits of effective addresses are generated
+// slice by slice, a load can be compared bit-serially against prior stores
+// and either proven independent (issue early), uniquely matched (forward),
+// or forced to wait for more address bits.
+package lsq
+
+import (
+	"fmt"
+
+	"pok/internal/bitslice"
+)
+
+// Entry is one in-flight memory operation in the queue.
+type Entry struct {
+	Seq       uint64 // program-order sequence number
+	IsStore   bool
+	Addr      uint32
+	Size      uint8
+	KnownBits int  // how many low address bits have been generated (0..32)
+	DataReady bool // stores: store data available for forwarding
+}
+
+// AddrKnown reports whether the full address has been generated.
+func (e *Entry) AddrKnown() bool { return e.KnownBits >= 32 }
+
+// Queue is a bounded, program-ordered load/store queue.
+type Queue struct {
+	cap     int
+	entries []*Entry
+}
+
+// New creates a queue with the given capacity (the paper uses 32).
+func New(capacity int) *Queue {
+	return &Queue{cap: capacity}
+}
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Cap returns the configured capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Full reports whether another entry can be inserted.
+func (q *Queue) Full() bool { return len(q.entries) >= q.cap }
+
+// Insert appends a memory op in program order.
+func (q *Queue) Insert(e *Entry) error {
+	if q.Full() {
+		return fmt.Errorf("lsq: queue full (%d entries)", q.cap)
+	}
+	if n := len(q.entries); n > 0 && q.entries[n-1].Seq >= e.Seq {
+		return fmt.Errorf("lsq: out-of-order insert seq %d after %d",
+			e.Seq, q.entries[n-1].Seq)
+	}
+	q.entries = append(q.entries, e)
+	return nil
+}
+
+// Remove deletes the entry with the given sequence number (at commit).
+func (q *Queue) Remove(seq uint64) {
+	for i, e := range q.entries {
+		if e.Seq == seq {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Find returns the entry with the given sequence number, if present.
+func (q *Queue) Find(seq uint64) *Entry {
+	for _, e := range q.entries {
+		if e.Seq == seq {
+			return e
+		}
+	}
+	return nil
+}
+
+// PriorStores returns the stores older than seq, oldest first.
+func (q *Queue) PriorStores(seq uint64) []*Entry {
+	var out []*Entry
+	for _, e := range q.entries {
+		if e.Seq >= seq {
+			break
+		}
+		if e.IsStore {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// wordsDisjoint reports whether the two addresses provably reference
+// different words given that only the low k bits of each are known.
+// Following the paper's Figure 2 methodology, comparison starts at bit 2
+// (loads and stores to the same word always alias conservatively).
+func wordsDisjoint(a, b uint32, k int) bool {
+	if k <= 2 {
+		return false
+	}
+	if k > 32 {
+		k = 32
+	}
+	// Differ somewhere in bits [2, k)?
+	return !bitslice.MatchField(a, b, 2, k-2)
+}
+
+// overlap reports whether two fully-known accesses touch common bytes.
+func overlap(a uint32, an uint8, b uint32, bn uint8) bool {
+	return a < b+uint32(bn) && b < a+uint32(an)
+}
+
+// LoadStatus is the outcome of a disambiguation attempt.
+type LoadStatus uint8
+
+// Load disambiguation outcomes.
+const (
+	// LoadWait: the load cannot yet issue (a prior store may alias).
+	LoadWait LoadStatus = iota
+	// LoadReady: every prior store is provably disjoint; the load may
+	// issue to the memory system.
+	LoadReady
+	// LoadForward: a unique prior store fully matches; its data should be
+	// forwarded to the load (from the youngest matching store).
+	LoadForward
+)
+
+// Disambiguate decides whether the load with sequence number seq can issue.
+// Under the baseline policy (partial=false) the load waits until every
+// prior store address is fully known, as in the paper's base machine.
+// With partial=true, bit-serial comparison of the known low address bits
+// is used: a mismatch in bits [2,k) proves independence even while the
+// upper bits are still being generated.
+//
+// On LoadForward the returned sequence number identifies the forwarding
+// store (the youngest store with a full exact match).
+func (q *Queue) Disambiguate(seq uint64, partial bool) (LoadStatus, uint64) {
+	load := q.Find(seq)
+	if load == nil || load.IsStore {
+		return LoadWait, 0
+	}
+	stores := q.PriorStores(seq)
+	if len(stores) == 0 {
+		return LoadReady, 0
+	}
+
+	var fwd *Entry
+	for _, st := range stores {
+		if !partial {
+			// Baseline: all prior store addresses must be fully known, and
+			// the load's own address must be complete too.
+			if !st.AddrKnown() || !load.AddrKnown() {
+				return LoadWait, 0
+			}
+			if overlap(load.Addr, load.Size, st.Addr, st.Size) {
+				fwd = st
+			}
+			continue
+		}
+		k := min(load.KnownBits, st.KnownBits)
+		if wordsDisjoint(load.Addr, st.Addr, k) {
+			continue // proven independent with partial bits
+		}
+		if st.AddrKnown() && load.AddrKnown() {
+			if overlap(load.Addr, load.Size, st.Addr, st.Size) {
+				fwd = st
+			}
+			continue // full addresses known and disjoint (same word ruled out by overlap check)
+		}
+		// Partial bits match and full comparison is not yet possible.
+		return LoadWait, 0
+	}
+
+	if fwd == nil {
+		return LoadReady, 0
+	}
+	// Forwarding requires an exact, fully-contained match with data ready.
+	if fwd.Addr == load.Addr && fwd.Size >= load.Size && fwd.DataReady {
+		return LoadForward, fwd.Seq
+	}
+	// Partial overlap or data not ready: wait for the store to drain.
+	return LoadWait, 0
+}
+
+// AliasKind classifies the Figure 2 characterization cases for a load
+// entering the queue, compared bit-serially against prior store addresses.
+type AliasKind uint8
+
+// Figure 2 categories (legend order).
+const (
+	// NoStores: the queue holds no prior stores at all (subset of the
+	// zero-entries-match case).
+	NoStores AliasKind = iota
+	// ZeroMatch: at least one prior store, none matches the bits compared
+	// so far — the load may issue immediately.
+	ZeroMatch
+	// SingleNonMatch: exactly one store matches so far, but the full
+	// comparison will rule it out.
+	SingleNonMatch
+	// SingleMatchOneStore: exactly one store matches so far, it is a full
+	// match, and it was the only store in the queue.
+	SingleMatchOneStore
+	// SingleMatchMultStores: exactly one store matches so far, it is a
+	// full match, and it was disambiguated from other stores.
+	SingleMatchMultStores
+	// MultiDiffAddr: several stores match so far and they go to different
+	// addresses — a unique forwarder cannot be determined yet.
+	MultiDiffAddr
+	// MultiSameAddr: several stores match so far but all to the same
+	// address; the youngest can forward.
+	MultiSameAddr
+
+	NumAliasKinds = int(MultiSameAddr) + 1
+)
+
+// String returns the Figure 2 legend label.
+func (k AliasKind) String() string {
+	switch k {
+	case NoStores:
+		return "no stores in queue"
+	case ZeroMatch:
+		return "zero entries match"
+	case SingleNonMatch:
+		return "single entry - non-match"
+	case SingleMatchOneStore:
+		return "single entry - match (one store)"
+	case SingleMatchMultStores:
+		return "single entry - match (mult stores)"
+	case MultiDiffAddr:
+		return "mult entries match - diff addr"
+	case MultiSameAddr:
+		return "mult entries match - same addr"
+	}
+	return "?"
+}
+
+// ClassifyAlias reproduces the Figure 2 measurement: given a load address
+// and the (fully known) addresses of prior stores in the queue, classify
+// the state of the bit-serial comparison after examining address bits
+// [2, k). k=32 is the conventional full comparison.
+func ClassifyAlias(loadAddr uint32, storeAddrs []uint32, k int) AliasKind {
+	if len(storeAddrs) == 0 {
+		return NoStores
+	}
+	var matches []uint32
+	for _, s := range storeAddrs {
+		if !wordsDisjoint(loadAddr, s, k) {
+			matches = append(matches, s)
+		}
+	}
+	switch {
+	case len(matches) == 0:
+		return ZeroMatch
+	case len(matches) == 1:
+		if !wordsDisjoint(loadAddr, matches[0], 32) {
+			if len(storeAddrs) == 1 {
+				return SingleMatchOneStore
+			}
+			return SingleMatchMultStores
+		}
+		return SingleNonMatch
+	default:
+		first := matches[0]
+		for _, m := range matches[1:] {
+			if m>>2 != first>>2 {
+				return MultiDiffAddr
+			}
+		}
+		return MultiSameAddr
+	}
+}

@@ -1,0 +1,213 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertRemoveOrdering(t *testing.T) {
+	q := New(4)
+	for i := uint64(0); i < 4; i++ {
+		if err := q.Insert(&Entry{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.Full() || q.Len() != 4 {
+		t.Fatal("should be full")
+	}
+	if err := q.Insert(&Entry{Seq: 5}); err == nil {
+		t.Fatal("insert into full queue succeeded")
+	}
+	q.Remove(1)
+	if q.Len() != 3 || q.Find(1) != nil {
+		t.Fatal("remove failed")
+	}
+	if err := q.Insert(&Entry{Seq: 2}); err == nil {
+		t.Fatal("out-of-order insert accepted")
+	}
+	q.Remove(99) // removing a missing seq is a no-op
+	if q.Len() != 3 {
+		t.Fatal("phantom removal")
+	}
+}
+
+func TestPriorStores(t *testing.T) {
+	q := New(8)
+	q.Insert(&Entry{Seq: 1, IsStore: true, Addr: 0x10})
+	q.Insert(&Entry{Seq: 2, IsStore: false, Addr: 0x20})
+	q.Insert(&Entry{Seq: 3, IsStore: true, Addr: 0x30})
+	q.Insert(&Entry{Seq: 4, IsStore: false, Addr: 0x40})
+	ss := q.PriorStores(4)
+	if len(ss) != 2 || ss[0].Seq != 1 || ss[1].Seq != 3 {
+		t.Fatalf("PriorStores = %+v", ss)
+	}
+	if len(q.PriorStores(1)) != 0 {
+		t.Fatal("oldest entry has prior stores")
+	}
+}
+
+func st(seq uint64, addr uint32, known int, ready bool) *Entry {
+	return &Entry{Seq: seq, IsStore: true, Addr: addr, Size: 4,
+		KnownBits: known, DataReady: ready}
+}
+
+func ld(seq uint64, addr uint32, known int) *Entry {
+	return &Entry{Seq: seq, IsStore: false, Addr: addr, Size: 4, KnownBits: known}
+}
+
+func TestBaselineWaitsForUnknownStore(t *testing.T) {
+	q := New(8)
+	q.Insert(st(1, 0x1000, 16, true)) // address not fully known
+	q.Insert(ld(2, 0x2000, 32))
+	if s, _ := q.Disambiguate(2, false); s != LoadWait {
+		t.Fatalf("baseline status %v, want wait", s)
+	}
+	// Once the store address completes and differs, the load may go.
+	q.Find(1).KnownBits = 32
+	if s, _ := q.Disambiguate(2, false); s != LoadReady {
+		t.Fatal("baseline should release after full disambiguation")
+	}
+}
+
+func TestPartialReleasesEarly(t *testing.T) {
+	q := New(8)
+	// Store and load differ in bit 4; with 8 low bits known on both sides
+	// the partial comparison proves independence.
+	q.Insert(st(1, 0x1010, 8, true))
+	q.Insert(ld(2, 0x1000, 8))
+	if s, _ := q.Disambiguate(2, true); s != LoadReady {
+		t.Fatal("partial disambiguation should release the load")
+	}
+	// Baseline cannot.
+	if s, _ := q.Disambiguate(2, false); s != LoadWait {
+		t.Fatal("baseline must wait")
+	}
+}
+
+func TestPartialWaitsWhenLowBitsMatch(t *testing.T) {
+	q := New(8)
+	// Same low 16 bits, differ at bit 20: with only 16 bits known the load
+	// must wait; with full addresses it is released.
+	q.Insert(st(1, 0x0010_1000, 16, true))
+	q.Insert(ld(2, 0x0020_1000, 16))
+	if s, _ := q.Disambiguate(2, true); s != LoadWait {
+		t.Fatal("ambiguous partial match must wait")
+	}
+	q.Find(1).KnownBits = 32
+	q.Find(2).KnownBits = 32
+	if s, _ := q.Disambiguate(2, true); s != LoadReady {
+		t.Fatal("full comparison should release")
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	q := New(8)
+	q.Insert(st(1, 0x1000, 32, true))
+	q.Insert(st(2, 0x1000, 32, true))
+	q.Insert(ld(3, 0x1000, 32))
+	s, fwd := q.Disambiguate(3, true)
+	if s != LoadForward || fwd != 2 {
+		t.Fatalf("status %v fwd %d, want forward from youngest (2)", s, fwd)
+	}
+	// Store data not ready -> wait.
+	q.Find(2).DataReady = false
+	if s, _ := q.Disambiguate(3, true); s != LoadWait {
+		t.Fatal("cannot forward unready data")
+	}
+}
+
+func TestPartialOverlapWaits(t *testing.T) {
+	q := New(8)
+	// Byte store into the word the load reads: no clean forward.
+	q.Insert(&Entry{Seq: 1, IsStore: true, Addr: 0x1001, Size: 1,
+		KnownBits: 32, DataReady: true})
+	q.Insert(ld(2, 0x1000, 32))
+	if s, _ := q.Disambiguate(2, true); s != LoadWait {
+		t.Fatal("partial-overlap store must block the load")
+	}
+	// A store to a different word does not block.
+	q2 := New(8)
+	q2.Insert(&Entry{Seq: 1, IsStore: true, Addr: 0x1004, Size: 1,
+		KnownBits: 32, DataReady: true})
+	q2.Insert(ld(2, 0x1000, 32))
+	if s, _ := q2.Disambiguate(2, true); s != LoadReady {
+		t.Fatal("disjoint store blocked the load")
+	}
+}
+
+func TestDisambiguateNoStores(t *testing.T) {
+	q := New(8)
+	q.Insert(ld(1, 0x1000, 0))
+	if s, _ := q.Disambiguate(1, false); s != LoadReady {
+		t.Fatal("load with no prior stores must be ready")
+	}
+	if s, _ := q.Disambiguate(99, true); s != LoadWait {
+		t.Fatal("unknown seq should wait")
+	}
+}
+
+func TestClassifyAliasCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		load   uint32
+		stores []uint32
+		k      int
+		want   AliasKind
+	}{
+		{"no stores", 0x1000, nil, 9, NoStores},
+		{"zero match", 0x1000, []uint32{0x1010, 0x1020}, 9, ZeroMatch},
+		{"single non-match", 0x0010_1000, []uint32{0x0020_1000}, 16, SingleNonMatch},
+		{"single match one store", 0x1000, []uint32{0x1000}, 9, SingleMatchOneStore},
+		{"single match mult stores", 0x1000, []uint32{0x1000, 0x1040}, 9, SingleMatchMultStores},
+		{"multi diff addr", 0x1000, []uint32{0x0011_1000, 0x0022_1000}, 9, MultiDiffAddr},
+		{"multi same addr", 0x1000, []uint32{0x1000, 0x1000}, 9, MultiSameAddr},
+		// Bytes within a word never disambiguate (comparison starts at bit 2).
+		{"same word", 0x1001, []uint32{0x1002}, 32, SingleMatchOneStore},
+	}
+	for _, c := range cases {
+		if got := ClassifyAlias(c.load, c.stores, c.k); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Property: the k=32 classification is consistent with exact word-address
+// aliasing, and classifications only move "toward resolution" as k grows:
+// once zero/single-match is reached it never reverts to multi.
+func TestClassifyAliasMonotonic(t *testing.T) {
+	f := func(load uint32, s1, s2, s3 uint32) bool {
+		stores := []uint32{s1, s2, s3}
+		prevMatches := len(stores) + 1
+		for k := 2; k <= 32; k++ {
+			n := 0
+			for _, s := range stores {
+				if !wordsDisjoint(load, s, k) {
+					n++
+				}
+			}
+			if n > prevMatches {
+				return false // match set must shrink monotonically
+			}
+			prevMatches = n
+		}
+		// Full comparison equals exact word match count.
+		exact := 0
+		for _, s := range stores {
+			if s>>2 == load>>2 {
+				exact++
+			}
+		}
+		return prevMatches == exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasKindStrings(t *testing.T) {
+	for k := 0; k < NumAliasKinds; k++ {
+		if AliasKind(k).String() == "?" {
+			t.Fatalf("kind %d has no label", k)
+		}
+	}
+}

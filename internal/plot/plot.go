@@ -1,0 +1,143 @@
+// Package plot renders small ASCII charts for terminal output: the
+// experiment harnesses use it to sketch the paper's figures (cumulative
+// detection curves, IPC stacks) next to the numeric tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HBar renders a horizontal bar chart. Values must be non-negative; bars
+// are scaled to width columns against the maximum value.
+func HBar(title string, labels []string, values []float64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %0.3g\n", maxL, label, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Curve renders a y-vs-index line chart using a height-row character
+// grid. Values are auto-scaled between their min and max.
+func Curve(title string, ys []float64, height int) string {
+	if len(ys) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if height < 2 {
+		height = 8
+	}
+	minY, maxY := ys[0], ys[0]
+	for _, y := range ys {
+		minY = math.Min(minY, y)
+		maxY = math.Max(maxY, y)
+	}
+	span := maxY - minY
+	if span == 0 {
+		span = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(ys)))
+	}
+	for x, y := range ys {
+		r := int(math.Round((maxY - y) / span * float64(height-1)))
+		grid[r][x] = '*'
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, row := range grid {
+		yVal := maxY - float64(r)/float64(height-1)*span
+		fmt.Fprintf(&b, "%8.3f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", len(ys)))
+	return b.String()
+}
+
+// Stack renders grouped stacked bars: for each group (e.g. benchmark) a
+// bar built of per-segment contributions, each segment drawn with its own
+// rune. Used for Figure 12-style breakdowns.
+func Stack(title string, groups []string, segments []string, values [][]float64,
+	width int) string {
+	if width < 1 {
+		width = 50
+	}
+	runes := []byte{'#', '=', '+', 'o', '.', '~', '%', '@'}
+	maxTotal := 0.0
+	maxL := 0
+	for i, g := range groups {
+		total := 0.0
+		for _, v := range values[i] {
+			if v > 0 {
+				total += v
+			}
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+		if len(g) > maxL {
+			maxL = len(g)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, g := range groups {
+		fmt.Fprintf(&b, "%-*s |", maxL, g)
+		total := 0.0
+		for s, v := range values[i] {
+			if v <= 0 || maxTotal == 0 {
+				continue
+			}
+			n := int(math.Round(v / maxTotal * float64(width)))
+			b.Write(bytesRepeat(runes[s%len(runes)], n))
+			total += v
+		}
+		fmt.Fprintf(&b, " %0.3g\n", total)
+	}
+	b.WriteString("legend:")
+	for s, name := range segments {
+		fmt.Fprintf(&b, " %c=%s", runes[s%len(runes)], name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHBar(t *testing.T) {
+	out := HBar("ipc", []string{"a", "bb"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "ipc" {
+		t.Fatalf("got:\n%s", out)
+	}
+	// The larger value fills the full width.
+	if !strings.Contains(lines[2], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar not full width: %q", lines[2])
+	}
+	if strings.Count(lines[1], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+	// Zero width defaults.
+	if HBar("", nil, []float64{1}, 0) == "" {
+		t.Fatal("empty output")
+	}
+	// All-zero values render without panicking.
+	if !strings.Contains(HBar("", []string{"x"}, []float64{0}, 10), "| 0") {
+		t.Fatal("zero bar")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	ys := []float64{0, 0.25, 0.5, 0.75, 1}
+	out := Curve("cum", ys, 5)
+	if !strings.HasPrefix(out, "cum\n") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // title + 5 rows + axis
+		t.Fatalf("rows = %d:\n%s", len(lines), out)
+	}
+	// Monotone data: one star per column, descending row as x grows.
+	stars := 0
+	for _, l := range lines {
+		stars += strings.Count(l, "*")
+	}
+	if stars != len(ys) {
+		t.Fatalf("stars = %d", stars)
+	}
+	// Flat data and empty data are handled.
+	if !strings.Contains(Curve("", []float64{2, 2}, 4), "*") {
+		t.Fatal("flat curve")
+	}
+	if !strings.Contains(Curve("x", nil, 4), "no data") {
+		t.Fatal("empty curve")
+	}
+}
+
+func TestStack(t *testing.T) {
+	out := Stack("fig12", []string{"gcc", "li"}, []string{"bypass", "ptag"},
+		[][]float64{{0.1, 0.05}, {0.02, 0.08}}, 20)
+	if !strings.Contains(out, "legend: #=bypass ==ptag") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "gcc") || !strings.Contains(out, "li") {
+		t.Fatal("groups missing")
+	}
+	// Negative contributions are skipped, not drawn (the legend still
+	// mentions the segment rune, so inspect the bar line only).
+	out = Stack("", []string{"x"}, []string{"a"}, [][]float64{{-1}}, 10)
+	barLine := strings.Split(out, "\n")[0]
+	if strings.Contains(barLine, "#") {
+		t.Fatalf("negative segment drawn: %q", barLine)
+	}
+}

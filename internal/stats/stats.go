@@ -1,0 +1,135 @@
+// Package stats provides the counters, distributions and fixed-width
+// table rendering used by the experiment harnesses to print paper-style
+// tables and figure series.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (headers first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(num, den uint64) string {
+	if den == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Dist is a cumulative distribution over integer bins (e.g. "percentage of
+// events resolved by bit k"), the shape the paper's Figures 2/4/6 plot.
+type Dist struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// NewDist creates a distribution with bins [0, n).
+func NewDist(n int) *Dist { return &Dist{Counts: make([]uint64, n)} }
+
+// Add records an event in bin i (clamped to the valid range).
+func (d *Dist) Add(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.Counts) {
+		i = len(d.Counts) - 1
+	}
+	d.Counts[i]++
+	d.Total++
+}
+
+// CumFrac returns the fraction of events in bins [0, i].
+func (d *Dist) CumFrac(i int) float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	if i >= len(d.Counts) {
+		i = len(d.Counts) - 1
+	}
+	var c uint64
+	for k := 0; k <= i; k++ {
+		c += d.Counts[k]
+	}
+	return float64(c) / float64(d.Total)
+}
+
+// Frac returns the fraction of events in bin i.
+func (d *Dist) Frac(i int) float64 {
+	if d.Total == 0 || i < 0 || i >= len(d.Counts) {
+		return 0
+	}
+	return float64(d.Counts[i]) / float64(d.Total)
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "bench", "ipc")
+	tb.AddRow("bzip", "1.23")
+	tb.AddRow("verylongname", "0.5")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Title") {
+		t.Fatal("missing title")
+	}
+	// Columns align: every data line has the separator width.
+	if len(lines[3]) < len("verylongname") {
+		t.Fatal("column not widened")
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row len %d", got)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("1", "2")
+	want := "a,b\n1,2\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestPctAndF2(t *testing.T) {
+	if Pct(1, 4) != "25.0%" || Pct(0, 0) != "0.0%" {
+		t.Fatal("Pct wrong")
+	}
+	if F2(1.234) != "1.23" {
+		t.Fatal("F2 wrong")
+	}
+}
+
+func TestDist(t *testing.T) {
+	d := NewDist(4)
+	d.Add(0)
+	d.Add(1)
+	d.Add(1)
+	d.Add(3)
+	d.Add(99) // clamps to last bin
+	d.Add(-5) // clamps to first bin
+	if d.Total != 6 {
+		t.Fatalf("total %d", d.Total)
+	}
+	if d.Frac(1) != 2.0/6 {
+		t.Fatalf("Frac(1) = %f", d.Frac(1))
+	}
+	if d.CumFrac(1) != 4.0/6 {
+		t.Fatalf("CumFrac(1) = %f", d.CumFrac(1))
+	}
+	if d.CumFrac(100) != 1 {
+		t.Fatal("CumFrac clamp")
+	}
+	var empty Dist
+	if empty.CumFrac(0) != 0 || empty.Frac(0) != 0 {
+		t.Fatal("empty dist")
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"testing"
+
+	"pok/internal/emu"
+)
+
+// TestCompiledKernelsMatchReference verifies the whole toolchain: MiniC
+// source -> compiler -> assembler -> emulator must print exactly what the
+// Go reference computes, at several scales.
+func TestCompiledKernelsMatchReference(t *testing.T) {
+	for _, name := range CompiledNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := GetCompiled(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, scale := range []int{1, 3} {
+				prog, err := w.Program(scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := emu.New(prog)
+				if _, err := e.Run(200_000_000, nil); err != nil {
+					t.Fatal(err)
+				}
+				if !e.Halted() {
+					t.Fatal("did not halt")
+				}
+				if got, want := e.Output(), w.Reference(scale); got != want {
+					t.Fatalf("scale %d: output %q, reference %q", scale, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestCompiledRegistry(t *testing.T) {
+	if len(CompiledNames()) != 5 {
+		t.Fatalf("compiled suite size %d", len(CompiledNames()))
+	}
+	if _, err := GetCompiled("nope"); err == nil {
+		t.Fatal("unknown compiled workload accepted")
+	}
+	w, _ := GetCompiled("cc-hanoi")
+	if w.Source(0) != w.Source(1) || w.Reference(-1) != w.Reference(1) {
+		t.Fatal("scale clamping")
+	}
+	if w.Description == "" || w.DefaultScale < 1000 {
+		t.Fatal("metadata incomplete")
+	}
+}

@@ -1,0 +1,466 @@
+package workload
+
+import "fmt"
+
+// ---------------------------------------------------------------------------
+// bzip — move-to-front coder (the heart of the BWT compressor stage):
+// byte loads, linear scans and data-dependent inner loop trip counts.
+// ---------------------------------------------------------------------------
+
+func bzipSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+buf:   .space 256
+table: .space 256
+.text
+main:
+	li $s7, 12345        # lcg state
+	li $s6, 0            # checksum
+	la $t0, buf
+	li $t1, 0
+	li $t4, 256
+fill:
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 0xff
+	addu $t3, $t0, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, fill
+	la $t0, table
+	li $t1, 0
+tinit:
+	addu $t3, $t0, $t1
+	sb $t1, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, tinit
+	li $s5, 0            # pass counter
+	la $s1, buf
+	la $s2, table
+pass:
+	li $s0, 0            # i
+iloop:
+	addu $t0, $s1, $s0
+	lbu $t1, 0($t0)      # b = buf[i]
+	li $t2, 0            # j
+find:
+	addu $t3, $s2, $t2
+	lbu $t4, 0($t3)
+	beq $t4, $t1, found
+	addiu $t2, $t2, 1
+	b find
+found:
+	addu $s6, $s6, $t2   # checksum += j
+shift:
+	blez $t2, place
+	addu $t3, $s2, $t2
+	lbu $t5, -1($t3)
+	sb $t5, 0($t3)
+	addiu $t2, $t2, -1
+	b shift
+place:
+	sb $t1, 0($s2)       # table[0] = b
+	addiu $s0, $s0, 1
+	li $t6, 256
+	bne $s0, $t6, iloop
+	andi $t0, $s5, 255   # buf[pass & 255] = pass & 255
+	addu $t0, $s1, $t0
+	andi $t1, $s5, 255
+	sb $t1, 0($t0)
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s`, lcgAsm, scale, epilogue)
+}
+
+func bzipReference(scale int) string {
+	var buf, table [256]byte
+	x := uint32(12345)
+	for i := range buf {
+		x = lcgNext(x)
+		buf[i] = byte(x >> 16)
+	}
+	for i := range table {
+		table[i] = byte(i)
+	}
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		for i := 0; i < 256; i++ {
+			b := buf[i]
+			j := 0
+			for table[j] != b {
+				j++
+			}
+			sum += uint32(j)
+			for ; j > 0; j-- {
+				table[j] = table[j-1]
+			}
+			table[0] = b
+		}
+		buf[pass&255] = byte(pass & 255)
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// gcc — token hashing with an 8-way opcode dispatch: irregular,
+// data-dependent multiway branches over a hash-bucket table.
+// ---------------------------------------------------------------------------
+
+func gccSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+buf:    .space 256
+bucket: .space 256        # 64 words
+.text
+main:
+	li $s7, 54321
+	li $s6, 0
+	la $t0, buf
+	li $t1, 0
+	li $t4, 256
+gfill:
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 0xff
+	addu $t3, $t0, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, gfill
+	li $s5, 0            # pass
+	la $s1, buf
+	la $s2, bucket
+pass:
+	li $s0, 0            # i
+tok:
+	addu $t0, $s1, $s0
+	lbu $t1, 0($t0)      # b
+	xor $t2, $t1, $s5    # h = (b ^ pass) & 63
+	andi $t2, $t2, 63
+	sll $t3, $t2, 2
+	addu $t3, $s2, $t3
+	lw $t4, 0($t3)       # bucket[h]
+	addu $t4, $t4, $t1
+	sw $t4, 0($t3)
+	andi $t5, $t1, 7     # dispatch on b & 7
+	beq $t5, $zero, c0
+	li $t6, 1
+	beq $t5, $t6, c1
+	li $t6, 2
+	beq $t5, $t6, c2
+	li $t6, 3
+	beq $t5, $t6, c3
+	li $t6, 4
+	beq $t5, $t6, c4
+	li $t6, 5
+	beq $t5, $t6, c5
+	li $t6, 6
+	beq $t5, $t6, c6
+	addiu $s6, $s6, 1    # case 7
+	b next
+c0:	addu $s6, $s6, $t4
+	b next
+c1:	xor $s6, $s6, $t1
+	b next
+c2:	addu $s6, $s6, $s0
+	b next
+c3:	subu $s6, $s6, $t1
+	b next
+c4:	addu $s6, $s6, $t2
+	b next
+c5:	srl $t7, $t4, 3
+	xor $s6, $s6, $t7
+	b next
+c6:	sll $t7, $t1, 1
+	addu $t7, $t7, $t1
+	addu $s6, $s6, $t7
+next:
+	addiu $s0, $s0, 1
+	li $t6, 256
+	bne $s0, $t6, tok
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s`, lcgAsm, scale, epilogue)
+}
+
+func gccReference(scale int) string {
+	var buf [256]byte
+	var bucket [64]uint32
+	x := uint32(54321)
+	for i := range buf {
+		x = lcgNext(x)
+		buf[i] = byte(x >> 16)
+	}
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		for i := 0; i < 256; i++ {
+			b := uint32(buf[i])
+			h := (b ^ uint32(pass)) & 63
+			bucket[h] += b
+			switch b & 7 {
+			case 0:
+				sum += bucket[h]
+			case 1:
+				sum ^= b
+			case 2:
+				sum += uint32(i)
+			case 3:
+				sum -= b
+			case 4:
+				sum += h
+			case 5:
+				sum ^= bucket[h] >> 3
+			case 6:
+				sum += b * 3
+			case 7:
+				sum++
+			}
+		}
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// go — board-scanning liberty counter: dense 2-D array walks with
+// bounds-check branches on every neighbour.
+// ---------------------------------------------------------------------------
+
+func goSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+board: .space 361        # 19x19 bytes
+.text
+main:
+	li $s7, 99991
+	li $s6, 0
+	la $s1, board
+	li $t1, 0
+	li $t4, 361
+	li $t5, 3
+bfill:
+%s	srl $t2, $s7, 16
+	remu $t2, $t2, $t5   # stone in {0,1,2}
+	addu $t3, $s1, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, bfill
+	li $s5, 0            # pass
+pass:
+	li $s0, 0            # r
+	li $s4, 0            # libs
+rloop:
+	li $s2, 0            # c
+cloop:
+	li $t0, 19           # idx = r*19 + c
+	mult $s0, $t0
+	mflo $t1
+	addu $t1, $t1, $s2
+	addu $t2, $s1, $t1
+	lbu $t3, 0($t2)
+	li $t4, 1
+	bne $t3, $t4, cnext  # only black stones
+	# north
+	blez $s0, s_south
+	lbu $t5, -19($t2)
+	bnez $t5, s_south
+	addiu $s4, $s4, 1
+s_south:
+	li $t6, 18
+	bge $s0, $t6, s_west
+	lbu $t5, 19($t2)
+	bnez $t5, s_west
+	addiu $s4, $s4, 1
+s_west:
+	blez $s2, s_east
+	lbu $t5, -1($t2)
+	bnez $t5, s_east
+	addiu $s4, $s4, 1
+s_east:
+	li $t6, 18
+	bge $s2, $t6, cnext
+	lbu $t5, 1($t2)
+	bnez $t5, cnext
+	addiu $s4, $s4, 1
+cnext:
+	addiu $s2, $s2, 1
+	li $t6, 19
+	bne $s2, $t6, cloop
+	addiu $s0, $s0, 1
+	bne $s0, $t6, rloop
+	addu $s6, $s6, $s4   # checksum += libs
+	li $t0, 7            # board[(pass*7) %% 361] = pass %% 3
+	mult $s5, $t0
+	mflo $t1
+	li $t2, 361
+	remu $t1, $t1, $t2
+	addu $t2, $s1, $t1
+	li $t3, 3
+	remu $t4, $s5, $t3
+	sb $t4, 0($t2)
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s`, lcgAsm, scale, epilogue)
+}
+
+func goReference(scale int) string {
+	var board [361]byte
+	x := uint32(99991)
+	for i := range board {
+		x = lcgNext(x)
+		board[i] = byte(x >> 16 % 3)
+	}
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		libs := uint32(0)
+		for r := 0; r < 19; r++ {
+			for c := 0; c < 19; c++ {
+				if board[r*19+c] != 1 {
+					continue
+				}
+				if r > 0 && board[(r-1)*19+c] == 0 {
+					libs++
+				}
+				if r < 18 && board[(r+1)*19+c] == 0 {
+					libs++
+				}
+				if c > 0 && board[r*19+c-1] == 0 {
+					libs++
+				}
+				if c < 18 && board[r*19+c+1] == 0 {
+					libs++
+				}
+			}
+		}
+		sum += libs
+		board[pass*7%361] = byte(pass % 3)
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// gzip — LZ77 match search: 3-byte context hashing against a head table,
+// back-referencing loads with data-dependent match confirmation.
+// ---------------------------------------------------------------------------
+
+func gzipSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+buf:  .space 512
+head: .space 1024        # 256 words
+.text
+main:
+	li $s7, 777
+	li $s6, 0
+	la $s1, buf
+	la $s2, head
+	li $t1, 0
+	li $t4, 512
+zfill:
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 0x0f  # small alphabet so matches occur
+	addu $t3, $s1, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, zfill
+	li $s5, 0            # pass
+pass:
+	li $s0, 3            # i
+	li $s4, 0            # matches
+zloop:
+	addu $t0, $s1, $s0
+	lbu $t1, -3($t0)
+	lbu $t2, -2($t0)
+	lbu $t3, -1($t0)
+	sll $t5, $t1, 6      # h = (a<<6 ^ b<<3 ^ c) & 255
+	sll $t6, $t2, 3
+	xor $t5, $t5, $t6
+	xor $t5, $t5, $t3
+	andi $t5, $t5, 255
+	sll $t5, $t5, 2
+	addu $t5, $s2, $t5
+	lw $t7, 0($t5)       # cand = head[h]
+	sw $s0, 0($t5)       # head[h] = i
+	beqz $t7, znext
+	addu $t6, $s1, $t7   # confirm 3-byte match at cand
+	lbu $t8, -3($t6)
+	bne $t8, $t1, znext
+	lbu $t8, -2($t6)
+	bne $t8, $t2, znext
+	lbu $t8, -1($t6)
+	bne $t8, $t3, znext
+	addiu $s4, $s4, 1
+znext:
+	addiu $s0, $s0, 1
+	li $t6, 512
+	bne $s0, $t6, zloop
+	addu $s6, $s6, $s4
+	li $t0, 509          # buf[pass %% 509 + 3] ^= pass & 15
+	remu $t1, $s5, $t0
+	addiu $t1, $t1, 3
+	addu $t1, $s1, $t1
+	lbu $t2, 0($t1)
+	andi $t3, $s5, 15
+	xor $t2, $t2, $t3
+	sb $t2, 0($t1)
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s`, lcgAsm, scale, epilogue)
+}
+
+func gzipReference(scale int) string {
+	var buf [512]byte
+	var head [256]uint32
+	x := uint32(777)
+	for i := range buf {
+		x = lcgNext(x)
+		buf[i] = byte(x>>16) & 0x0f
+	}
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		matches := uint32(0)
+		for i := 3; i < 512; i++ {
+			a, b, c := uint32(buf[i-3]), uint32(buf[i-2]), uint32(buf[i-1])
+			h := (a<<6 ^ b<<3 ^ c) & 255
+			cand := head[h]
+			head[h] = uint32(i)
+			if cand != 0 &&
+				buf[cand-3] == buf[i-3] &&
+				buf[cand-2] == buf[i-2] &&
+				buf[cand-1] == buf[i-1] {
+				matches++
+			}
+		}
+		sum += matches
+		j := pass%509 + 3
+		buf[j] ^= byte(pass & 15)
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+func init() {
+	register(&Workload{
+		Name: "bzip", Paper: "256.bzip2 (SPECint2000)",
+		Description:  "move-to-front coder over a pseudo-random byte buffer",
+		DefaultScale: 1 << 20,
+		source:       bzipSource, reference: bzipReference,
+	})
+	register(&Workload{
+		Name: "gcc", Paper: "176.gcc (SPECint2000)",
+		Description:  "token hashing with an 8-way dispatch over hash buckets",
+		DefaultScale: 1 << 20,
+		source:       gccSource, reference: gccReference,
+	})
+	register(&Workload{
+		Name: "go", Paper: "099.go (SPECint95)",
+		Description:  "19x19 board liberty counting with neighbour bound checks",
+		DefaultScale: 1 << 20,
+		source:       goSource, reference: goReference,
+	})
+	register(&Workload{
+		Name: "gzip", Paper: "164.gzip (SPECint2000)",
+		Description:  "LZ77 3-byte context match search against a head table",
+		DefaultScale: 1 << 20,
+		source:       gzipSource, reference: gzipReference,
+	})
+}

@@ -1,0 +1,405 @@
+package workload
+
+import "fmt"
+
+// ---------------------------------------------------------------------------
+// ijpeg — integer 8x8 block transform: multiply-accumulate row and column
+// passes, the arithmetic-dense kernel of JPEG's forward DCT.
+// ---------------------------------------------------------------------------
+
+func ijpegSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+blk: .space 256          # 64 words
+.text
+main:
+	li $s7, 4242
+	li $s6, 0
+	la $s1, blk
+	li $s5, %d           # passes remaining
+pass:
+	li $t1, 0            # refill block each pass
+jfill:
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 0xff
+	sll $t3, $t1, 2
+	addu $t3, $s1, $t3
+	sw $t2, 0($t3)
+	addiu $t1, $t1, 1
+	li $t4, 64
+	bne $t1, $t4, jfill
+	li $s0, 0            # r: row transform
+rowt:
+	li $t0, 0            # acc
+	li $t1, 0            # j
+	sll $t2, $s0, 5      # &blk[r*8]
+	addu $t2, $s1, $t2
+rowj:
+	sll $t3, $t1, 2
+	addu $t3, $t2, $t3
+	lw $t4, 0($t3)
+	addiu $t5, $t1, 1    # coefficient j+1
+	mult $t4, $t5
+	mflo $t6
+	addu $t0, $t0, $t6
+	addiu $t1, $t1, 1
+	li $t7, 8
+	bne $t1, $t7, rowj
+	sw $t0, 0($t2)       # blk[r*8] = acc
+	addiu $s0, $s0, 1
+	bne $s0, $t7, rowt
+	li $s0, 0            # c: column transform
+	li $s4, 0            # total
+colt:
+	li $t0, 0            # acc
+	li $t1, 0            # j
+colj:
+	sll $t3, $t1, 5      # &blk[j*8 + c]
+	sll $t5, $s0, 2
+	addu $t3, $t3, $t5
+	addu $t3, $s1, $t3
+	lw $t4, 0($t3)
+	li $t5, 8            # coefficient 8-j
+	subu $t5, $t5, $t1
+	mult $t4, $t5
+	mflo $t6
+	addu $t0, $t0, $t6
+	addiu $t1, $t1, 1
+	li $t7, 8
+	bne $t1, $t7, colj
+	addu $s4, $s4, $t0
+	addiu $s0, $s0, 1
+	bne $s0, $t7, colt
+	andi $t0, $s4, 0xffff
+	addu $s6, $s6, $t0   # checksum += total & 0xffff
+	addiu $s5, $s5, -1
+	bgtz $s5, pass
+%s`, scale, lcgAsm, epilogue)
+}
+
+func ijpegReference(scale int) string {
+	var blk [64]uint32
+	x := uint32(4242)
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		for i := range blk {
+			x = lcgNext(x)
+			blk[i] = x >> 16 & 0xff
+		}
+		for r := 0; r < 8; r++ {
+			acc := uint32(0)
+			for j := 0; j < 8; j++ {
+				acc += blk[r*8+j] * uint32(j+1)
+			}
+			blk[r*8] = acc
+		}
+		total := uint32(0)
+		for c := 0; c < 8; c++ {
+			acc := uint32(0)
+			for j := 0; j < 8; j++ {
+				acc += blk[j*8+c] * uint32(8-j)
+			}
+			total += acc
+		}
+		sum += total & 0xffff
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// li — cons-cell mark phase: the paper's Figure 5 kernel. Each node's flag
+// byte is tested with lbu+andi+bne; the traversal breaks at the first
+// already-marked node, so the branch flips behaviour between passes.
+// ---------------------------------------------------------------------------
+
+func liSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+nodes: .space 2048       # 128 nodes x 16 bytes {flags, next, val, pad}
+.text
+main:
+	li $s6, 0
+	la $s1, nodes
+	li $t0, 0            # i: build the cycle next[i] = (i*7+1) %% 128
+nbuild:
+	sll $t1, $t0, 4
+	addu $t1, $s1, $t1   # &node[i]
+	sw $zero, 0($t1)     # flags = 0
+	li $t2, 7
+	mult $t0, $t2
+	mflo $t3
+	addiu $t3, $t3, 1
+	andi $t3, $t3, 127
+	sll $t3, $t3, 4
+	addu $t3, $s1, $t3
+	sw $t3, 4($t1)       # next pointer
+	sw $t0, 8($t1)       # val = i
+	addiu $t0, $t0, 1
+	li $t4, 128
+	bne $t0, $t4, nbuild
+	li $s5, 0            # pass
+pass:
+	move $s2, $s1        # p = &node[0]
+	li $s4, 0            # cnt
+	li $s0, 0            # k
+mark:
+	lbu $t1, 0($s2)      # the Figure 5 idiom: lbu; andi; bne
+	andi $t2, $t1, 1
+	bnez $t2, broke      # if (n_flags & MARK) break
+	ori $t1, $t1, 1
+	sb $t1, 0($s2)
+	addiu $s4, $s4, 1
+	lw $t3, 8($s2)
+	addu $s6, $s6, $t3   # checksum += val
+	lw $s2, 4($s2)       # p = p->next
+	addiu $s0, $s0, 1
+	li $t4, 128
+	bne $s0, $t4, mark
+broke:
+	addu $s6, $s6, $s4   # checksum += cnt
+	andi $t0, $s5, 1
+	beqz $t0, nopclear   # clear marks on odd passes
+	li $t0, 0
+clear:
+	sll $t1, $t0, 4
+	addu $t1, $s1, $t1
+	sw $zero, 0($t1)
+	addiu $t0, $t0, 1
+	li $t4, 128
+	bne $t0, $t4, clear
+nopclear:
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s`, scale, epilogue)
+}
+
+func liReference(scale int) string {
+	type node struct {
+		flags uint32
+		next  int
+		val   uint32
+	}
+	var nodes [128]node
+	for i := range nodes {
+		nodes[i] = node{next: (i*7 + 1) % 128, val: uint32(i)}
+	}
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		p := 0
+		cnt := uint32(0)
+		for k := 0; k < 128; k++ {
+			if nodes[p].flags&1 != 0 {
+				break
+			}
+			nodes[p].flags |= 1
+			cnt++
+			sum += nodes[p].val
+			p = nodes[p].next
+		}
+		sum += cnt
+		if pass&1 == 1 {
+			for i := range nodes {
+				nodes[i].flags = 0
+			}
+		}
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// mcf — pointer chasing through a 128KB pseudo-random permutation:
+// load-to-load dependent chains with poor locality, the network-simplex
+// arc traversal pattern.
+// ---------------------------------------------------------------------------
+
+func mcfSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+next: .space 131072      # 32768 words
+.text
+main:
+	li $s6, 0
+	la $s1, next
+	li $t0, 0            # i: next[i] = &next[(i*1677+947) & 32767]
+mbuild:
+	li $t2, 1677
+	mult $t0, $t2
+	mflo $t3
+	addiu $t3, $t3, 947
+	andi $t3, $t3, 32767
+	sll $t3, $t3, 2
+	addu $t3, $s1, $t3   # address form: chase is a bare lw chain
+	sll $t1, $t0, 2
+	addu $t1, $s1, $t1
+	sw $t3, 0($t1)
+	addiu $t0, $t0, 1
+	li $t4, 32768
+	bne $t0, $t4, mbuild
+	li $s5, 0            # pass
+pass:
+	andi $t0, $s5, 32767 # start node varies per pass
+	sll $t0, $t0, 2
+	addu $s2, $s1, $t0   # p
+	li $s0, 4096         # k counts down to zero
+chase:
+	lw $s2, 0($s2)       # p = *p
+	addiu $s0, $s0, -1
+	bgtz $s0, chase
+	subu $t5, $s2, $s1   # checksum += final index
+	srl $t5, $t5, 2
+	addu $s6, $s6, $t5
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s`, scale, epilogue)
+}
+
+func mcfReference(scale int) string {
+	const n = 32768
+	next := make([]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		next[i] = (i*1677 + 947) & (n - 1)
+	}
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		p := uint32(pass) & (n - 1)
+		for k := 0; k < 4096; k++ {
+			p = next[p]
+		}
+		sum += p
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// parser — dictionary binary search: hard-to-predict compare branches over
+// a sorted table with a mix of hits and deliberate near-misses.
+// ---------------------------------------------------------------------------
+
+func parserSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+dict: .space 256         # 64 words, sorted
+.text
+main:
+	li $s7, 31337
+	li $s6, 0
+	la $s1, dict
+	li $t0, 0            # dict[i] = i*977 + 13
+dbuild:
+	li $t2, 977
+	mult $t0, $t2
+	mflo $t3
+	addiu $t3, $t3, 13
+	sll $t1, $t0, 2
+	addu $t1, $s1, $t1
+	sw $t3, 0($t1)
+	addiu $t0, $t0, 1
+	li $t4, 64
+	bne $t0, $t4, dbuild
+	li $s5, %d           # passes remaining
+pass:
+%s	srl $t0, $s7, 16     # idx = (x>>16) & 63
+	andi $t0, $t0, 63
+	li $t2, 977
+	mult $t0, $t2
+	mflo $s2
+	addiu $s2, $s2, 13   # q
+	andi $t3, $s7, 0x80  # half the queries miss by one
+	beqz $t3, search
+	addiu $s2, $s2, 1
+search:
+	li $s0, 0            # lo
+	li $s3, 63           # hi
+bsloop:
+	bgt $s0, $s3, miss
+	addu $t0, $s0, $s3
+	srl $t0, $t0, 1      # mid
+	sll $t1, $t0, 2
+	addu $t1, $s1, $t1
+	lw $t2, 0($t1)
+	beq $t2, $s2, hit
+	blt $t2, $s2, goRight
+	addiu $s3, $t0, -1   # hi = mid-1
+	b bsloop
+goRight:
+	addiu $s0, $t0, 1    # lo = mid+1
+	b bsloop
+hit:
+	addu $s6, $s6, $t0   # checksum += mid
+	b pnext
+miss:
+	addiu $t0, $s0, 100  # checksum += 100 + lo
+	addu $s6, $s6, $t0
+pnext:
+	addiu $s5, $s5, -1
+	bgtz $s5, pass
+%s`, scale, lcgAsm, epilogue)
+}
+
+func parserReference(scale int) string {
+	var dict [64]uint32
+	for i := range dict {
+		dict[i] = uint32(i)*977 + 13
+	}
+	x := uint32(31337)
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		x = lcgNext(x)
+		idx := x >> 16 & 63
+		q := idx*977 + 13
+		if x&0x80 != 0 {
+			q++
+		}
+		lo, hi := 0, 63
+		found := -1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			v := dict[mid]
+			if v == q {
+				found = mid
+				break
+			}
+			if v < q {
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		if found >= 0 {
+			sum += uint32(found)
+		} else {
+			sum += uint32(100 + lo)
+		}
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+func init() {
+	register(&Workload{
+		Name: "ijpeg", Paper: "132.ijpeg (SPECint95)",
+		Description:  "integer 8x8 block transform with row/column MAC passes",
+		DefaultScale: 1 << 20,
+		source:       ijpegSource, reference: ijpegReference,
+	})
+	register(&Workload{
+		Name: "li", Paper: "130.li (SPECint95)",
+		Description:  "cons-cell mark phase with tag-bit tests (paper Figure 5)",
+		DefaultScale: 1 << 20,
+		source:       liSource, reference: liReference,
+	})
+	register(&Workload{
+		Name: "mcf", Paper: "181.mcf (SPECint2000)",
+		Description:  "pointer chasing through a 128KB random permutation",
+		DefaultScale: 1 << 20,
+		FastForward:  450_000, // skip the permutation build phase
+		source:       mcfSource, reference: mcfReference,
+	})
+	register(&Workload{
+		Name: "parser", Paper: "197.parser (SPECint2000)",
+		Description:  "sorted-dictionary binary search with near-miss queries",
+		DefaultScale: 1 << 22,
+		source:       parserSource, reference: parserReference,
+	})
+}

@@ -1,0 +1,458 @@
+package workload
+
+import "fmt"
+
+// ---------------------------------------------------------------------------
+// twolf — simulated-annealing placement: swap two cells, recompute the
+// wirelength, and accept or roll back on a data-dependent branch.
+// ---------------------------------------------------------------------------
+
+func twolfSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+xs: .space 64
+ys: .space 64
+.text
+main:
+	li $s7, 2718
+	li $s6, 0
+	la $s1, xs
+	la $s2, ys
+	li $t1, 0
+	li $t4, 64
+tfill:
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 0xff
+	addu $t3, $s1, $t1
+	sb $t2, 0($t3)
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 0xff
+	addu $t3, $s2, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, tfill
+	jal wirelen
+	move $s3, $v0        # prevW
+	li $s5, %d           # passes remaining
+pass:
+%s	srl $t0, $s7, 16
+	andi $s0, $t0, 63    # i
+%s	srl $t0, $s7, 16
+	andi $s4, $t0, 63    # j
+	jal swapcells
+	jal wirelen
+	blt $v0, $s3, accept
+	andi $t0, $s7, 7     # occasional uphill accept
+	beqz $t0, accept
+	jal swapcells        # reject: swap back
+	b pnext
+accept:
+	move $s3, $v0
+	addiu $s6, $s6, 1    # checksum += accepted
+pnext:
+	addiu $s5, $s5, -1
+	bgtz $s5, pass
+	addu $s6, $s6, $s3   # checksum += final wirelength
+%s
+# wirelen: $v0 = sum |x[i]-x[i+1]| + |y[i]-y[i+1]|
+wirelen:
+	li $v0, 0
+	li $t0, 0
+wl:
+	addu $t1, $s1, $t0
+	lbu $t2, 0($t1)
+	lbu $t3, 1($t1)
+	subu $t4, $t2, $t3
+	bgez $t4, wx
+	subu $t4, $zero, $t4
+wx:
+	addu $v0, $v0, $t4
+	addu $t1, $s2, $t0
+	lbu $t2, 0($t1)
+	lbu $t3, 1($t1)
+	subu $t4, $t2, $t3
+	bgez $t4, wy
+	subu $t4, $zero, $t4
+wy:
+	addu $v0, $v0, $t4
+	addiu $t0, $t0, 1
+	li $t5, 63
+	bne $t0, $t5, wl
+	jr $ra
+# swapcells: exchange cells $s0 and $s4 in both coordinate arrays
+swapcells:
+	addu $t0, $s1, $s0
+	addu $t1, $s1, $s4
+	lbu $t2, 0($t0)
+	lbu $t3, 0($t1)
+	sb $t3, 0($t0)
+	sb $t2, 0($t1)
+	addu $t0, $s2, $s0
+	addu $t1, $s2, $s4
+	lbu $t2, 0($t0)
+	lbu $t3, 0($t1)
+	sb $t3, 0($t0)
+	sb $t2, 0($t1)
+	jr $ra
+`, lcgAsm, lcgAsm, scale, lcgAsm, lcgAsm, epilogue)
+}
+
+func twolfReference(scale int) string {
+	var xs, ys [64]byte
+	x := uint32(2718)
+	for i := 0; i < 64; i++ {
+		x = lcgNext(x)
+		xs[i] = byte(x >> 16)
+		x = lcgNext(x)
+		ys[i] = byte(x >> 16)
+	}
+	abs := func(a, b byte) uint32 {
+		d := int32(a) - int32(b)
+		if d < 0 {
+			d = -d
+		}
+		return uint32(d)
+	}
+	wirelen := func() uint32 {
+		var w uint32
+		for i := 0; i < 63; i++ {
+			w += abs(xs[i], xs[i+1]) + abs(ys[i], ys[i+1])
+		}
+		return w
+	}
+	prevW := wirelen()
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		x = lcgNext(x)
+		i := x >> 16 & 63
+		x = lcgNext(x)
+		j := x >> 16 & 63
+		xs[i], xs[j] = xs[j], xs[i]
+		ys[i], ys[j] = ys[j], ys[i]
+		w := wirelen()
+		if w < prevW || x&7 == 0 {
+			prevW = w
+			sum++
+		} else {
+			xs[i], xs[j] = xs[j], xs[i]
+			ys[i], ys[j] = ys[j], ys[i]
+		}
+	}
+	sum += prevW
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// vortex — object-store lookup: hashed open-addressing probe followed by a
+// whole-record field copy (the paper's Figure 9 lui/sll/addu/lw pattern).
+// ---------------------------------------------------------------------------
+
+func vortexSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+recs: .space 2048        # 128 records x 16 bytes {key, a, b, c}
+htab: .space 512         # 128 words: record index+1, 0 = empty
+out:  .space 16
+.text
+main:
+	li $s7, 1618
+	li $s6, 0
+	la $s1, recs
+	la $s2, htab
+	la $s3, out
+	li $t0, 0            # build records and hash table
+vbuild:
+	li $t2, 31
+	mult $t0, $t2
+	mflo $t3
+	addiu $t3, $t3, 7    # key = i*31 + 7
+	sll $t1, $t0, 4
+	addu $t1, $s1, $t1
+	sw $t3, 0($t1)       # key
+	xori $t4, $t3, 0x5a5a
+	sw $t4, 4($t1)       # a
+	sll $t4, $t3, 1
+	addu $t4, $t4, $t3
+	sw $t4, 8($t1)       # b = key*3
+	sw $t0, 12($t1)      # c = i
+	li $t5, 67           # h = key %% 67, linear probe
+	remu $t6, $t3, $t5
+vprobe0:
+	sll $t7, $t6, 2
+	addu $t7, $s2, $t7
+	lw $t8, 0($t7)
+	beqz $t8, vslot
+	addiu $t6, $t6, 1
+	andi $t6, $t6, 127
+	b vprobe0
+vslot:
+	addiu $t8, $t0, 1
+	sw $t8, 0($t7)
+	addiu $t0, $t0, 1
+	li $t4, 128
+	bne $t0, $t4, vbuild
+	li $s5, %d           # passes remaining
+pass:
+%s	srl $t0, $s7, 16
+	andi $t0, $t0, 127   # pick a record number
+	li $t2, 31
+	mult $t0, $t2
+	mflo $s0
+	addiu $s0, $s0, 7    # key
+	li $t5, 67
+	remu $t6, $s0, $t5   # h
+vprobe:
+	sll $t7, $t6, 2
+	addu $t7, $s2, $t7
+	lw $t8, 0($t7)
+	beqz $t8, vmiss      # cannot happen: all keys present
+	addiu $t9, $t8, -1   # rec = entry-1
+	sll $t9, $t9, 4      # the Figure 9 address pattern
+	addu $t9, $s1, $t9
+	lw $t1, 0($t9)
+	beq $t1, $s0, vfound
+	addiu $t6, $t6, 1
+	andi $t6, $t6, 127
+	b vprobe
+vfound:
+	lw $t1, 0($t9)       # copy the record out, field by field
+	sw $t1, 0($s3)
+	addu $s6, $s6, $t1
+	lw $t1, 4($t9)
+	sw $t1, 4($s3)
+	addu $s6, $s6, $t1
+	lw $t1, 8($t9)
+	sw $t1, 8($s3)
+	addu $s6, $s6, $t1
+	lw $t1, 12($t9)
+	sw $t1, 12($s3)
+	addu $s6, $s6, $t1
+	b vnext
+vmiss:
+	addiu $s6, $s6, 1
+vnext:
+	addiu $s5, $s5, -1
+	bgtz $s5, pass
+%s`, scale, lcgAsm, epilogue)
+}
+
+func vortexReference(scale int) string {
+	type rec struct{ key, a, b, c uint32 }
+	var recs [128]rec
+	var htab [128]uint32
+	for i := uint32(0); i < 128; i++ {
+		key := i*31 + 7
+		recs[i] = rec{key, key ^ 0x5a5a, key * 3, i}
+		h := key % 67
+		for htab[h] != 0 {
+			h = (h + 1) & 127
+		}
+		htab[h] = i + 1
+	}
+	x := uint32(1618)
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		x = lcgNext(x)
+		key := (x>>16&127)*31 + 7
+		h := key % 67
+		for {
+			e := htab[h]
+			if e == 0 {
+				sum++
+				break
+			}
+			r := recs[e-1]
+			if r.key == key {
+				sum += r.key + r.a + r.b + r.c
+				break
+			}
+			h = (h + 1) & 127
+		}
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+// ---------------------------------------------------------------------------
+// vpr — maze-routing breadth-first search over a 16x16 grid with
+// obstacles: queue pushes/pops, bound checks and visited-bitmap tests.
+// ---------------------------------------------------------------------------
+
+func vprSource(scale int) string {
+	return fmt.Sprintf(`
+.data
+grid:    .space 256
+visited: .space 256
+queue:   .space 1024     # 256 words
+.text
+main:
+	li $s7, 161803
+	li $s6, 0
+	la $s1, grid
+	la $s2, visited
+	la $s3, queue
+	li $t1, 0
+	li $t4, 256
+gfill:
+%s	srl $t2, $s7, 16
+	andi $t2, $t2, 7     # 1-in-8 obstacle density
+	sltiu $t2, $t2, 1
+	addu $t3, $s1, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	bne $t1, $t4, gfill
+	sb $zero, 0($s1)     # keep source and sink open
+	sb $zero, 255($s1)
+	li $s5, 0            # pass
+pass:
+	li $t0, 0            # clear visited
+vclr:
+	addu $t1, $s2, $t0
+	sb $zero, 0($t1)
+	addiu $t0, $t0, 1
+	li $t4, 256
+	bne $t0, $t4, vclr
+	sw $zero, 0($s3)     # queue[0] = 0
+	li $t0, 1
+	sb $t0, 0($s2)       # visited[0] = 1
+	li $s0, 0            # head
+	li $s4, 1            # tail
+	li $t9, 0            # count
+bfs:
+	bge $s0, $s4, done   # queue empty
+	sll $t0, $s0, 2
+	addu $t0, $s3, $t0
+	lw $t1, 0($t0)       # cur
+	addiu $s0, $s0, 1
+	addiu $t9, $t9, 1
+	li $t2, 255
+	beq $t1, $t2, found
+	srl $t3, $t1, 4      # r
+	andi $t4, $t1, 15    # c
+	# north: r > 0
+	blez $t3, bsouth
+	addiu $t5, $t1, -16
+	jal tryPush
+bsouth:
+	li $t6, 15
+	bge $t3, $t6, bwest
+	addiu $t5, $t1, 16
+	jal tryPush
+bwest:
+	blez $t4, beast
+	addiu $t5, $t1, -1
+	jal tryPush
+beast:
+	li $t6, 15
+	bge $t4, $t6, bfs
+	addiu $t5, $t1, 1
+	jal tryPush
+	b bfs
+found:
+	addiu $t9, $t9, 1000
+done:
+	addu $s6, $s6, $t9   # checksum += count (+1000 if reached)
+	li $t0, 11           # grid[(pass*11) %% 254 + 1] ^= 1
+	mult $s5, $t0
+	mflo $t1
+	li $t2, 254
+	remu $t1, $t1, $t2
+	addiu $t1, $t1, 1
+	addu $t2, $s1, $t1
+	lbu $t3, 0($t2)
+	xori $t3, $t3, 1
+	sb $t3, 0($t2)
+	addiu $s5, $s5, 1
+	li $t2, %d
+	bne $s5, $t2, pass
+%s
+# tryPush($t5 = cell): enqueue if unvisited and open.
+# Clobbers $t7, $t8. Preserves $t1-$t4, $t6, $t9.
+tryPush:
+	addu $t7, $s2, $t5
+	lbu $t8, 0($t7)
+	bnez $t8, tpout      # visited
+	addu $t8, $s1, $t5
+	lbu $t8, 0($t8)
+	bnez $t8, tpout      # obstacle
+	li $t8, 1
+	sb $t8, 0($t7)
+	sll $t7, $s4, 2
+	addu $t7, $s3, $t7
+	sw $t5, 0($t7)
+	addiu $s4, $s4, 1
+tpout:
+	jr $ra
+`, lcgAsm, scale, epilogue)
+}
+
+func vprReference(scale int) string {
+	var grid [256]byte
+	x := uint32(161803)
+	for i := range grid {
+		x = lcgNext(x)
+		if x>>16&7 == 0 {
+			grid[i] = 1
+		}
+	}
+	grid[0], grid[255] = 0, 0
+	var sum uint32
+	for pass := 0; pass < scale; pass++ {
+		var visited [256]byte
+		queue := make([]uint32, 0, 256)
+		queue = append(queue, 0)
+		visited[0] = 1
+		count := uint32(0)
+		tryPush := func(cell uint32) {
+			if visited[cell] == 0 && grid[cell] == 0 {
+				visited[cell] = 1
+				queue = append(queue, cell)
+			}
+		}
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			count++
+			if cur == 255 {
+				count += 1000
+				break
+			}
+			r, c := cur>>4, cur&15
+			if r > 0 {
+				tryPush(cur - 16)
+			}
+			if r < 15 {
+				tryPush(cur + 16)
+			}
+			if c > 0 {
+				tryPush(cur - 1)
+			}
+			if c < 15 {
+				tryPush(cur + 1)
+			}
+		}
+		sum += count
+		k := uint32(pass)*11%254 + 1
+		grid[k] ^= 1
+	}
+	return fmt.Sprintf("%d", int32(sum))
+}
+
+func init() {
+	register(&Workload{
+		Name: "twolf", Paper: "300.twolf (SPECint2000)",
+		Description:  "annealing cell swaps with accept/reject wirelength test",
+		DefaultScale: 1 << 22,
+		source:       twolfSource, reference: twolfReference,
+	})
+	register(&Workload{
+		Name: "vortex", Paper: "255.vortex (SPECint2000)",
+		Description:  "hashed object-store lookup with whole-record copies",
+		DefaultScale: 1 << 22,
+		source:       vortexSource, reference: vortexReference,
+	})
+	register(&Workload{
+		Name: "vpr", Paper: "175.vpr (SPECint2000)",
+		Description:  "BFS maze routing over a 16x16 obstacle grid",
+		DefaultScale: 1 << 22,
+		source:       vprSource, reference: vprReference,
+	})
+}

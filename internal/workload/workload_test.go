@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"pok/internal/emu"
+)
+
+// TestAllKernelsMatchReference is the package's central correctness check:
+// every assembled benchmark, run to completion on the emulator, must print
+// exactly what its Go reference model computes. This exercises the ISA,
+// encoder/decoder, assembler and emulator end to end.
+func TestAllKernelsMatchReference(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := MustGet(name)
+			for _, scale := range []int{1, 2, 5} {
+				prog, err := w.Program(scale)
+				if err != nil {
+					t.Fatalf("scale %d: %v", scale, err)
+				}
+				e := emu.New(prog)
+				if _, err := e.Run(300_000_000, nil); err != nil {
+					t.Fatalf("scale %d: %v", scale, err)
+				}
+				if !e.Halted() {
+					t.Fatalf("scale %d: did not halt", scale)
+				}
+				want := w.Reference(scale)
+				if got := e.Output(); got != want {
+					t.Fatalf("scale %d: output %q, reference %q", scale, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestNamesMatchPaperTable1(t *testing.T) {
+	want := []string{"bzip", "gcc", "go", "gzip", "ijpeg", "li",
+		"mcf", "parser", "twolf", "vortex", "vpr"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("have %d workloads, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGetAndMustGet(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("Get(nope) succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGet(nope) did not panic")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestScaleClamping(t *testing.T) {
+	w := MustGet("li")
+	if w.Source(0) != w.Source(1) || w.Reference(-3) != w.Reference(1) {
+		t.Fatal("non-positive scales must clamp to 1")
+	}
+}
+
+func TestWorkGrowsWithScale(t *testing.T) {
+	w := MustGet("ijpeg")
+	counts := make([]uint64, 2)
+	for i, scale := range []int{1, 4} {
+		prog, err := w.Program(scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := emu.New(prog)
+		n, err := e.Run(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[i] = n
+	}
+	if counts[1] < counts[0]*3 {
+		t.Fatalf("scale 4 ran %d insts vs %d at scale 1", counts[1], counts[0])
+	}
+}
+
+func TestMetadataComplete(t *testing.T) {
+	for _, name := range Names() {
+		w := MustGet(name)
+		if w.Paper == "" || w.Description == "" || w.DefaultScale < 1000 {
+			t.Errorf("%s: incomplete metadata %+v", name, w)
+		}
+		if !strings.Contains(w.Paper, "SPEC") {
+			t.Errorf("%s: Paper field should cite the SPEC program", name)
+		}
+	}
+}
+
+// TestInstructionMix sanity-checks that the suite spans the behaviours the
+// paper's techniques target: loads, stores, equality branches and
+// sign-test branches must all appear in every kernel's dynamic stream.
+func TestInstructionMix(t *testing.T) {
+	for _, name := range Names() {
+		w := MustGet(name)
+		prog, err := w.Program(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := emu.New(prog)
+		var loads, stores, eqBranches uint64
+		_, err = e.Run(0, func(d *emu.DynInst) {
+			op := d.Inst.Op
+			if op.IsLoad() {
+				loads++
+			}
+			if op.IsStore() {
+				stores++
+			}
+			if op.EqualityBranch() {
+				eqBranches++
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loads == 0 || stores == 0 || eqBranches == 0 {
+			t.Errorf("%s: degenerate mix loads=%d stores=%d eqBranches=%d",
+				name, loads, stores, eqBranches)
+		}
+	}
+}

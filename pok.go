@@ -1,0 +1,184 @@
+// Package pok (Partial Operand Knowledge) is a library-level reproduction
+// of Mestan & Lipasti, "Exploiting Partial Operand Knowledge", ICPP 2003.
+//
+// It provides, entirely from scratch and on the standard library only:
+//
+//   - a PISA-like 32-bit MIPS instruction set with real binary encodings,
+//     an assembler and a functional emulator (internal/isa, asm, emu);
+//   - the paper's machine substrates: a 64k gshare + BTB + RAS predictor,
+//     a two-level set-associative cache hierarchy with partial tag
+//     matching and MRU way prediction, and a unified load/store queue
+//     with bit-serial early disambiguation (internal/bpred, cache, lsq);
+//   - a cycle-level, 4-wide, 15-stage out-of-order timing model whose
+//     execution stage can be bit-sliced by 2 or 4, with the paper's five
+//     partial-operand techniques as independent toggles (internal/core);
+//   - eleven synthetic stand-ins for the paper's SPECint benchmarks
+//     (internal/workload), each verified against a Go reference model;
+//   - drivers that regenerate every table and figure of the paper's
+//     evaluation (internal/exp).
+//
+// The exported API of this package is a thin facade over those layers:
+// assemble programs, pick a machine configuration, simulate, and run the
+// paper's experiments.
+package pok
+
+import (
+	"pok/internal/asm"
+	"pok/internal/cc"
+	"pok/internal/core"
+	"pok/internal/emu"
+	"pok/internal/exp"
+	"pok/internal/workload"
+)
+
+// Re-exported machine-model types.
+type (
+	// Config is a timing-model machine configuration.
+	Config = core.Config
+	// Result holds the statistics of one timing simulation.
+	Result = core.Result
+	// Program is a loadable binary image produced by the assembler.
+	Program = emu.Program
+	// Workload is one of the paper's benchmark stand-ins.
+	Workload = workload.Workload
+	// Options selects benchmarks and instruction budgets for experiments.
+	Options = exp.Options
+)
+
+// Machine configurations (paper Table 2 / Figure 10).
+var (
+	// BaseConfig is the ideal machine with a single-cycle execution stage.
+	BaseConfig = core.BaseConfig
+	// SimplePipelined pipelines the execution stage into n slices without
+	// exposing partial operands (the paper's naive baseline).
+	SimplePipelined = core.SimplePipelined
+	// BitSliced enables every partial-operand technique on an n-slice
+	// datapath (the paper's proposed microarchitecture).
+	BitSliced = core.BitSliced
+	// ConfigLadder returns the cumulative technique ladder used by
+	// Figures 11 and 12.
+	ConfigLadder = exp.ConfigLadder
+)
+
+// Assemble translates MIPS-style assembly source into a runnable program.
+func Assemble(source string) (*Program, error) { return asm.Assemble(source) }
+
+// CompileC compiles MiniC source (see internal/cc) into a runnable
+// program — the compiled-language path the paper's SPEC benchmarks took.
+func CompileC(source string) (*Program, error) { return cc.CompileProgram(source) }
+
+// Run simulates prog under cfg for up to maxInsts committed instructions
+// (0 = to completion) and returns the timing statistics.
+func Run(prog *Program, cfg Config, maxInsts uint64) (*Result, error) {
+	return core.Run(prog, cfg, maxInsts)
+}
+
+// RunWarm is Run with a functional fast-forward of warmup instructions
+// before measurement (the paper fast-forwards 1B instructions).
+func RunWarm(prog *Program, cfg Config, warmup, maxInsts uint64) (*Result, error) {
+	return core.RunWarm(prog, cfg, warmup, maxInsts)
+}
+
+// RunSampled performs SMARTS-style sampled simulation: nSamples detailed
+// windows of sampleLen instructions separated by functionally-warmed
+// skips of skipLen instructions. The result's IPC estimates the full-run
+// IPC at a fraction of the cost.
+func RunSampled(prog *Program, cfg Config, warmup, sampleLen, skipLen uint64,
+	nSamples int) (*Result, error) {
+	return core.RunSampled(prog, cfg, warmup, sampleLen, skipLen, nSamples)
+}
+
+// Execute runs prog functionally (no timing) for up to maxInsts
+// instructions and returns its printed output.
+func Execute(prog *Program, maxInsts uint64) (string, error) {
+	e := emu.New(prog)
+	if _, err := e.Run(maxInsts, nil); err != nil {
+		return e.Output(), err
+	}
+	return e.Output(), nil
+}
+
+// Benchmarks returns the names of the paper's Table 1 benchmark suite.
+func Benchmarks() []string { return workload.Names() }
+
+// GetWorkload returns the named benchmark stand-in.
+func GetWorkload(name string) (*Workload, error) { return workload.Get(name) }
+
+// SimulateBenchmark runs the named benchmark under cfg with its standard
+// fast-forward and the given instruction budget.
+func SimulateBenchmark(name string, cfg Config, maxInsts uint64) (*Result, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := w.Program(w.DefaultScale)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.RunWarm(prog, cfg, w.FastForward, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	r.Benchmark = name
+	return r, nil
+}
+
+// Experiment drivers (one per paper table/figure) and their renderers.
+var (
+	Table1         = exp.Table1
+	RenderTable1   = exp.RenderTable1
+	Figure2        = exp.Figure2
+	RenderFigure2  = exp.RenderFigure2
+	Figure4        = exp.Figure4
+	RenderFigure4  = exp.RenderFigure4
+	Figure6        = exp.Figure6
+	RenderFigure6  = exp.RenderFigure6
+	Figure11       = exp.Figure11
+	RenderFigure11 = exp.RenderFigure11
+	Figure12       = exp.Figure12
+	RenderFigure12 = exp.RenderFigure12
+)
+
+// Ablation studies beyond the paper's figures.
+var (
+	// NarrowWidthAblation measures the paper's narrow-width future-work
+	// extension on top of the bit-sliced machine.
+	NarrowWidthAblation = exp.NarrowWidthAblation
+	// PredictorAblation swaps gshare for bimodal on the base machine.
+	PredictorAblation = exp.PredictorAblation
+	// WrongPathAblation measures the effect of simulating wrong-path
+	// instructions on the bit-sliced machine.
+	WrongPathAblation = exp.WrongPathAblation
+	// CompiledSuite times the MiniC-compiled workloads on the headline
+	// machines, checking the paper shape on compiler output.
+	CompiledSuite       = exp.CompiledSuite
+	RenderCompiledSuite = exp.RenderCompiledSuite
+	// WindowSweep varies the RUU size on the bit-sliced machine.
+	WindowSweep = exp.WindowSweep
+	// LSQSweep varies the load/store queue size on the bit-sliced machine.
+	LSQSweep          = exp.LSQSweep
+	RenderAblation    = exp.RenderAblation
+	RenderWindowSweep = exp.RenderWindowSweep
+	RenderLSQSweep    = exp.RenderLSQSweep
+)
+
+// ASCII figure sketches accompanying the numeric tables.
+var (
+	PlotFigure6  = exp.PlotFigure6
+	PlotFigure11 = exp.PlotFigure11
+	PlotFigure12 = exp.PlotFigure12
+)
+
+// ProfileBenchmark returns the dynamic instruction mix of the named
+// benchmark over maxInsts instructions.
+func ProfileBenchmark(name string, maxInsts uint64) (*emu.Profile, error) {
+	w, err := workload.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := w.Program(w.DefaultScale)
+	if err != nil {
+		return nil, err
+	}
+	return emu.ProfileProgram(prog, maxInsts)
+}

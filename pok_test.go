@@ -1,0 +1,148 @@
+package pok
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleExecute(t *testing.T) {
+	prog, err := Assemble(`
+.data
+msg: .asciiz "partial operands\n"
+.text
+main:
+	li $v0, 4
+	la $a0, msg
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Execute(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "partial operands\n" {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestRunConfigs(t *testing.T) {
+	for _, cfg := range []Config{BaseConfig(), SimplePipelined(2), BitSliced(2),
+		SimplePipelined(4), BitSliced(4)} {
+		r, err := Run(loopProg(t), cfg, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if r.Insts == 0 || r.IPC <= 0 {
+			t.Fatalf("%s: empty result", cfg.Name)
+		}
+	}
+}
+
+func loopProg(t *testing.T) *Program {
+	t.Helper()
+	prog, err := Assemble(`
+main:
+	li $t0, 400
+	li $t1, 0
+loop:
+	addu $t1, $t1, $t0
+	addiu $t0, $t0, -1
+	bne $t0, $zero, loop
+	li $v0, 10
+	syscall
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestSimulateBenchmark(t *testing.T) {
+	r, err := SimulateBenchmark("li", BitSliced(2), 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Benchmark != "li" || r.Insts != 20_000 {
+		t.Fatalf("result %+v", r)
+	}
+	if _, err := SimulateBenchmark("nope", BaseConfig(), 10); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarkListAndWorkloads(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 11 || names[0] != "bzip" {
+		t.Fatalf("benchmarks = %v", names)
+	}
+	w, err := GetWorkload("gzip")
+	if err != nil || w.Name != "gzip" {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	opt := Options{Benchmarks: []string{"li"}, MaxInsts: 15_000}
+	rows, err := Table1(opt)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("table1: %v %v", rows, err)
+	}
+	if !strings.Contains(RenderTable1(rows), "li") {
+		t.Fatal("render")
+	}
+	f11, err := Figure11(opt, 2)
+	if err != nil || len(f11) != 1 {
+		t.Fatalf("figure11: %v", err)
+	}
+	f12 := Figure12(f11)
+	if len(f12) != 1 {
+		t.Fatal("figure12")
+	}
+	if !strings.Contains(RenderFigure12(f12), "Figure 12") {
+		t.Fatal("render 12")
+	}
+}
+
+func TestConfigLadderFacade(t *testing.T) {
+	if got := len(ConfigLadder(2)); got != 6 {
+		t.Fatalf("ladder size %d", got)
+	}
+}
+
+func TestCompileC(t *testing.T) {
+	prog, err := CompileC(`
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 10; i++) s += i * i;
+	print(s);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Execute(prog, 0)
+	if err != nil || out != "285\n" {
+		t.Fatalf("out=%q err=%v", out, err)
+	}
+	r, err := Run(prog2(t), BitSliced(2), 0)
+	if err != nil || r.Insts == 0 {
+		t.Fatalf("timing compiled code: %v", err)
+	}
+	if _, err := CompileC("int main() { return x; }"); err == nil {
+		t.Fatal("bad program compiled")
+	}
+}
+
+func prog2(t *testing.T) *Program {
+	t.Helper()
+	p, err := CompileC(`int main() { int i; int s = 0; for (i = 0; i < 50; i++) s += i; print(s); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
