@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench eval eval-quick examples clean
+.PHONY: all build test vet bench ci eval eval-quick examples clean
 
 all: build test
+
+# The full pre-merge gate: static checks, a clean build, and the test
+# suite under the race detector (the experiment drivers fan simulations
+# out over goroutines, so racy scheduling code cannot hide).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

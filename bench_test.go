@@ -2,6 +2,7 @@ package pok
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pok/internal/asm"
@@ -20,7 +21,10 @@ import (
 // full-budget regeneration of the paper's evaluation.
 const benchBudget = 60_000
 
-var benchOpt = Options{MaxInsts: benchBudget}
+// The experiment benchmarks fan each suite out over all cores: per-
+// benchmark simulations are independent, so wall-clock scales with the
+// machine while results stay identical (TestBenchOptParallelIdentity).
+var benchOpt = Options{MaxInsts: benchBudget, Parallel: runtime.NumCPU()}
 
 // ---------------------------------------------------------------------------
 // One benchmark per paper table/figure.
@@ -137,6 +141,38 @@ func BenchmarkFigure12(b *testing.B) {
 				nw += r.NewTechniques
 			}
 			b.ReportMetric(100*nw/float64(len(f12)), "%newTechniques")
+		}
+	}
+}
+
+// TestBenchOptParallelIdentity pins the claim benchOpt relies on: the
+// worker pool changes wall-clock, never results. Table 1 under the
+// benchmark options (full parallelism) must match a sequential run row
+// for row.
+func TestBenchOptParallelIdentity(t *testing.T) {
+	opt := benchOpt
+	opt.Benchmarks = []string{"bzip", "li", "mcf", "vpr"}
+	opt.MaxInsts = 20_000
+	seq := opt
+	seq.Parallel = 1
+	par := opt
+	if par.Parallel < 2 {
+		par.Parallel = 2 // keep the pool engaged even on one-CPU runners
+	}
+	rs, err := Table1(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Table1(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(rp) {
+		t.Fatalf("row count differs: %d vs %d", len(rs), len(rp))
+	}
+	for i := range rs {
+		if rs[i] != rp[i] {
+			t.Errorf("row %d differs:\nsequential %+v\nparallel   %+v", i, rs[i], rp[i])
 		}
 	}
 }

@@ -7,19 +7,52 @@
 //	pok-bench                 # full evaluation at the default budget
 //	pok-bench -insts 100000   # quicker pass
 //	pok-bench -out results/   # also write per-experiment files
+//	pok-bench -json           # machine-readable BENCH_<date>.json regression record
+//	pok-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"pok"
 )
+
+// experimentRecord is one entry of the -json benchmark-regression file:
+// the wall-clock cost of an experiment plus, where the experiment exposes
+// them, simulation-throughput and quality metrics. Committing these files
+// from successive runs (BENCH_<date>.json) gives the repo a perf history
+// that catches slowdowns the unit tests cannot.
+type experimentRecord struct {
+	Experiment string `json:"experiment"`
+	WallMillis int64  `json:"wall_ms"`
+	// SimCycles is the total number of simulated machine cycles the
+	// experiment executed (0 when the experiment is trace-driven and has
+	// no timing component).
+	SimCycles int64 `json:"sim_cycles,omitempty"`
+	// SimCyclesPerSec is the simulator's cycle throughput for this
+	// experiment: SimCycles over the wall-clock time.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	// MeanIPC averages the headline IPC over the experiment's rows.
+	MeanIPC float64 `json:"mean_ipc,omitempty"`
+}
+
+type benchReport struct {
+	Date        string             `json:"date"`
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	InstsBudget uint64             `json:"insts_budget"`
+	Parallel    int                `json:"parallel"`
+	TotalWallMS int64              `json:"total_wall_ms"`
+	Experiments []experimentRecord `json:"experiments"`
+}
 
 func main() {
 	insts := flag.Uint64("insts", 0, "instruction budget per benchmark per run (0 = default)")
@@ -27,7 +60,22 @@ func main() {
 	outDir := flag.String("out", "", "directory to write per-experiment result files")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent benchmarks per experiment")
+	jsonOut := flag.Bool("json", false, "write a BENCH_<date>.json regression record (to -out dir, or the working directory)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after all experiments) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opt := pok.Options{MaxInsts: *insts, Parallel: *parallel}
 	if *benches != "" {
@@ -47,14 +95,44 @@ func main() {
 		}
 	}
 
+	var records []experimentRecord
+	// record captures one experiment's wall time and derived metrics.
+	record := func(name string, start time.Time, cycles int64, meanIPC float64) {
+		wall := time.Since(start)
+		r := experimentRecord{
+			Experiment: name,
+			WallMillis: wall.Milliseconds(),
+			SimCycles:  cycles,
+			MeanIPC:    meanIPC,
+		}
+		if cycles > 0 && wall > 0 {
+			r.SimCyclesPerSec = float64(cycles) / wall.Seconds()
+		}
+		records = append(records, r)
+	}
+
 	start := time.Now()
 
+	t1Start := time.Now()
 	t1, err := pok.Table1(opt)
 	if err != nil {
 		fatal(err)
 	}
+	var t1Cycles int64
+	var t1IPC float64
+	for _, r := range t1 {
+		if r.IPC > 0 {
+			t1Cycles += int64(float64(r.Insts) / r.IPC)
+		}
+		t1IPC += r.IPC
+	}
+	if len(t1) > 0 {
+		t1IPC /= float64(len(t1))
+	}
+	record("table1", t1Start, t1Cycles, t1IPC)
 	emit("table1", pok.RenderTable1(t1))
 
+	f2Start := time.Now()
 	f2opt := opt
 	if len(f2opt.Benchmarks) == 0 {
 		f2opt.Benchmarks = []string{"bzip", "gcc"}
@@ -63,8 +141,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	record("figure2", f2Start, 0, 0)
 	emit("figure2", pok.RenderFigure2(f2))
 
+	f4Start := time.Now()
 	f4opt := opt
 	if len(f4opt.Benchmarks) == 0 {
 		f4opt.Benchmarks = []string{"mcf", "twolf"}
@@ -73,20 +153,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	record("figure4", f4Start, 0, 0)
 	emit("figure4", pok.RenderFigure4(f4))
 
+	f6Start := time.Now()
 	f6, err := pok.Figure6(opt)
 	if err != nil {
 		fatal(err)
 	}
+	record("figure6", f6Start, 0, 0)
 	emit("figure6", pok.RenderFigure6(f6))
 	emit("figure6-plot", pok.PlotFigure6(f6))
 
 	for _, sliceBy := range []int{2, 4} {
+		f11Start := time.Now()
 		f11, err := pok.Figure11(opt, sliceBy)
 		if err != nil {
 			fatal(err)
 		}
+		var cycles int64
+		var ipc float64
+		var nres int
+		for _, row := range f11 {
+			if row.BaseResult != nil {
+				cycles += row.BaseResult.Cycles
+			}
+			for _, res := range row.Results {
+				cycles += res.Cycles
+			}
+			if n := len(row.StackIPC); n > 0 {
+				ipc += row.StackIPC[n-1]
+				nres++
+			}
+		}
+		if nres > 0 {
+			ipc /= float64(nres)
+		}
+		record(fmt.Sprintf("figure11-x%d", sliceBy), f11Start, cycles, ipc)
 		emit(fmt.Sprintf("figure11-x%d", sliceBy), pok.RenderFigure11(f11))
 		emit(fmt.Sprintf("figure11-x%d-plot", sliceBy), pok.PlotFigure11(f11))
 		f12 := pok.Figure12(f11)
@@ -95,6 +198,7 @@ func main() {
 	}
 
 	if *ablations {
+		abStart := time.Now()
 		nw, err := pok.NarrowWidthAblation(opt, 2)
 		if err != nil {
 			fatal(err)
@@ -136,9 +240,51 @@ func main() {
 			fatal(err)
 		}
 		emit("ablation-lsq", pok.RenderLSQSweep(ls))
+		record("ablations", abStart, 0, 0)
 	}
 
-	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	total := time.Since(start)
+
+	if *jsonOut {
+		report := benchReport{
+			Date:        time.Now().Format("2006-01-02"),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			InstsBudget: *insts,
+			Parallel:    *parallel,
+			TotalWallMS: total.Milliseconds(),
+			Experiments: records,
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		dir := *outDir
+		if dir == "" {
+			dir = "."
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(dir, "BENCH_"+report.Date+".json")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	fmt.Printf("total wall time: %s\n", total.Round(time.Millisecond))
 }
 
 func fatal(err error) {

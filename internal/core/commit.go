@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"strings"
-)
 
-import ()
+	"pok/internal/isa"
+)
 
 // ---------------------------------------------------------------------------
 // Commit
@@ -13,14 +13,16 @@ import ()
 
 func (s *Sim) commit() int {
 	n := 0
-	for n < s.cfg.CommitWidth && len(s.window) > 0 {
-		e := s.window[0]
+	for n < s.cfg.CommitWidth && s.window.Len() > 0 {
+		e := s.window.Front()
 		if !s.entryDone(e) {
 			break
 		}
 		e.committed = true
-		s.window = s.window[1:]
-		s.trace("commit   #%d", e.seq)
+		s.window.PopFront()
+		if s.tracing {
+			s.trace("commit   #%d", e.seq)
+		}
 		if e.lsqInserted {
 			if e.isStore {
 				// Stores update the cache at commit (write-back,
@@ -31,26 +33,21 @@ func (s *Sim) commit() int {
 			}
 			s.lsq.Remove(e.seq)
 		}
-		for r := range s.regProd {
-			if s.regProd[r] == e {
-				s.regProd[r] = nil
-			}
+		// Only the entry's own destinations can map to it in the rename
+		// table (dispatch and squash-restore preserve that invariant), so
+		// clearing them directly replaces the old full-table sweep.
+		if d := e.d.Dst; d != isa.RegZero && s.regProd[d] == e {
+			s.regProd[d] = nil
 		}
+		if d2 := e.d.Dst2; d2 != isa.RegZero && s.regProd[d2] == e {
+			s.regProd[d2] = nil
+		}
+		// The entry stays out of the pool until every older in-flight
+		// entry that may reference it has drained (see recycleRetired).
+		e.retireTag = s.seqCtr
+		s.retireQ.PushBack(e)
 		s.res.Insts++
 		n++
-	}
-	return n
-}
-
-// iqOccupancy returns the number of window entries still holding an
-// issue-queue slot (any slice-op not yet issued). Slots are freed at
-// issue, so the per-slice queues hold at most this many entries.
-func (s *Sim) iqOccupancy() int {
-	n := 0
-	for _, e := range s.window {
-		if !e.execDone {
-			n++
-		}
 	}
 	return n
 }
@@ -77,7 +74,7 @@ func (s *Sim) entryDone(e *entry) bool {
 		return false
 	}
 	if e.isStore {
-		if q := s.lsq.Find(e.seq); q == nil || !q.DataReady || !q.AddrKnown() {
+		if q := e.lsqEnt; q == nil || !q.DataReady || !q.AddrKnown() {
 			return false
 		}
 	}

@@ -107,6 +107,14 @@ type Config struct {
 	L1DLat        int // overrides the hierarchy's L1D hit latency
 	CachePorts    int // D$ ports (loads issued per cycle)
 
+	// LegacyScheduler selects the original O(window x slices) scan-based
+	// scheduling/memory loops instead of the event-driven ready-queue
+	// scheduler. The two are cycle-exact equivalents (enforced by
+	// TestEventSchedulerMatchesLegacy); the flag exists as a one-release
+	// escape hatch and to keep the differential test honest, and will be
+	// removed once the event-driven path has baked.
+	LegacyScheduler bool
+
 	// UseBimodal replaces the gshare direction predictor with a bimodal
 	// table of equal size (a predictor ablation; the paper uses gshare).
 	UseBimodal bool

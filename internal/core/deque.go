@@ -1,0 +1,64 @@
+package core
+
+// deque is a growable ring buffer of window entries. PopFront/PushBack
+// are O(1) and allocation-free once the backing array has warmed up,
+// unlike the slide-forward slice idiom ("w = w[1:]" + append) it
+// replaces, which reallocates the whole backing array every WindowSize
+// commits. The backing array length is always a power of two so index
+// arithmetic is a mask.
+type deque struct {
+	buf  []*entry
+	head int
+	n    int
+}
+
+// Len returns the number of entries currently queued.
+func (d *deque) Len() int { return d.n }
+
+// At returns the i-th entry from the front (0 = oldest).
+func (d *deque) At(i int) *entry { return d.buf[(d.head+i)&(len(d.buf)-1)] }
+
+// Front returns the oldest entry. The deque must be non-empty.
+func (d *deque) Front() *entry { return d.At(0) }
+
+// PushBack appends an entry at the tail.
+func (d *deque) PushBack(e *entry) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = e
+	d.n++
+}
+
+// PopFront removes and returns the oldest entry.
+func (d *deque) PopFront() *entry {
+	e := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return e
+}
+
+// Truncate keeps the first keep entries and drops the rest (used by
+// wrong-path squash, which discards the youngest suffix of the window).
+func (d *deque) Truncate(keep int) {
+	for i := keep; i < d.n; i++ {
+		d.buf[(d.head+i)&(len(d.buf)-1)] = nil
+	}
+	d.n = keep
+}
+
+// Clear empties the deque, releasing entry references for the pool.
+func (d *deque) Clear() { d.Truncate(0) }
+
+func (d *deque) grow() {
+	size := 2 * len(d.buf)
+	if size == 0 {
+		size = 16
+	}
+	nb := make([]*entry, size)
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.At(i)
+	}
+	d.buf, d.head = nb, 0
+}

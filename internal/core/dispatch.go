@@ -9,13 +9,23 @@ import (
 // Dispatch / rename
 // ---------------------------------------------------------------------------
 
+// iqOccupancy returns the number of window entries still holding an
+// issue-queue slot. The event-driven path maintains the count
+// incrementally; the legacy path recomputes it by scanning the window.
+func (s *Sim) iqOccupancy() int {
+	if s.legacy {
+		return s.iqOccupancyScan()
+	}
+	return s.iqCount
+}
+
 func (s *Sim) dispatch() {
-	for n := 0; n < s.cfg.FetchWidth && len(s.fetchBuf) > 0; n++ {
-		e := s.fetchBuf[0]
+	for n := 0; n < s.cfg.FetchWidth && s.fetchBuf.Len() > 0; n++ {
+		e := s.fetchBuf.Front()
 		if s.now < e.fetchC+int64(s.cfg.FrontEndDepth) {
 			return // still in the front-end pipe
 		}
-		if len(s.window) >= s.cfg.WindowSize {
+		if s.window.Len() >= s.cfg.WindowSize {
 			if n == 0 {
 				s.res.StallWindowFull++
 			}
@@ -27,7 +37,7 @@ func (s *Sim) dispatch() {
 			}
 			return // per-slice issue queues full (Figure 7)
 		}
-		if e.d.Inst.Op.Class() == isa.ClassSyscall && len(s.window) > 0 && !e.wp {
+		if e.d.Inst.Op.Class() == isa.ClassSyscall && s.window.Len() > 0 && !e.wp {
 			return // serialize syscalls (wrong-path ones never commit anyway)
 		}
 		if (e.isLoad || e.isStore) && s.lsq.Full() {
@@ -36,10 +46,12 @@ func (s *Sim) dispatch() {
 			}
 			return
 		}
-		s.fetchBuf = s.fetchBuf[1:]
+		s.fetchBuf.PopFront()
 		e.dispatched = true
 		e.dispC = s.now
-		s.trace("dispatch #%d", e.seq)
+		if s.tracing {
+			s.trace("dispatch #%d", e.seq)
+		}
 
 		// Rename: bind source registers to their in-flight producers.
 		for i := 0; i < e.d.NSrc; i++ {
@@ -47,23 +59,47 @@ func (s *Sim) dispatch() {
 				e.srcProd[i] = p
 			}
 		}
+		if !s.legacy {
+			// Register this entry on its producers' consumer lists so
+			// their completion events wake it through the wheel.
+			for i := 0; i < e.d.NSrc; i++ {
+				p := e.srcProd[i]
+				if p == nil || (i > 0 && p == e.srcProd[0]) {
+					continue // absent or duplicate producer
+				}
+				p.consumers = append(p.consumers, consRef{e: e, gen: e.gen})
+			}
+		}
 		if d := e.d.Dst; d != isa.RegZero {
-			e.prevDstProd = s.regProd[d]
+			if p := s.regProd[d]; p != nil {
+				e.prevDstProd, e.prevDstGen = p, p.gen
+			} else {
+				e.prevDstProd = nil
+			}
 			s.regProd[d] = e
 		}
 		if d2 := e.d.Dst2; d2 != isa.RegZero {
-			e.prevDst2Prod = s.regProd[d2]
+			if p := s.regProd[d2]; p != nil {
+				e.prevDst2Prod, e.prevDst2Gen = p, p.gen
+			} else {
+				e.prevDst2Prod = nil
+			}
 			s.regProd[d2] = e
 		}
 
 		if e.isLoad || e.isStore {
-			_ = s.lsq.Insert(&lsq.Entry{
+			q := &lsq.Entry{
 				Seq:     e.seq,
 				IsStore: e.isStore,
 				Addr:    e.d.EffAddr,
 				Size:    e.d.Inst.Op.MemSize(),
-			})
+			}
+			_ = s.lsq.Insert(q)
+			e.lsqEnt = q
 			e.lsqInserted = true
+			if !s.legacy {
+				s.memWatch = append(s.memWatch, e)
+			}
 		}
 
 		// Direct jumps resolve at dispatch; they can never mispredict.
@@ -71,6 +107,15 @@ func (s *Sim) dispatch() {
 			e.resolved = true
 			e.resolveC = s.now
 		}
-		s.window = append(s.window, e)
+		s.window.PushBack(e)
+		if !s.legacy {
+			s.iqCount++
+			// Seed the wakeup wheel with every slice whose dependence
+			// set is already determined; the rest are enqueued by the
+			// producer events that complete them.
+			for sl := 0; sl < e.nSlices; sl++ {
+				s.enqueueCand(e, sl)
+			}
+		}
 	}
 }

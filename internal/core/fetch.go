@@ -59,7 +59,7 @@ func (s *Sim) fetch() error {
 	// sustain full-width dispatch, since each instruction spends
 	// FrontEndDepth cycles in the front end.
 	bufCap := (s.cfg.FrontEndDepth + 2) * s.cfg.FetchWidth
-	for fetched := 0; fetched < s.cfg.FetchWidth && len(s.fetchBuf) < bufCap; fetched++ {
+	for fetched := 0; fetched < s.cfg.FetchWidth && s.fetchBuf.Len() < bufCap; fetched++ {
 		var d *emu.DynInst
 		var err error
 		onWrongPath := s.wpFork != nil
@@ -86,7 +86,8 @@ func (s *Sim) fetch() error {
 				return nil
 			}
 		}
-		e := &entry{d: *d, seq: s.seqCtr, fetchC: s.now, wp: onWrongPath}
+		e := s.allocEntry()
+		e.d, e.seq, e.fetchC, e.wp = *d, s.seqCtr, s.now, onWrongPath
 		s.seqCtr++
 		if !onWrongPath {
 			s.pendingInst = nil
@@ -95,8 +96,12 @@ func (s *Sim) fetch() error {
 			s.res.WrongPathInsts++
 		}
 		s.initEntry(e)
-		s.fetchBuf = append(s.fetchBuf, e)
-		s.trace("fetch    #%d pc=0x%x wp=%v %v", e.seq, d.PC, e.wp, d.Inst.String())
+		s.fetchBuf.PushBack(e)
+		if s.tracing {
+			// The disassembly is formatted only under tracing; an eager
+			// d.Inst.String() here once cost a quarter of the whole run.
+			s.trace("fetch    #%d pc=0x%x wp=%v %v", e.seq, d.PC, e.wp, d.Inst.String())
+		}
 
 		if e.isCtrl && onWrongPath {
 			// Wrong-path control follows the fork's own outcome: no
@@ -148,7 +153,9 @@ func (s *Sim) startWrongPath(branch *entry) {
 	s.wpFork = s.em.Fork(wrongPC)
 	s.wpStopped = false
 	s.haveLine = false
-	s.trace("wrongpath#%d begins at pc=0x%x", branch.seq, wrongPC)
+	if s.tracing {
+		s.trace("wrongpath#%d begins at pc=0x%x", branch.seq, wrongPC)
+	}
 }
 
 // nextWrongPathInst steps the speculative fork. A decode fault, halt or
@@ -170,48 +177,78 @@ func (s *Sim) nextWrongPathInst() *emu.DynInst {
 // and restores the rename map, then resumes correct-path fetch.
 func (s *Sim) squashWrongPath() {
 	idx := -1
-	for i, e := range s.window {
-		if e == s.wpBranch {
+	for i := 0; i < s.window.Len(); i++ {
+		if s.window.At(i) == s.wpBranch {
 			idx = i
 			break
 		}
 	}
 	// Undo dispatched wrong-path entries in reverse dispatch order.
 	if idx >= 0 {
-		for i := len(s.window) - 1; i > idx; i-- {
-			s.undoEntry(s.window[i])
+		for i := s.window.Len() - 1; i > idx; i-- {
+			s.undoEntry(s.window.At(i))
 		}
-		s.window = s.window[:idx+1]
+		s.window.Truncate(idx + 1)
 	} else {
 		// The branch already committed; everything younger is wrong-path.
-		for i := len(s.window) - 1; i >= 0; i-- {
-			if !s.window[i].wp {
+		for i := s.window.Len() - 1; i >= 0; i-- {
+			if !s.window.At(i).wp {
 				idx = i
 				break
 			}
-			s.undoEntry(s.window[i])
+			s.undoEntry(s.window.At(i))
 		}
-		s.window = s.window[:idx+1]
+		s.window.Truncate(idx + 1)
 	}
-	s.fetchBuf = s.fetchBuf[:0]
+	// Fetch-buffer entries were never dispatched: nothing in the machine can
+	// reference them (srcProd/consumer links are created only at dispatch),
+	// so they return to the pool immediately.
+	for s.fetchBuf.Len() > 0 {
+		s.freeEntry(s.fetchBuf.PopFront())
+	}
+	if !s.legacy {
+		s.scrubMemWatch()
+	}
 	s.wpFork = nil
 	s.wpBranch = nil
 	s.wpStopped = false
 	s.haveLine = false
-	s.trace("wrongpath squashed at cycle %d", s.now)
+	if s.tracing {
+		s.trace("wrongpath squashed at cycle %d", s.now)
+	}
 }
 
 // undoEntry reverses the dispatch-time side effects of a squashed entry.
 func (s *Sim) undoEntry(e *entry) {
 	if d := e.d.Dst; d != isa.RegZero && s.regProd[d] == e {
-		s.regProd[d] = e.prevDstProd
+		s.regProd[d] = liveProd(e.prevDstProd, e.prevDstGen)
 	}
 	if d2 := e.d.Dst2; d2 != isa.RegZero && s.regProd[d2] == e {
-		s.regProd[d2] = e.prevDst2Prod
+		s.regProd[d2] = liveProd(e.prevDst2Prod, e.prevDst2Gen)
 	}
 	if e.lsqInserted {
 		s.lsq.Remove(e.seq)
 	}
+	e.squashed = true
+	if !s.legacy && !e.execDone {
+		s.iqCount--
+	}
+	// Older in-flight entries may still hold srcProd/consumer references to
+	// this entry, so it drains through the retire queue like a committed one
+	// (gen tags orphan any wheel candidates that still point at it).
+	e.retireTag = s.seqCtr
+	s.retireQ.PushBack(e)
+}
+
+// liveProd validates a saved rename-map pointer against its generation
+// snapshot before it is restored: a producer that has committed — and may
+// since have been recycled into an unrelated entry — restores as nil,
+// exactly as the dispatch-time rename filter would treat it.
+func liveProd(p *entry, gen uint32) *entry {
+	if p == nil || p.gen != gen || p.committed {
+		return nil
+	}
+	return p
 }
 
 // initEntry decodes the structural properties of an instruction.

@@ -9,46 +9,118 @@ import (
 // Memory
 // ---------------------------------------------------------------------------
 
+// memoryStage is the event-driven memory loop: instead of rescanning the
+// whole window, it walks only the entries still needing attention — a
+// store whose data is not yet forwardable, a load not yet issued, or a
+// partial-tag load whose completion awaits the full address. Entries are
+// appended at dispatch (so the list stays in program order, preserving
+// cache-port arbitration order) and dropped as soon as their memory
+// obligations are met. Loads that establish a completion time fire a
+// producer event so dependent slice-ops enter the wakeup wheel.
 func (s *Sim) memoryStage() {
-	for _, e := range s.window {
-		if e.committed {
-			continue
+	// Compact in place, writing a pointer only when an entry has actually
+	// been dropped ahead of it: in the common cycle nothing retires from
+	// the watch list and the loop performs no slice writes at all (each
+	// *entry store would otherwise pay a GC write barrier).
+	w := s.memWatch
+	n := 0
+	for i, e := range w {
+		if e.committed || e.squashed {
+			continue // left the machine (squash also scrubs eagerly)
 		}
+		done := true
 		if e.isStore && e.lsqInserted {
-			// Store data becomes forwardable when the data operand's full
-			// value is available.
-			if q := s.lsq.Find(e.seq); q != nil && !q.DataReady {
-				ready := true
-				if e.dataSrc >= 0 {
-					for k := 0; k < s.cfg.Slices; k++ {
-						if s.srcAvail(e, e.dataSrc, k, false) > s.now {
-							ready = false
-							break
-						}
-					}
-				}
-				if ready {
-					q.DataReady = true
+			done = s.checkStoreData(e)
+		}
+		if e.isLoad {
+			if !e.memIssued && e.lsqInserted {
+				s.tryIssueLoad(e)
+				if e.memIssued {
+					// The load's (speculative and actual) completion
+					// times are now known: wake register dependents.
+					s.wakeConsumers(e)
 				}
 			}
-		}
-		if e.isLoad && !e.memIssued && e.lsqInserted {
-			s.tryIssueLoad(e)
-		}
-		if e.isLoad && e.memIssued && e.memPendFull != pendNone {
-			// A partial-tag access whose outcome needs the full address:
-			// finalize once address generation completes.
-			if _, fullC := s.agenTimes(e); fullC < inf {
-				switch e.memPendFull {
-				case pendWayMispred:
-					e.memActualDone = fullC + 1 + int64(s.cfg.L1DLat)
-				case pendMiss:
-					e.memActualDone = fullC + e.memPendLat
+			if e.memIssued && e.memPendFull != pendNone {
+				if s.finalizePendingLoad(e) {
+					s.wakeConsumers(e)
 				}
-				e.memPendFull = pendNone
+			}
+			if !e.memIssued || e.memPendFull != pendNone {
+				done = false
+			}
+		}
+		if !done {
+			if n != i {
+				w[n] = e
+			}
+			n++
+		}
+	}
+	for i := n; i < len(w); i++ {
+		w[i] = nil
+	}
+	s.memWatch = w[:n]
+}
+
+// scrubMemWatch removes squashed entries eagerly so a recycled entry can
+// never be misread through a stale memWatch reference.
+func (s *Sim) scrubMemWatch() {
+	w := s.memWatch
+	n := 0
+	for i, e := range w {
+		if !e.squashed {
+			if n != i {
+				w[n] = e
+			}
+			n++
+		}
+	}
+	for i := n; i < len(w); i++ {
+		w[i] = nil
+	}
+	s.memWatch = w[:n]
+}
+
+// checkStoreData marks the store's LSQ entry data-ready once the data
+// operand's full value is available, reporting whether the store needs no
+// further memory-stage attention.
+func (s *Sim) checkStoreData(e *entry) bool {
+	q := e.lsqEnt
+	if q == nil || q.DataReady {
+		return true
+	}
+	ready := true
+	if e.dataSrc >= 0 {
+		for k := 0; k < s.cfg.Slices; k++ {
+			if s.srcAvail(e, e.dataSrc, k, false) > s.now {
+				ready = false
+				break
 			}
 		}
 	}
+	if ready {
+		q.DataReady = true
+	}
+	return ready
+}
+
+// finalizePendingLoad resolves a partial-tag access whose outcome needed
+// the full address, once address generation completes. It reports
+// whether the completion time was established this cycle.
+func (s *Sim) finalizePendingLoad(e *entry) bool {
+	_, fullC := s.agenTimes(e)
+	if fullC >= inf {
+		return false
+	}
+	switch e.memPendFull {
+	case pendWayMispred:
+		e.memActualDone = fullC + 1 + int64(s.cfg.L1DLat)
+	case pendMiss:
+		e.memActualDone = fullC + e.memPendLat
+	}
+	e.memPendFull = pendNone
+	return true
 }
 
 // tryIssueLoad attempts to send a load to the memory system this cycle.
@@ -56,7 +128,7 @@ func (s *Sim) tryIssueLoad(e *entry) {
 	if s.portsUsed >= s.cfg.CachePorts {
 		return
 	}
-	q := s.lsq.Find(e.seq)
+	q := e.lsqEnt
 	if q == nil {
 		return
 	}
@@ -77,7 +149,8 @@ func (s *Sim) tryIssueLoad(e *entry) {
 	// "Early release": the load issued while its own or some prior store's
 	// address was still incomplete — impossible without partial operands.
 	early := q.KnownBits < 32
-	for _, st := range s.lsq.PriorStores(e.seq) {
+	s.storeScratch = s.lsq.AppendPriorStores(s.storeScratch[:0], e.seq)
+	for _, st := range s.storeScratch {
 		if !st.AddrKnown() {
 			early = true
 			break
@@ -166,7 +239,9 @@ func (s *Sim) tryIssueLoad(e *entry) {
 		}
 		e.memPredDone = s.now + int64(s.cfg.L1DLat)
 		e.memActualDone += tlbLat
-		s.trace("mem      #%d partial-tag addr=0x%x kind=%v done=%d", e.seq, addr, kind, e.memActualDone)
+		if s.tracing {
+			s.trace("mem      #%d partial-tag addr=0x%x kind=%v done=%d", e.seq, addr, kind, e.memActualDone)
+		}
 		return
 	}
 
@@ -174,7 +249,9 @@ func (s *Sim) tryIssueLoad(e *entry) {
 	lat, _ := s.hier.AccessData(addr)
 	e.memActualDone = s.now + int64(lat) + tlbLat
 	e.memPredDone = s.now + int64(s.cfg.L1DLat)
-	s.trace("mem      #%d conventional addr=0x%x done=%d", e.seq, addr, e.memActualDone)
+	if s.tracing {
+		s.trace("mem      #%d conventional addr=0x%x done=%d", e.seq, addr, e.memActualDone)
+	}
 }
 
 // agenTimes returns the cycles at which (a) the low 16 address bits and

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"pok/internal/isa"
+)
+
+// Event-driven scheduler.
+//
+// Instead of rescanning the whole window every cycle, slice-op candidates
+// are pushed into a time-indexed wakeup wheel (a binary min-heap on their
+// computed depsAvail) when the event that completes their dependence set
+// occurs:
+//
+//   - dispatch seeds every slice whose inputs are already determined;
+//   - a producer's slice execution (or a load establishing its completion
+//     time) walks the producer's consumer list and enqueues dependents;
+//   - a slice execution enqueues the entry's own next slice (carry chains
+//     and in-order slice issue);
+//   - a replay re-enqueues the slice-op at its retryC.
+//
+// Candidates whose speculative depsAvail is still unknown (inf — some
+// producer has not executed) are not enqueued at all; a later producer
+// event recomputes and enqueues them. Because every dependence input
+// transitions exactly once from "unknown" to a fixed time, a candidate's
+// wake time is exact when it becomes finite, so schedule() touches only
+// slice-ops that are genuinely ready this cycle (plus any left over from
+// resource contention). Ready candidates are issued in (seq, slice)
+// order, reproducing the select priority of the legacy window scan
+// cycle for cycle.
+
+// cand is one wakeup-wheel candidate: slice sl of entry e becomes
+// schedulable at cycle wake. gen snapshots e.gen so candidates that
+// outlive a squashed-and-recycled entry are dropped on pop.
+type cand struct {
+	e    *entry
+	wake int64
+	seq  uint64
+	gen  uint32
+	sl   int32
+}
+
+// pushWheel inserts a candidate into the wakeup wheel.
+func (s *Sim) pushWheel(c cand) {
+	w := append(s.wheel, c)
+	i := len(w) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if w[p].wake <= w[i].wake {
+			break
+		}
+		w[p], w[i] = w[i], w[p]
+		i = p
+	}
+	s.wheel = w
+}
+
+// popWheel removes and returns the earliest-waking candidate.
+func (s *Sim) popWheel() cand {
+	w := s.wheel
+	top := w[0]
+	n := len(w) - 1
+	w[0] = w[n]
+	w[n] = cand{}
+	w = w[:n]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && w[l].wake < w[m].wake {
+			m = l
+		}
+		if r < n && w[r].wake < w[m].wake {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		w[i], w[m] = w[m], w[i]
+		i = m
+	}
+	s.wheel = w
+	return top
+}
+
+// enqueueCand computes the speculative wakeup time of slice sl of e and
+// inserts it into the wheel. Candidates whose dependence set is not yet
+// determined (wake == inf) are parked: the producer event that completes
+// the set re-enqueues them.
+func (s *Sim) enqueueCand(e *entry, sl int) {
+	st := &e.slices[sl]
+	if st.started || st.inReady || e.committed || e.squashed {
+		return
+	}
+	w := s.depsAvailC(e, sl, true)
+	if w >= inf {
+		return
+	}
+	s.pushWheel(cand{e: e, wake: w, seq: e.seq, gen: e.gen, sl: int32(sl)})
+}
+
+// wakeConsumers handles a producer event on p: every dependent entry's
+// memoized depsAvail is invalidated and its unstarted slice-ops are
+// (re-)enqueued now that one more input is determined.
+func (s *Sim) wakeConsumers(p *entry) {
+	for _, cr := range p.consumers {
+		c := cr.e
+		if c.gen != cr.gen || c.committed || c.squashed {
+			continue
+		}
+		c.invalidateDeps()
+		for sl := 0; sl < c.nSlices; sl++ {
+			if !c.slices[sl].started {
+				s.enqueueCand(c, sl)
+			}
+		}
+	}
+}
+
+// schedule pops due candidates off the wheel into the ready set, then
+// issues them in program order under the same per-slice issue/FU limits
+// as the legacy scan. Resource-starved candidates stay ready for the
+// next cycle; replayed ones are re-enqueued at their retryC.
+func (s *Sim) schedule() {
+	for len(s.wheel) > 0 && s.wheel[0].wake <= s.now {
+		c := s.popWheel()
+		e := c.e
+		if c.gen != e.gen || e.committed || e.squashed {
+			continue
+		}
+		st := &e.slices[c.sl]
+		if st.started || st.inReady {
+			continue // issued meanwhile, or a duplicate wakeup
+		}
+		st.inReady = true
+		s.ready = append(s.ready, c)
+		s.readyDirty = true
+	}
+	if s.readyDirty {
+		sortReady(s.ready)
+		s.readyDirty = false
+	}
+	r := s.ready
+	n := 0
+	for i, c := range r {
+		e := c.e
+		if c.gen != e.gen || e.committed || e.squashed || e.slices[c.sl].started {
+			continue // squashed or satisfied since entering the ready set
+		}
+		var consumed bool
+		if e.nSlices == 1 {
+			consumed = s.tryIssueFull(e)
+		} else {
+			consumed = s.tryIssueSlice(e, int(c.sl))
+		}
+		if !consumed {
+			// No issue slot this cycle; stay ready. Write only on actual
+			// compaction to spare the pointer write barrier.
+			if n != i {
+				r[n] = c
+			}
+			n++
+		}
+	}
+	for i := n; i < len(r); i++ {
+		r[i] = cand{}
+	}
+	s.ready = r[:n]
+}
+
+// sortReady orders the ready set by (seq, slice) — the select priority of
+// the legacy window scan. An insertion sort beats sort.Slice here: the
+// set is small, largely sorted already (survivors from last cycle stay in
+// order), and a typed sort avoids reflection in the swap path.
+func sortReady(r []cand) {
+	for i := 1; i < len(r); i++ {
+		c := r[i]
+		j := i - 1
+		for j >= 0 && (r[j].seq > c.seq || (r[j].seq == c.seq && r[j].sl > c.sl)) {
+			r[j+1] = r[j]
+			j--
+		}
+		r[j+1] = c
+	}
+}
+
+// tryIssueSlice attempts to issue one slice-op of a sliced entry,
+// reporting whether the candidate was consumed (issued or replayed).
+func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
+	if s.issueUsed[sl] >= s.cfg.IssueWidth || s.aluUsed[sl] >= s.cfg.IntALUs {
+		return false
+	}
+	s.issueUsed[sl]++
+	s.aluUsed[sl]++
+	st := &e.slices[sl]
+	st.inReady = false // the candidate is consumed either way below
+	if act := s.depsAvailC(e, sl, false); act > s.now {
+		// Load-hit misspeculation: the slot is wasted and the slice-op
+		// replays once its operand truly arrives.
+		st.retryC = retryAt(act)
+		e.invalidateDeps()
+		s.res.Replays++
+		s.enqueueCand(e, sl)
+		return true
+	}
+	st.started = true
+	st.startC = s.now
+	e.invalidateDeps()
+	if s.tracing {
+		s.trace("exec     #%d slice %d", e.seq, sl)
+	}
+	s.onSliceExecuted(e, sl)
+	if allSlicesStarted(e) {
+		e.execDone = true
+		s.iqCount--
+	}
+	s.wakeConsumers(e)
+	// Carry chains and in-order slice issue make the next slice of this
+	// entry dependent on the one that just executed.
+	if sl+1 < e.nSlices && !e.slices[sl+1].started {
+		s.enqueueCand(e, sl+1)
+	}
+	return true
+}
+
+// tryIssueFull attempts to issue a full-width operation, reporting
+// whether the candidate was consumed (issued or replayed). Resource
+// selection and consumption mirror scheduleFullLegacy exactly; a ready
+// candidate consumes its unit before the actual-readiness verify, so a
+// replay wastes the unit just as the hardware (and the legacy scan)
+// would.
+func (s *Sim) tryIssueFull(e *entry) bool {
+	op := e.d.Inst.Op
+	cls := op.Class()
+	switch cls {
+	case isa.ClassIntMul:
+		if s.mulUsed >= s.cfg.IntMul {
+			return false
+		}
+	case isa.ClassIntDiv:
+		if s.divFree > s.now {
+			return false
+		}
+	case isa.ClassFP:
+		if s.fpUsed >= s.cfg.FPALUs {
+			return false
+		}
+	case isa.ClassFPMulDiv:
+		if s.fpmdFree > s.now {
+			return false
+		}
+	default:
+		if s.issueUsed[0] >= s.cfg.IssueWidth || s.aluUsed[0] >= s.cfg.IntALUs {
+			return false
+		}
+	}
+	switch cls {
+	case isa.ClassIntMul:
+		s.mulUsed++
+	case isa.ClassIntDiv:
+		s.divFree = s.now + int64(e.fullLat)
+	case isa.ClassFP:
+		s.fpUsed++
+	case isa.ClassFPMulDiv:
+		s.fpmdFree = s.now + int64(e.fullLat)
+	default:
+		s.issueUsed[0]++
+		s.aluUsed[0]++
+	}
+	st := &e.slices[0]
+	st.inReady = false // the candidate is consumed either way below
+	if act := s.depsAvailC(e, 0, false); act > s.now {
+		st.retryC = retryAt(act)
+		e.invalidateDeps()
+		s.res.Replays++
+		s.enqueueCand(e, 0)
+		return true
+	}
+	st.started = true
+	st.startC = s.now
+	e.execDone = true
+	s.iqCount--
+	e.invalidateDeps()
+	if s.tracing {
+		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
+	}
+	s.onSliceExecuted(e, 0)
+	s.wakeConsumers(e)
+	return true
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"pok/internal/isa"
+)
+
+// This file preserves the original scan-based scheduling and memory
+// loops behind Config.LegacyScheduler. Every cycle they rescan the whole
+// window and recompute depsAvail from scratch (twice per issued slice-op:
+// once for the speculative wakeup, once for the actualReady verify), so
+// their cost grows with window size x slice count x cycles even when
+// nothing wakes up. The event-driven scheduler in sched_event.go is the
+// cycle-exact replacement; TestEventSchedulerMatchesLegacy holds the two
+// to identical Result structs. This path exists for one release as an
+// escape hatch and as the reference half of the differential test.
+
+func (s *Sim) scheduleLegacy() {
+	for i := 0; i < s.window.Len(); i++ {
+		e := s.window.At(i)
+		if e.committed || e.execDone {
+			continue
+		}
+		if e.nSlices == 1 {
+			s.scheduleFullLegacy(e)
+			continue
+		}
+		all := true
+		for sl := 0; sl < e.nSlices; sl++ {
+			st := &e.slices[sl]
+			if st.started {
+				continue
+			}
+			if s.issueUsed[sl] >= s.cfg.IssueWidth || s.aluUsed[sl] >= s.cfg.IntALUs {
+				all = false
+				continue
+			}
+			if s.depsAvail(e, sl, true) > s.now {
+				all = false
+				continue
+			}
+			s.issueUsed[sl]++
+			s.aluUsed[sl]++
+			if !s.actualReady(e, sl, s.now) {
+				// Load-hit misspeculation: the slot is wasted and the
+				// slice-op replays once its operand truly arrives.
+				st.retryC = retryAt(s.depsAvail(e, sl, false))
+				s.res.Replays++
+				all = false
+				continue
+			}
+			st.started = true
+			st.startC = s.now
+			if s.tracing {
+				s.trace("exec     #%d slice %d", e.seq, sl)
+			}
+			s.onSliceExecuted(e, sl)
+		}
+		if all {
+			e.execDone = true
+		}
+	}
+}
+
+func (s *Sim) scheduleFullLegacy(e *entry) {
+	st := &e.slices[0]
+	if st.started {
+		return
+	}
+	// Resource selection by class.
+	op := e.d.Inst.Op
+	switch op.Class() {
+	case isa.ClassIntMul:
+		if s.mulUsed >= s.cfg.IntMul {
+			return
+		}
+	case isa.ClassIntDiv:
+		if s.divFree > s.now {
+			return
+		}
+	case isa.ClassFP:
+		if s.fpUsed >= s.cfg.FPALUs {
+			return
+		}
+	case isa.ClassFPMulDiv:
+		if s.fpmdFree > s.now {
+			return
+		}
+	default:
+		if s.issueUsed[0] >= s.cfg.IssueWidth || s.aluUsed[0] >= s.cfg.IntALUs {
+			return
+		}
+	}
+	if s.depsAvail(e, 0, true) > s.now {
+		return
+	}
+	switch op.Class() {
+	case isa.ClassIntMul:
+		s.mulUsed++
+	case isa.ClassIntDiv:
+		s.divFree = s.now + int64(e.fullLat)
+	case isa.ClassFP:
+		s.fpUsed++
+	case isa.ClassFPMulDiv:
+		s.fpmdFree = s.now + int64(e.fullLat)
+	default:
+		s.issueUsed[0]++
+		s.aluUsed[0]++
+	}
+	if !s.actualReady(e, 0, s.now) {
+		st.retryC = retryAt(s.depsAvail(e, 0, false))
+		s.res.Replays++
+		return
+	}
+	st.started = true
+	st.startC = s.now
+	e.execDone = true
+	if s.tracing {
+		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
+	}
+	s.onSliceExecuted(e, 0)
+}
+
+// memoryStageLegacy is the original full-window memory loop.
+func (s *Sim) memoryStageLegacy() {
+	for i := 0; i < s.window.Len(); i++ {
+		e := s.window.At(i)
+		if e.committed {
+			continue
+		}
+		if e.isStore && e.lsqInserted {
+			s.checkStoreData(e)
+		}
+		if e.isLoad && !e.memIssued && e.lsqInserted {
+			s.tryIssueLoad(e)
+		}
+		if e.isLoad && e.memIssued && e.memPendFull != pendNone {
+			s.finalizePendingLoad(e)
+		}
+	}
+}
+
+// iqOccupancyScan counts the window entries still holding an issue-queue
+// slot by scanning the window (legacy path; the event-driven scheduler
+// maintains the same quantity incrementally in iqCount).
+func (s *Sim) iqOccupancyScan() int {
+	n := 0
+	for i := 0; i < s.window.Len(); i++ {
+		if !s.window.At(i).execDone {
+			n++
+		}
+	}
+	return n
+}

@@ -114,121 +114,47 @@ func (s *Sim) depsAvail(e *entry, sl int, announce bool) int64 {
 	return t
 }
 
+// retryAt returns the cycle a replayed slice-op may try again, given the
+// ground-truth availability observed at the failed issue. When that time
+// is still unknown — the producer is a partial-tag load whose completion
+// awaits its full address — the op must not latch the unreachable time
+// (doing so parked the slice forever and livelocked the machine); it
+// retries as soon as it wins an issue slot again, replaying until the
+// operand's true arrival is established.
+func retryAt(act int64) int64 {
+	if act >= inf {
+		return 0
+	}
+	return act
+}
+
 // needsAmount reports whether the op's first source is a shift amount
 // (variable shifts encode the amount in rs, which maps to source 0).
 func needsAmount(op isa.Op) bool {
 	return op == isa.OpSLLV || op == isa.OpSRLV || op == isa.OpSRAV
 }
 
+// depsAvailC is the memoizing wrapper around depsAvail used by the
+// event-driven scheduler: the result is cached per (slice, announce) and
+// invalidated only when a producer event (or the entry's own replay or
+// slice execution) could change it, so quiet cycles recompute nothing.
+func (s *Sim) depsAvailC(e *entry, sl int, announce bool) int64 {
+	a := 0
+	if announce {
+		a = 1
+	}
+	if e.depsOK[sl][a] {
+		return e.depsVal[sl][a]
+	}
+	v := s.depsAvail(e, sl, announce)
+	e.depsVal[sl][a], e.depsOK[sl][a] = v, true
+	return v
+}
+
 // actualReady verifies (non-speculatively) that slice sl could have
 // executed at time t — used to detect load-hit misspeculation.
 func (s *Sim) actualReady(e *entry, sl int, t int64) bool {
 	return s.depsAvail(e, sl, false) <= t
-}
-
-// ---------------------------------------------------------------------------
-// Scheduling / execute
-// ---------------------------------------------------------------------------
-
-func (s *Sim) schedule() {
-	for _, e := range s.window {
-		if e.committed || e.execDone {
-			continue
-		}
-		if e.nSlices == 1 {
-			s.scheduleFull(e)
-			continue
-		}
-		all := true
-		for sl := 0; sl < e.nSlices; sl++ {
-			st := &e.slices[sl]
-			if st.started {
-				continue
-			}
-			if s.issueUsed[sl] >= s.cfg.IssueWidth || s.aluUsed[sl] >= s.cfg.IntALUs {
-				all = false
-				continue
-			}
-			if s.depsAvail(e, sl, true) > s.now {
-				all = false
-				continue
-			}
-			s.issueUsed[sl]++
-			s.aluUsed[sl]++
-			if !s.actualReady(e, sl, s.now) {
-				// Load-hit misspeculation: the slot is wasted and the
-				// slice-op replays once its operand truly arrives.
-				st.retryC = s.depsAvail(e, sl, false)
-				s.res.Replays++
-				all = false
-				continue
-			}
-			st.started = true
-			st.startC = s.now
-			s.trace("exec     #%d slice %d", e.seq, sl)
-			s.onSliceExecuted(e, sl)
-		}
-		if all {
-			e.execDone = true
-		}
-	}
-}
-
-func (s *Sim) scheduleFull(e *entry) {
-	st := &e.slices[0]
-	if st.started {
-		return
-	}
-	// Resource selection by class.
-	op := e.d.Inst.Op
-	switch op.Class() {
-	case isa.ClassIntMul:
-		if s.mulUsed >= s.cfg.IntMul {
-			return
-		}
-	case isa.ClassIntDiv:
-		if s.divFree > s.now {
-			return
-		}
-	case isa.ClassFP:
-		if s.fpUsed >= s.cfg.FPALUs {
-			return
-		}
-	case isa.ClassFPMulDiv:
-		if s.fpmdFree > s.now {
-			return
-		}
-	default:
-		if s.issueUsed[0] >= s.cfg.IssueWidth || s.aluUsed[0] >= s.cfg.IntALUs {
-			return
-		}
-	}
-	if s.depsAvail(e, 0, true) > s.now {
-		return
-	}
-	switch op.Class() {
-	case isa.ClassIntMul:
-		s.mulUsed++
-	case isa.ClassIntDiv:
-		s.divFree = s.now + int64(e.fullLat)
-	case isa.ClassFP:
-		s.fpUsed++
-	case isa.ClassFPMulDiv:
-		s.fpmdFree = s.now + int64(e.fullLat)
-	default:
-		s.issueUsed[0]++
-		s.aluUsed[0]++
-	}
-	if !s.actualReady(e, 0, s.now) {
-		st.retryC = s.depsAvail(e, 0, false)
-		s.res.Replays++
-		return
-	}
-	st.started = true
-	st.startC = s.now
-	e.execDone = true
-	s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
-	s.onSliceExecuted(e, 0)
 }
 
 // onSliceExecuted handles per-slice side effects: branch resolution and
@@ -246,7 +172,7 @@ func (s *Sim) onSliceExecuted(e *entry, sl int) {
 	if (e.isLoad || e.isStore) && e.lsqInserted {
 		// Address-generation progress: after slice sl completes, bits
 		// [0, (sl+1)*W) of the effective address are known.
-		if q := s.lsq.Find(e.seq); q != nil {
+		if q := e.lsqEnt; q != nil {
 			known := (sl + 1) * s.cfg.SliceWidth()
 			if e.nSlices == 1 {
 				known = 32
@@ -321,7 +247,9 @@ func (s *Sim) resolveBranchAt(e *entry, c int64, early bool) {
 	}
 	e.resolved = true
 	e.resolveC = c
-	s.trace("resolve  #%d at %d early=%v mispred=%v", e.seq, c, early, e.mispred)
+	if s.tracing {
+		s.trace("resolve  #%d at %d early=%v mispred=%v", e.seq, c, early, e.mispred)
+	}
 	if early {
 		e.earlyResolved = true
 		s.res.EarlyResolved++

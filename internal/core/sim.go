@@ -25,6 +25,7 @@ const (
 // sliceState tracks one slice-op of an in-flight instruction.
 type sliceState struct {
 	started bool
+	inReady bool  // event scheduler: a candidate sits in the ready set
 	startC  int64 // cycle execution of this slice began
 	retryC  int64 // earliest re-execution after a replay
 }
@@ -81,10 +82,16 @@ type entry struct {
 
 	// Wrong-path state: wp entries never commit and are squashed when
 	// their shadowing branch resolves; prevDstProd/prevDst2Prod record the
-	// rename-map entries to restore at squash.
+	// rename-map entries to restore at squash. The gen snapshots detect
+	// producers that committed and were recycled (possibly reused) before
+	// the squash: restoring such a pointer would rename later dispatches
+	// onto an unrelated — even younger — entry, which can deadlock the
+	// window.
 	wp           bool
 	prevDstProd  *entry
 	prevDst2Prod *entry
+	prevDstGen   uint32
+	prevDst2Gen  uint32
 
 	// Control state.
 	isCtrl        bool
@@ -93,6 +100,47 @@ type entry struct {
 	resolved      bool
 	resolveC      int64
 	earlyResolved bool // mispredict exposed by a partial comparison
+
+	// Event-driven scheduler bookkeeping (idle under LegacyScheduler).
+	//
+	// gen is bumped every time the entry returns to the free pool, so
+	// stale wakeup-wheel candidates and consumer references carrying an
+	// old generation are recognized and dropped instead of acting on a
+	// recycled entry. squashed marks wrong-path entries removed by a
+	// squash (they may still be referenced by the wheel). consumers lists
+	// the dispatched entries renamed onto this producer; a producer event
+	// (slice executed, load completion time established) walks it to wake
+	// dependents. retireTag snapshots seqCtr at commit/squash: the entry
+	// can be recycled only once every older in-flight entry — any of
+	// which may hold srcProd/prevDstProd pointers to it — has drained.
+	gen       uint32
+	squashed  bool
+	retireTag uint64
+	consumers []consRef
+
+	// lsqEnt caches the LSQ entry inserted for this instruction at
+	// dispatch, so the per-cycle store/load bookkeeping does not pay a
+	// map lookup (valid only while lsqInserted; dropped on recycle).
+	lsqEnt *lsq.Entry
+
+	// Memoized depsAvail per (slice, announce), invalidated only on
+	// producer events — this removes the duplicated speculative/actual
+	// recomputation the scan-based scheduler performed every cycle.
+	depsVal [8][2]int64
+	depsOK  [8][2]bool
+}
+
+// consRef is one consumer registration on a producer entry. The gen
+// snapshot detects consumers that were squashed and recycled while the
+// producer was still in flight.
+type consRef struct {
+	e   *entry
+	gen uint32
+}
+
+// invalidateDeps drops every memoized depsAvail value of the entry.
+func (e *entry) invalidateDeps() {
+	e.depsOK = [8][2]bool{}
 }
 
 // Result aggregates the statistics of one timing run.
@@ -139,10 +187,29 @@ type Sim struct {
 	lsq  *lsq.Queue
 
 	now      int64
-	window   []*entry
-	fetchBuf []*entry
+	window   deque
+	fetchBuf deque
 
 	regProd [isa.NumRegs]*entry
+
+	// Event-driven scheduler state (see sched_event.go). legacy mirrors
+	// cfg.LegacyScheduler.
+	legacy     bool
+	tracing    bool     // cfg.Trace != nil; gates trace formatting at call sites
+	wheel      []cand   // binary min-heap on cand.wake
+	ready      []cand   // due candidates, kept sorted by (seq, slice)
+	readyDirty bool     // ready gained unsorted arrivals this cycle
+	memWatch   []*entry // loads/stores still needing memory-stage attention
+	iqCount    int      // window entries with !execDone (issue-queue slots)
+
+	// Entry pool: freeList holds recycled entries; retireQ holds
+	// committed/squashed entries whose recycling is deferred until no
+	// older in-flight entry can still reference them (see retireTag).
+	freeList []*entry
+	retireQ  deque
+
+	// storeScratch is reused by tryIssueLoad's early-release check.
+	storeScratch []*lsq.Entry
 
 	fetchBlockedBy *entry
 	fetchStallTo   int64
@@ -196,11 +263,57 @@ func NewSim(prog *emu.Program, cfg Config, maxInsts uint64) (*Sim, error) {
 		dtlb:     dtlb,
 		hier:     cfg.Hierarchy(),
 		lsq:      lsq.New(cfg.LSQSize),
+		legacy:   cfg.LegacyScheduler,
+		tracing:  cfg.Trace != nil,
 		maxInsts: maxInsts,
 		divFree:  -1,
 		fpmdFree: -1,
 		res:      Result{Config: cfg.Name},
 	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Entry pool
+// ---------------------------------------------------------------------------
+
+// allocEntry returns a zeroed entry, reusing a pooled one when possible.
+// The recycle generation survives the reset so any stale wheel candidate
+// still pointing at the entry is recognized as dead.
+func (s *Sim) allocEntry() *entry {
+	if n := len(s.freeList); n > 0 {
+		e := s.freeList[n-1]
+		s.freeList[n-1] = nil
+		s.freeList = s.freeList[:n-1]
+		gen, cons := e.gen, e.consumers[:0]
+		*e = entry{gen: gen, consumers: cons}
+		return e
+	}
+	return new(entry)
+}
+
+// freeEntry returns an entry to the pool. Bumping gen orphans every
+// outstanding wheel candidate and consumer reference immediately.
+func (s *Sim) freeEntry(e *entry) {
+	e.gen++
+	s.freeList = append(s.freeList, e)
+}
+
+// recycleRetired drains the head of the retire queue: an entry becomes
+// poolable once every entry dispatched before it left the machine (those
+// are the only ones that can hold srcProd/prevDstProd pointers to it)
+// and it is no longer pinned by the fetch unit's branch bookkeeping.
+func (s *Sim) recycleRetired() {
+	for s.retireQ.Len() > 0 {
+		e := s.retireQ.Front()
+		if s.window.Len() > 0 && s.window.Front().seq < e.retireTag {
+			return
+		}
+		if e == s.wpBranch || e == s.fetchBlockedBy {
+			return
+		}
+		s.retireQ.PopFront()
+		s.freeEntry(e)
+	}
 }
 
 // FastForward functionally executes n instructions before timing begins,
@@ -284,7 +397,7 @@ func (s *Sim) trace(format string, args ...any) {
 }
 
 func (s *Sim) drained() bool {
-	return s.traceDone && len(s.window) == 0 && len(s.fetchBuf) == 0
+	return s.traceDone && s.window.Len() == 0 && s.fetchBuf.Len() == 0
 }
 
 // cycle advances the machine one clock and returns how many instructions
@@ -295,11 +408,17 @@ func (s *Sim) cycle() (int, error) {
 	s.mulUsed, s.fpUsed, s.portsUsed = 0, 0, 0
 
 	n := s.commit()
-	s.memoryStage()
-	s.schedule()
+	if s.legacy {
+		s.memoryStageLegacy()
+		s.scheduleLegacy()
+	} else {
+		s.memoryStage()
+		s.schedule()
+	}
 	s.dispatch()
 	if err := s.fetch(); err != nil {
 		return n, err
 	}
+	s.recycleRetired()
 	return n, nil
 }

@@ -29,11 +29,17 @@ func (e *Entry) AddrKnown() bool { return e.KnownBits >= 32 }
 type Queue struct {
 	cap     int
 	entries []*Entry
+	// bySeq indexes entries by sequence number so the timing model's
+	// per-cycle Find calls are O(1) instead of a linear scan of the queue.
+	bySeq map[uint64]*Entry
+	// scratch is reused by Disambiguate to collect prior stores without
+	// allocating on every call.
+	scratch []*Entry
 }
 
 // New creates a queue with the given capacity (the paper uses 32).
 func New(capacity int) *Queue {
-	return &Queue{cap: capacity}
+	return &Queue{cap: capacity, bySeq: make(map[uint64]*Entry, capacity)}
 }
 
 // Len returns the current occupancy.
@@ -55,11 +61,16 @@ func (q *Queue) Insert(e *Entry) error {
 			e.Seq, q.entries[n-1].Seq)
 	}
 	q.entries = append(q.entries, e)
+	q.bySeq[e.Seq] = e
 	return nil
 }
 
 // Remove deletes the entry with the given sequence number (at commit).
 func (q *Queue) Remove(seq uint64) {
+	if _, ok := q.bySeq[seq]; !ok {
+		return
+	}
+	delete(q.bySeq, seq)
 	for i, e := range q.entries {
 		if e.Seq == seq {
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
@@ -70,26 +81,27 @@ func (q *Queue) Remove(seq uint64) {
 
 // Find returns the entry with the given sequence number, if present.
 func (q *Queue) Find(seq uint64) *Entry {
-	for _, e := range q.entries {
-		if e.Seq == seq {
-			return e
-		}
-	}
-	return nil
+	return q.bySeq[seq]
 }
 
 // PriorStores returns the stores older than seq, oldest first.
 func (q *Queue) PriorStores(seq uint64) []*Entry {
-	var out []*Entry
+	return q.AppendPriorStores(nil, seq)
+}
+
+// AppendPriorStores appends the stores older than seq, oldest first, to
+// dst and returns the extended slice. Passing a reused buffer makes the
+// per-cycle disambiguation checks in the timing model allocation-free.
+func (q *Queue) AppendPriorStores(dst []*Entry, seq uint64) []*Entry {
 	for _, e := range q.entries {
 		if e.Seq >= seq {
 			break
 		}
 		if e.IsStore {
-			out = append(out, e)
+			dst = append(dst, e)
 		}
 	}
-	return out
+	return dst
 }
 
 // wordsDisjoint reports whether the two addresses provably reference
@@ -141,7 +153,8 @@ func (q *Queue) Disambiguate(seq uint64, partial bool) (LoadStatus, uint64) {
 	if load == nil || load.IsStore {
 		return LoadWait, 0
 	}
-	stores := q.PriorStores(seq)
+	q.scratch = q.AppendPriorStores(q.scratch[:0], seq)
+	stores := q.scratch
 	if len(stores) == 0 {
 		return LoadReady, 0
 	}

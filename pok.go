@@ -12,6 +12,9 @@
 //   - a cycle-level, 4-wide, 15-stage out-of-order timing model whose
 //     execution stage can be bit-sliced by 2 or 4, with the paper's five
 //     partial-operand techniques as independent toggles (internal/core);
+//     scheduling is event-driven (a wakeup wheel plus pooled window
+//     entries), with the original full-window scan preserved behind
+//     Config.LegacyScheduler and proven cycle-exact against it;
 //   - eleven synthetic stand-ins for the paper's SPECint benchmarks
 //     (internal/workload), each verified against a Go reference model;
 //   - drivers that regenerate every table and figure of the paper's
