@@ -6,11 +6,11 @@ GO ?= go
 
 all: build test
 
-# The full pre-merge gate: static checks, a clean build, and the test
-# suite under the race detector (the experiment drivers fan simulations
-# out over goroutines, so racy scheduling code cannot hide).
-ci:
-	$(GO) vet ./...
+# The full pre-merge gate: static checks (vet plus the failing gofmt
+# gate), a clean build, and the test suite under the race detector (the
+# experiment drivers fan simulations out over goroutines, so racy
+# scheduling code cannot hide).
+ci: vet
 	$(GO) build ./...
 	$(GO) test -race ./...
 
@@ -20,9 +20,16 @@ build:
 test:
 	$(GO) test ./...
 
+# vet exits non-zero when gofmt would rewrite any file, instead of
+# merely listing offenders; `make ci` (and the GitHub workflow) run it.
 vet:
 	$(GO) vet ./...
-	gofmt -l .
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: unformatted files:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
 
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks.

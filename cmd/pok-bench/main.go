@@ -8,6 +8,8 @@
 //	pok-bench -insts 100000   # quicker pass
 //	pok-bench -out results/   # also write per-experiment files
 //	pok-bench -json           # machine-readable BENCH_<date>.json regression record
+//	pok-bench -telemetry      # per-config telemetry summaries (telemetry_<cfg>.json)
+//	pok-bench -compare old.json new.json   # regression gate: exit 1 on >25% slowdown
 //	pok-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -25,35 +27,6 @@ import (
 	"pok"
 )
 
-// experimentRecord is one entry of the -json benchmark-regression file:
-// the wall-clock cost of an experiment plus, where the experiment exposes
-// them, simulation-throughput and quality metrics. Committing these files
-// from successive runs (BENCH_<date>.json) gives the repo a perf history
-// that catches slowdowns the unit tests cannot.
-type experimentRecord struct {
-	Experiment string `json:"experiment"`
-	WallMillis int64  `json:"wall_ms"`
-	// SimCycles is the total number of simulated machine cycles the
-	// experiment executed (0 when the experiment is trace-driven and has
-	// no timing component).
-	SimCycles int64 `json:"sim_cycles,omitempty"`
-	// SimCyclesPerSec is the simulator's cycle throughput for this
-	// experiment: SimCycles over the wall-clock time.
-	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
-	// MeanIPC averages the headline IPC over the experiment's rows.
-	MeanIPC float64 `json:"mean_ipc,omitempty"`
-}
-
-type benchReport struct {
-	Date        string             `json:"date"`
-	GoVersion   string             `json:"go_version"`
-	NumCPU      int                `json:"num_cpu"`
-	InstsBudget uint64             `json:"insts_budget"`
-	Parallel    int                `json:"parallel"`
-	TotalWallMS int64              `json:"total_wall_ms"`
-	Experiments []experimentRecord `json:"experiments"`
-}
-
 func main() {
 	insts := flag.Uint64("insts", 0, "instruction budget per benchmark per run (0 = default)")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (narrow-width, predictor, window)")
@@ -61,9 +34,20 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent benchmarks per experiment")
 	jsonOut := flag.Bool("json", false, "write a BENCH_<date>.json regression record (to -out dir, or the working directory)")
+	telemetryRun := flag.Bool("telemetry", false, "collect per-config pipeline telemetry and write telemetry_<cfg>.json summaries")
+	compare := flag.Bool("compare", false, "compare two BENCH json records (args: old.json new.json); exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0, "regression tolerance for -compare as a fraction (0 = default 0.25)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after all experiments) to this file")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
+		}
+		runCompare(flag.Arg(0), flag.Arg(1), *tolerance)
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -95,11 +79,11 @@ func main() {
 		}
 	}
 
-	var records []experimentRecord
+	var records []pok.BenchExperiment
 	// record captures one experiment's wall time and derived metrics.
 	record := func(name string, start time.Time, cycles int64, meanIPC float64) {
 		wall := time.Since(start)
-		r := experimentRecord{
+		r := pok.BenchExperiment{
 			Experiment: name,
 			WallMillis: wall.Milliseconds(),
 			SimCycles:  cycles,
@@ -243,10 +227,18 @@ func main() {
 		record("ablations", abStart, 0, 0)
 	}
 
+	if *telemetryRun {
+		telStart := time.Now()
+		if err := runTelemetry(opt, *outDir, emit); err != nil {
+			fatal(err)
+		}
+		record("telemetry", telStart, 0, 0)
+	}
+
 	total := time.Since(start)
 
 	if *jsonOut {
-		report := benchReport{
+		report := pok.BenchReport{
 			Date:        time.Now().Format("2006-01-02"),
 			GoVersion:   runtime.Version(),
 			NumCPU:      runtime.NumCPU(),
@@ -285,6 +277,68 @@ func main() {
 	}
 
 	fmt.Printf("total wall time: %s\n", total.Round(time.Millisecond))
+}
+
+// runCompare is the CI regression gate: it diffs two -json records and
+// exits non-zero when any experiment slowed beyond the tolerance.
+func runCompare(oldPath, newPath string, tolerance float64) {
+	oldR, err := pok.LoadBenchReport(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newR, err := pok.LoadBenchReport(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	cmp := pok.CompareBenchReports(oldR, newR, tolerance)
+	fmt.Print(cmp.Render())
+	if cmp.Regressed() {
+		os.Exit(1)
+	}
+}
+
+// runTelemetry runs one benchmark under each headline machine with a
+// telemetry recorder attached, prints the per-stage summaries, and
+// writes the machine-readable telemetry_<config>.json files CI
+// archives alongside the BENCH record.
+func runTelemetry(opt pok.Options, outDir string, emit func(name, content string)) error {
+	bench := "gzip"
+	if len(opt.Benchmarks) > 0 {
+		bench = opt.Benchmarks[0]
+	}
+	insts := opt.MaxInsts
+	if insts == 0 {
+		insts = 300_000
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	configs := []pok.Config{pok.BaseConfig(), pok.BitSliced(2), pok.BitSliced(4)}
+	var report strings.Builder
+	fmt.Fprintf(&report, "Pipeline telemetry: %s, %d insts\n", bench, insts)
+	for _, cfg := range configs {
+		rec := cfg.NewRecorder(0)
+		cfg.Collector = rec
+		r, err := pok.SimulateBenchmark(bench, cfg, insts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&report, "\n--- %s (IPC %.4f) ---\n%s", cfg.Name, r.IPC, r.Telemetry.Render())
+		if outDir != "" {
+			blob, err := json.MarshalIndent(r.Telemetry, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(outDir, "telemetry_"+cfg.Name+".json")
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	emit("telemetry", report.String())
+	return nil
 }
 
 func fatal(err error) {

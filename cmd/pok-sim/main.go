@@ -5,6 +5,11 @@
 //
 //	pok-sim -bench gzip -config slice2 -insts 300000
 //	pok-sim -asm prog.s -config simple4 -trace
+//	pok-sim -bench gcc -config slice4 -telemetry -events dump.jsonl
+//
+// -telemetry prints the per-stage occupancy/stall summary after the
+// run; -events writes the structured pipeline event stream as JSONL
+// (render it with pok-trace).
 package main
 
 import (
@@ -37,6 +42,9 @@ func main() {
 	cfgName := flag.String("config", "base", "machine config: base, simple2, simple4, slice2, slice4")
 	insts := flag.Uint64("insts", 300_000, "instruction budget (0 = run to completion)")
 	trace := flag.Bool("trace", false, "emit a pipeline event trace to stderr")
+	telemetry := flag.Bool("telemetry", false, "collect structured telemetry and print the per-stage summary")
+	events := flag.String("events", "", "write the telemetry event stream to this JSONL file (implies -telemetry)")
+	ringCap := flag.Int("events-cap", 0, "event ring capacity (0 = default; oldest events drop beyond it)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -54,6 +62,11 @@ func main() {
 	}
 	if *trace {
 		cfg.Trace = os.Stderr
+	}
+	var rec *pok.TelemetryRecorder
+	if *telemetry || *events != "" {
+		rec = cfg.NewRecorder(*ringCap)
+		cfg.Collector = rec
 	}
 
 	var r *pok.Result
@@ -81,6 +94,23 @@ func main() {
 	}
 
 	printResult(r)
+	if r.Telemetry != nil {
+		fmt.Println()
+		fmt.Print(r.Telemetry.Render())
+	}
+	if *events != "" && rec != nil {
+		f, err := os.Create(*events)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pok.WriteEventsJSONL(f, rec.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s (render with pok-trace)\n", len(rec.Events()), *events)
+	}
 }
 
 func printResult(r *pok.Result) {

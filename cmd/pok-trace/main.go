@@ -1,0 +1,106 @@
+// pok-trace renders a per-instruction slice-pipeline timeline — the
+// textual analogue of the paper's Figure 1 wavefront diagram — from a
+// JSONL telemetry event dump produced by pok-sim -events.
+//
+// Usage:
+//
+//	pok-sim -bench gzip -config slice4 -insts 20000 -events dump.jsonl
+//	pok-trace dump.jsonl                      # first 64 instructions
+//	pok-trace -from 1200 -to 1260 dump.jsonl  # a window of interest
+//	pok-trace -stats dump.jsonl               # event-kind census only
+//	cat dump.jsonl | pok-trace -              # read from stdin
+//
+// Lane legend: F fetch, D dispatch, 0-7 slice issue, e full-width op,
+// * several slices in one cycle, r replay, m memory issue, b/B branch
+// resolve (B = early partial-compare resolution), C commit, S squash.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"pok"
+)
+
+func main() {
+	fromSeq := flag.Uint64("from", 0, "first instruction sequence number to render")
+	toSeq := flag.Uint64("to", 0, "last instruction sequence number (0 = unbounded)")
+	fromCycle := flag.Int64("from-cycle", 0, "clip the horizontal axis to start at this cycle")
+	toCycle := flag.Int64("to-cycle", 0, "clip the horizontal axis to end at this cycle (0 = auto)")
+	rows := flag.Int("rows", 0, "maximum instruction rows (0 = 64)")
+	cols := flag.Int("cols", 0, "maximum cycle columns (0 = 160)")
+	statsOnly := flag.Bool("stats", false, "print an event-kind census instead of the timeline")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pok-trace [flags] dump.jsonl   (use - for stdin)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if path := flag.Arg(0); path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := pok.ReadEventsJSONL(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *statsOnly {
+		printStats(events)
+		return
+	}
+	fmt.Print(pok.RenderTimeline(events, pok.TimelineOptions{
+		FromSeq: *fromSeq, ToSeq: *toSeq,
+		FromCycle: *fromCycle, ToCycle: *toCycle,
+		MaxRows: *rows, MaxCols: *cols,
+	}))
+}
+
+// printStats summarizes the dump: span, instruction count, and the
+// per-kind event census.
+func printStats(events []pok.TelemetryEvent) {
+	if len(events) == 0 {
+		fmt.Println("empty dump")
+		return
+	}
+	counts := map[string]uint64{}
+	seqs := map[uint64]bool{}
+	lo, hi := events[0].Cycle, events[0].Cycle
+	for _, ev := range events {
+		counts[ev.Kind.String()]++
+		seqs[ev.Seq] = true
+		if ev.Cycle < lo {
+			lo = ev.Cycle
+		}
+		if ev.Cycle > hi {
+			hi = ev.Cycle
+		}
+	}
+	fmt.Printf("%d events, %d instructions, cycles %d..%d\n",
+		len(events), len(seqs), lo, hi)
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-15s %d\n", k, counts[k])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pok-trace:", err)
+	os.Exit(1)
+}

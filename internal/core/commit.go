@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"pok/internal/isa"
+	"pok/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -22,6 +23,9 @@ func (s *Sim) commit() int {
 		s.window.PopFront()
 		if s.tracing {
 			s.trace("commit   #%d", e.seq)
+		}
+		if s.collecting {
+			s.emit(telemetry.EvCommit, e.seq, -1, 0, 0)
 		}
 		if e.lsqInserted {
 			if e.isStore {

@@ -20,6 +20,7 @@ import (
 	"io"
 
 	"pok/internal/cache"
+	"pok/internal/telemetry"
 )
 
 // Config describes one machine configuration.
@@ -125,6 +126,28 @@ type Config struct {
 	// event (fetch, dispatch, slice execute, memory issue, resolve,
 	// commit) — the moral equivalent of sim-outorder's ptrace output.
 	Trace io.Writer
+
+	// Collector, when non-nil, receives the structured telemetry stream:
+	// one fixed-size event per pipeline occurrence plus a per-cycle
+	// occupancy sample (see internal/telemetry). Unlike Trace it is
+	// machine-readable, allocation-free on the standard Recorder, and its
+	// Summary is folded into Result.Telemetry when the run finishes. A
+	// nil Collector costs one cached-boolean branch per emission site, so
+	// the disabled path stays off the scheduler's hot path.
+	Collector telemetry.Collector
+}
+
+// NewRecorder builds a telemetry Recorder sized for this machine
+// configuration (ring capacity ringCap, 0 = default); assign it to
+// Collector before NewSim.
+func (c *Config) NewRecorder(ringCap int) *telemetry.Recorder {
+	return telemetry.NewRecorder(telemetry.RecorderConfig{
+		RingCap:    ringCap,
+		WindowSize: c.WindowSize,
+		LSQSize:    c.LSQSize,
+		IssueSlots: c.IssueWidth * c.Slices,
+		CachePorts: c.CachePorts,
+	})
 }
 
 // BaseConfig returns the paper's Table 2 machine with a single-cycle

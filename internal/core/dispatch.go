@@ -3,6 +3,7 @@ package core
 import (
 	"pok/internal/isa"
 	"pok/internal/lsq"
+	"pok/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -51,6 +52,9 @@ func (s *Sim) dispatch() {
 		e.dispC = s.now
 		if s.tracing {
 			s.trace("dispatch #%d", e.seq)
+		}
+		if s.collecting {
+			s.emit(telemetry.EvDispatch, e.seq, -1, 0, 0)
 		}
 
 		// Rename: bind source registers to their in-flight producers.

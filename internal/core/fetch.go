@@ -4,6 +4,7 @@ import (
 	"errors"
 	"pok/internal/emu"
 	"pok/internal/isa"
+	"pok/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -101,6 +102,9 @@ func (s *Sim) fetch() error {
 			// The disassembly is formatted only under tracing; an eager
 			// d.Inst.String() here once cost a quarter of the whole run.
 			s.trace("fetch    #%d pc=0x%x wp=%v %v", e.seq, d.PC, e.wp, d.Inst.String())
+		}
+		if s.collecting {
+			s.emit(telemetry.EvFetch, e.seq, -1, int64(d.PC), b2i(e.wp))
 		}
 
 		if e.isCtrl && onWrongPath {
@@ -204,7 +208,11 @@ func (s *Sim) squashWrongPath() {
 	// reference them (srcProd/consumer links are created only at dispatch),
 	// so they return to the pool immediately.
 	for s.fetchBuf.Len() > 0 {
-		s.freeEntry(s.fetchBuf.PopFront())
+		e := s.fetchBuf.PopFront()
+		if s.collecting {
+			s.emit(telemetry.EvSquash, e.seq, -1, 0, 0)
+		}
+		s.freeEntry(e)
 	}
 	if !s.legacy {
 		s.scrubMemWatch()
@@ -220,6 +228,9 @@ func (s *Sim) squashWrongPath() {
 
 // undoEntry reverses the dispatch-time side effects of a squashed entry.
 func (s *Sim) undoEntry(e *entry) {
+	if s.collecting {
+		s.emit(telemetry.EvSquash, e.seq, -1, 0, 0)
+	}
 	if d := e.d.Dst; d != isa.RegZero && s.regProd[d] == e {
 		s.regProd[d] = liveProd(e.prevDstProd, e.prevDstGen)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"pok/internal/cache"
 	"pok/internal/lsq"
+	"pok/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -170,6 +171,9 @@ func (s *Sim) tryIssueLoad(e *entry) {
 			s.res.StoreForwards++
 			s.res.Loads++
 		}
+		if s.collecting {
+			s.emit(telemetry.EvMemIssue, e.seq, -1, e.memActualDone, 1)
+		}
 		s.portsUsed++
 		return
 	}
@@ -242,6 +246,10 @@ func (s *Sim) tryIssueLoad(e *entry) {
 		if s.tracing {
 			s.trace("mem      #%d partial-tag addr=0x%x kind=%v done=%d", e.seq, addr, kind, e.memActualDone)
 		}
+		if s.collecting {
+			s.emit(telemetry.EvPartialVerify, e.seq, -1, int64(kind), b2i(e.wayMispred))
+			s.emit(telemetry.EvMemIssue, e.seq, -1, e.memActualDone, 0)
+		}
 		return
 	}
 
@@ -251,6 +259,9 @@ func (s *Sim) tryIssueLoad(e *entry) {
 	e.memPredDone = s.now + int64(s.cfg.L1DLat)
 	if s.tracing {
 		s.trace("mem      #%d conventional addr=0x%x done=%d", e.seq, addr, e.memActualDone)
+	}
+	if s.collecting {
+		s.emit(telemetry.EvMemIssue, e.seq, -1, e.memActualDone, 0)
 	}
 }
 

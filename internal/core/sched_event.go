@@ -2,6 +2,7 @@ package core
 
 import (
 	"pok/internal/isa"
+	"pok/internal/telemetry"
 )
 
 // Event-driven scheduler.
@@ -198,6 +199,9 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 		st.retryC = retryAt(act)
 		e.invalidateDeps()
 		s.res.Replays++
+		if s.collecting {
+			s.emit(telemetry.EvReplay, e.seq, int8(sl), st.retryC, replayCause(act))
+		}
 		s.enqueueCand(e, sl)
 		return true
 	}
@@ -206,6 +210,9 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 	e.invalidateDeps()
 	if s.tracing {
 		s.trace("exec     #%d slice %d", e.seq, sl)
+	}
+	if s.collecting {
+		s.emit(telemetry.EvSliceIssue, e.seq, int8(sl), 0, 0)
 	}
 	s.onSliceExecuted(e, sl)
 	if allSlicesStarted(e) {
@@ -271,6 +278,9 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 		st.retryC = retryAt(act)
 		e.invalidateDeps()
 		s.res.Replays++
+		if s.collecting {
+			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, replayCause(act))
+		}
 		s.enqueueCand(e, 0)
 		return true
 	}
@@ -281,6 +291,9 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 	e.invalidateDeps()
 	if s.tracing {
 		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
+	}
+	if s.collecting {
+		s.emit(telemetry.EvSliceIssue, e.seq, 0, 0, 1)
 	}
 	s.onSliceExecuted(e, 0)
 	s.wakeConsumers(e)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pok/internal/isa"
+	"pok/internal/telemetry"
 )
 
 // This file preserves the original scan-based scheduling and memory
@@ -40,11 +41,14 @@ func (s *Sim) scheduleLegacy() {
 			}
 			s.issueUsed[sl]++
 			s.aluUsed[sl]++
-			if !s.actualReady(e, sl, s.now) {
+			if act := s.depsAvail(e, sl, false); act > s.now {
 				// Load-hit misspeculation: the slot is wasted and the
 				// slice-op replays once its operand truly arrives.
-				st.retryC = retryAt(s.depsAvail(e, sl, false))
+				st.retryC = retryAt(act)
 				s.res.Replays++
+				if s.collecting {
+					s.emit(telemetry.EvReplay, e.seq, int8(sl), st.retryC, replayCause(act))
+				}
 				all = false
 				continue
 			}
@@ -52,6 +56,9 @@ func (s *Sim) scheduleLegacy() {
 			st.startC = s.now
 			if s.tracing {
 				s.trace("exec     #%d slice %d", e.seq, sl)
+			}
+			if s.collecting {
+				s.emit(telemetry.EvSliceIssue, e.seq, int8(sl), 0, 0)
 			}
 			s.onSliceExecuted(e, sl)
 		}
@@ -106,9 +113,12 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 		s.issueUsed[0]++
 		s.aluUsed[0]++
 	}
-	if !s.actualReady(e, 0, s.now) {
-		st.retryC = retryAt(s.depsAvail(e, 0, false))
+	if act := s.depsAvail(e, 0, false); act > s.now {
+		st.retryC = retryAt(act)
 		s.res.Replays++
+		if s.collecting {
+			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, replayCause(act))
+		}
 		return
 	}
 	st.started = true
@@ -116,6 +126,9 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 	e.execDone = true
 	if s.tracing {
 		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
+	}
+	if s.collecting {
+		s.emit(telemetry.EvSliceIssue, e.seq, 0, 0, 1)
 	}
 	s.onSliceExecuted(e, 0)
 }

@@ -4,6 +4,7 @@ import (
 	"pok/internal/bitslice"
 	"pok/internal/emu"
 	"pok/internal/isa"
+	"pok/internal/telemetry"
 )
 
 // ---------------------------------------------------------------------------
@@ -128,6 +129,17 @@ func retryAt(act int64) int64 {
 	return act
 }
 
+// replayCause classifies a failed speculative issue for the telemetry
+// stream: an unknown (inf) ground-truth availability means the producer
+// is a partial-tag load still awaiting its full address; anything else
+// is an over-optimistic load-hit announcement.
+func replayCause(act int64) int64 {
+	if act >= inf {
+		return telemetry.ReplayPendingAddr
+	}
+	return telemetry.ReplayLoadLatency
+}
+
 // needsAmount reports whether the op's first source is a shift amount
 // (variable shifts encode the amount in rs, which maps to source 0).
 func needsAmount(op isa.Op) bool {
@@ -151,18 +163,15 @@ func (s *Sim) depsAvailC(e *entry, sl int, announce bool) int64 {
 	return v
 }
 
-// actualReady verifies (non-speculatively) that slice sl could have
-// executed at time t — used to detect load-hit misspeculation.
-func (s *Sim) actualReady(e *entry, sl int, t int64) bool {
-	return s.depsAvail(e, sl, false) <= t
-}
-
 // onSliceExecuted handles per-slice side effects: branch resolution and
 // LSQ address updates.
 func (s *Sim) onSliceExecuted(e *entry, sl int) {
 	availC := e.slices[sl].startC + 1
 	if e.nSlices == 1 {
 		availC = e.slices[sl].startC + int64(e.fullLat)
+	}
+	if s.collecting {
+		s.emit(telemetry.EvSliceComplete, e.seq, int8(sl), availC, 0)
 	}
 
 	if e.isCtrl && !e.resolved {
@@ -249,6 +258,16 @@ func (s *Sim) resolveBranchAt(e *entry, c int64, early bool) {
 	e.resolveC = c
 	if s.tracing {
 		s.trace("resolve  #%d at %d early=%v mispred=%v", e.seq, c, early, e.mispred)
+	}
+	if s.collecting {
+		flags := int64(0)
+		if e.mispred {
+			flags |= telemetry.ResolveMispredict
+		}
+		if early {
+			flags |= telemetry.ResolveEarly
+		}
+		s.emit(telemetry.EvBranchResolve, e.seq, -1, c, flags)
 	}
 	if early {
 		e.earlyResolved = true

@@ -9,6 +9,7 @@ import (
 	"pok/internal/emu"
 	"pok/internal/isa"
 	"pok/internal/lsq"
+	"pok/internal/telemetry"
 )
 
 const inf = int64(math.MaxInt64 / 4)
@@ -175,6 +176,12 @@ type Result struct {
 	StallIQFull     uint64 // dispatch blocked on full issue queues
 	L1DMissRate     float64
 	L1IMissRate     float64
+
+	// Telemetry is the aggregated observability summary (per-stage
+	// occupancy and stall-cause histograms, event counts). It is non-nil
+	// only when a telemetry Collector was attached to the run, so Result
+	// stays bit-identical with telemetry off.
+	Telemetry *telemetry.Summary
 }
 
 // Sim is one timing simulation in progress.
@@ -195,7 +202,9 @@ type Sim struct {
 	// Event-driven scheduler state (see sched_event.go). legacy mirrors
 	// cfg.LegacyScheduler.
 	legacy     bool
-	tracing    bool     // cfg.Trace != nil; gates trace formatting at call sites
+	tracing    bool // cfg.Trace != nil; gates trace formatting at call sites
+	collecting bool // cfg.Collector != nil; gates telemetry emission
+	tel        telemetry.Collector
 	wheel      []cand   // binary min-heap on cand.wake
 	ready      []cand   // due candidates, kept sorted by (seq, slice)
 	readyDirty bool     // ready gained unsorted arrivals this cycle
@@ -257,18 +266,20 @@ func NewSim(prog *emu.Program, cfg Config, maxInsts uint64) (*Sim, error) {
 		dtlb = cache.DefaultDTLB()
 	}
 	return &Sim{
-		cfg:      cfg,
-		em:       emu.New(prog),
-		pred:     pred,
-		dtlb:     dtlb,
-		hier:     cfg.Hierarchy(),
-		lsq:      lsq.New(cfg.LSQSize),
-		legacy:   cfg.LegacyScheduler,
-		tracing:  cfg.Trace != nil,
-		maxInsts: maxInsts,
-		divFree:  -1,
-		fpmdFree: -1,
-		res:      Result{Config: cfg.Name},
+		cfg:        cfg,
+		em:         emu.New(prog),
+		pred:       pred,
+		dtlb:       dtlb,
+		hier:       cfg.Hierarchy(),
+		lsq:        lsq.New(cfg.LSQSize),
+		legacy:     cfg.LegacyScheduler,
+		tracing:    cfg.Trace != nil,
+		collecting: cfg.Collector != nil,
+		tel:        cfg.Collector,
+		maxInsts:   maxInsts,
+		divFree:    -1,
+		fpmdFree:   -1,
+		res:        Result{Config: cfg.Name},
 	}, nil
 }
 
@@ -385,7 +396,26 @@ func (s *Sim) Run() (*Result, error) {
 	if s.dtlb != nil {
 		s.res.DTLBMissRate = s.dtlb.MissRate()
 	}
+	if s.tel != nil {
+		s.res.Telemetry = s.tel.Summary()
+	}
 	return &s.res, nil
+}
+
+// emit forwards one structured telemetry event. Callers must guard
+// with s.collecting so the disabled path pays only the branch.
+func (s *Sim) emit(k telemetry.Kind, seq uint64, slice int8, arg, arg2 int64) {
+	s.tel.Event(telemetry.Event{
+		Cycle: s.now, Seq: seq, Kind: k, Slice: slice, Arg: arg, Arg2: arg2,
+	})
+}
+
+// b2i is the branch-free bool->int64 telemetry payload helper.
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // trace emits one pipeline-event line when tracing is enabled.
@@ -420,5 +450,25 @@ func (s *Sim) cycle() (int, error) {
 		return n, err
 	}
 	s.recycleRetired()
+	if s.collecting {
+		s.sampleCycle()
+	}
 	return n, nil
+}
+
+// sampleCycle publishes the end-of-cycle occupancy snapshot to the
+// telemetry collector (the per-stage histograms of the Summary).
+func (s *Sim) sampleCycle() {
+	issued := 0
+	for _, u := range s.issueUsed {
+		issued += u
+	}
+	s.tel.CycleSample(telemetry.CycleSample{
+		Cycle:  s.now,
+		Window: s.window.Len(),
+		IQ:     s.iqOccupancy(),
+		LSQ:    s.lsq.Len(),
+		Issued: issued,
+		Ports:  s.portsUsed,
+	})
 }

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchExperiment is one entry of the pok-bench -json regression
+// record: the wall-clock cost of an experiment plus, where the
+// experiment exposes them, simulation-throughput and quality metrics.
+// Committing these files from successive runs (BENCH_<date>.json)
+// gives the repo a perf history that catches slowdowns the unit tests
+// cannot; CI diffs a fresh record against the committed baseline with
+// CompareBenchReports.
+type BenchExperiment struct {
+	Experiment string `json:"experiment"`
+	WallMillis int64  `json:"wall_ms"`
+	// SimCycles is the total number of simulated machine cycles the
+	// experiment executed (0 when the experiment is trace-driven and
+	// has no timing component).
+	SimCycles int64 `json:"sim_cycles,omitempty"`
+	// SimCyclesPerSec is the simulator's cycle throughput for this
+	// experiment: SimCycles over the wall-clock time.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	// MeanIPC averages the headline IPC over the experiment's rows.
+	MeanIPC float64 `json:"mean_ipc,omitempty"`
+}
+
+// BenchReport is the whole -json record for one pok-bench run.
+type BenchReport struct {
+	Date        string            `json:"date"`
+	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
+	InstsBudget uint64            `json:"insts_budget"`
+	Parallel    int               `json:"parallel"`
+	TotalWallMS int64             `json:"total_wall_ms"`
+	Experiments []BenchExperiment `json:"experiments"`
+}
+
+// LoadBenchReport parses a BENCH_<date>.json file.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBenchReport(blob)
+}
+
+// ParseBenchReport decodes a -json record.
+func ParseBenchReport(blob []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("exp: bad bench report: %w", err)
+	}
+	return &r, nil
+}

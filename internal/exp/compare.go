@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"pok/internal/stats"
+)
+
+// DefaultRegressionTolerance is the fractional slowdown CI tolerates
+// before pok-bench -compare exits non-zero: a quarter more wall time
+// (or a quarter less simulation throughput) on any experiment fails
+// the gate. Generous on purpose — shared CI runners are noisy — while
+// still catching the order-of-magnitude regressions that matter.
+const DefaultRegressionTolerance = 0.25
+
+// BenchDelta is the comparison of one experiment across two reports.
+type BenchDelta struct {
+	Experiment string
+	OldWallMS  int64
+	NewWallMS  int64
+	// WallRatio is new/old wall time (>1 = slower).
+	WallRatio float64
+	// CPSRatio is new/old simulated cycles per second (<1 = slower);
+	// 0 when either side lacks throughput data.
+	CPSRatio float64
+	// Regressed marks deltas beyond the tolerance.
+	Regressed bool
+	// Note explains missing counterparts or skipped checks.
+	Note string
+}
+
+// BenchComparison is the full diff of two -json regression records.
+type BenchComparison struct {
+	Tolerance float64
+	Deltas    []BenchDelta
+}
+
+// Regressed reports whether any experiment tripped the gate.
+func (c *BenchComparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareBenchReports diffs two pok-bench -json records experiment by
+// experiment. tolerance <= 0 selects DefaultRegressionTolerance.
+// Experiments present on only one side are reported but never fail
+// the gate (the suite is allowed to grow); very short experiments
+// (< 50ms on both sides) are skipped as pure timer noise.
+func CompareBenchReports(old, new *BenchReport, tolerance float64) *BenchComparison {
+	if tolerance <= 0 {
+		tolerance = DefaultRegressionTolerance
+	}
+	cmp := &BenchComparison{Tolerance: tolerance}
+	newByName := map[string]BenchExperiment{}
+	for _, e := range new.Experiments {
+		newByName[e.Experiment] = e
+	}
+	seen := map[string]bool{}
+	for _, o := range old.Experiments {
+		seen[o.Experiment] = true
+		n, ok := newByName[o.Experiment]
+		if !ok {
+			cmp.Deltas = append(cmp.Deltas, BenchDelta{
+				Experiment: o.Experiment, OldWallMS: o.WallMillis,
+				Note: "missing from new report",
+			})
+			continue
+		}
+		d := BenchDelta{
+			Experiment: o.Experiment,
+			OldWallMS:  o.WallMillis,
+			NewWallMS:  n.WallMillis,
+		}
+		const noiseFloorMS = 50
+		switch {
+		case o.WallMillis < noiseFloorMS && n.WallMillis < noiseFloorMS:
+			d.Note = "below noise floor"
+		case o.WallMillis > 0:
+			d.WallRatio = float64(n.WallMillis) / float64(o.WallMillis)
+			if d.WallRatio > 1+tolerance {
+				d.Regressed = true
+			}
+		}
+		if o.SimCyclesPerSec > 0 && n.SimCyclesPerSec > 0 {
+			d.CPSRatio = n.SimCyclesPerSec / o.SimCyclesPerSec
+			if d.CPSRatio < 1-tolerance {
+				d.Regressed = true
+			}
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, n := range new.Experiments {
+		if !seen[n.Experiment] {
+			cmp.Deltas = append(cmp.Deltas, BenchDelta{
+				Experiment: n.Experiment, NewWallMS: n.WallMillis,
+				Note: "new experiment",
+			})
+		}
+	}
+	return cmp
+}
+
+// Render formats the comparison as the table pok-bench -compare
+// prints, flagging regressions in the status column.
+func (c *BenchComparison) Render() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Benchmark regression gate (tolerance %.0f%%)", 100*c.Tolerance),
+		"experiment", "old ms", "new ms", "wall ratio", "cps ratio", "status")
+	for _, d := range c.Deltas {
+		wall, cps := "-", "-"
+		if d.WallRatio > 0 {
+			wall = fmt.Sprintf("%.2fx", d.WallRatio)
+		}
+		if d.CPSRatio > 0 {
+			cps = fmt.Sprintf("%.2fx", d.CPSRatio)
+		}
+		status := "ok"
+		switch {
+		case d.Regressed:
+			status = "REGRESSED"
+		case d.Note != "":
+			status = d.Note
+		}
+		t.AddRow(d.Experiment,
+			fmt.Sprintf("%d", d.OldWallMS), fmt.Sprintf("%d", d.NewWallMS),
+			wall, cps, status)
+	}
+	var b strings.Builder
+	b.WriteString(t.Render())
+	if c.Regressed() {
+		b.WriteString("RESULT: regression detected\n")
+	} else {
+		b.WriteString("RESULT: no regression beyond tolerance\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(exps ...BenchExperiment) *BenchReport {
+	return &BenchReport{Date: "2026-01-01", Experiments: exps}
+}
+
+func TestCompareBenchReportsPasses(t *testing.T) {
+	old := report(
+		BenchExperiment{Experiment: "table1", WallMillis: 1000, SimCyclesPerSec: 2e6},
+		BenchExperiment{Experiment: "figure6", WallMillis: 400},
+	)
+	neu := report(
+		BenchExperiment{Experiment: "table1", WallMillis: 1200, SimCyclesPerSec: 1.8e6}, // +20%: within 25%
+		BenchExperiment{Experiment: "figure6", WallMillis: 410},
+	)
+	cmp := CompareBenchReports(old, neu, 0)
+	if cmp.Regressed() {
+		t.Fatalf("within-tolerance diff flagged:\n%s", cmp.Render())
+	}
+	if cmp.Tolerance != DefaultRegressionTolerance {
+		t.Fatalf("tolerance = %v", cmp.Tolerance)
+	}
+}
+
+func TestCompareBenchReportsWallRegression(t *testing.T) {
+	old := report(BenchExperiment{Experiment: "table1", WallMillis: 1000})
+	neu := report(BenchExperiment{Experiment: "table1", WallMillis: 1300}) // +30%
+	cmp := CompareBenchReports(old, neu, 0.25)
+	if !cmp.Regressed() {
+		t.Fatalf("+30%% wall time not flagged:\n%s", cmp.Render())
+	}
+	if !strings.Contains(cmp.Render(), "REGRESSED") {
+		t.Fatalf("render does not flag the row:\n%s", cmp.Render())
+	}
+}
+
+func TestCompareBenchReportsThroughputRegression(t *testing.T) {
+	// Wall time identical but throughput collapsed (e.g. the budget
+	// shrank): the cycles/sec gate must still catch it.
+	old := report(BenchExperiment{Experiment: "table1", WallMillis: 1000, SimCyclesPerSec: 2e6})
+	neu := report(BenchExperiment{Experiment: "table1", WallMillis: 1000, SimCyclesPerSec: 1e6})
+	cmp := CompareBenchReports(old, neu, 0)
+	if !cmp.Regressed() {
+		t.Fatalf("-50%% throughput not flagged:\n%s", cmp.Render())
+	}
+}
+
+func TestCompareBenchReportsNoiseFloorAndMissing(t *testing.T) {
+	old := report(
+		BenchExperiment{Experiment: "tiny", WallMillis: 3},
+		BenchExperiment{Experiment: "gone", WallMillis: 500},
+	)
+	neu := report(
+		BenchExperiment{Experiment: "tiny", WallMillis: 40}, // 13x but < 50ms: noise
+		BenchExperiment{Experiment: "fresh", WallMillis: 800},
+	)
+	cmp := CompareBenchReports(old, neu, 0)
+	if cmp.Regressed() {
+		t.Fatalf("noise / suite growth flagged as regression:\n%s", cmp.Render())
+	}
+	out := cmp.Render()
+	for _, want := range []string{"below noise floor", "missing from new report", "new experiment"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseBenchReportRejectsGarbage(t *testing.T) {
+	if _, err := ParseBenchReport([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	r, err := ParseBenchReport([]byte(`{"date":"2026-01-01","experiments":[{"experiment":"t","wall_ms":5}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Experiments) != 1 || r.Experiments[0].WallMillis != 5 {
+		t.Fatalf("parsed report: %+v", r)
+	}
+}

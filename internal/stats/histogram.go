@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bin occupancy histogram: bin i counts samples
+// with value i, the last bin absorbing everything at or beyond the
+// range (so a WindowSize-sized histogram never reallocates). It backs
+// the telemetry layer's per-stage occupancy and stall-cause
+// distributions; Add is allocation-free.
+type Histogram struct {
+	Bins  []uint64 `json:"bins"`
+	Total uint64   `json:"total"`
+	Sum   uint64   `json:"sum"`
+	Max   int      `json:"max"`
+}
+
+// NewHistogram creates a histogram over values [0, n); values >= n are
+// clamped into the final bin (their true magnitude still feeds Sum/Max).
+func NewHistogram(n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Bins: make([]uint64, n)}
+}
+
+// Add records one sample. Negative samples clamp to zero.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	i := v
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+	h.Total++
+	h.Sum += uint64(v)
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the average sample value (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Total)
+}
+
+// Quantile returns the smallest bin b such that at least q (0..1) of
+// the samples fall in bins [0, b].
+func (h *Histogram) Quantile(q float64) int {
+	if h.Total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Total))
+	var c uint64
+	for i, n := range h.Bins {
+		c += n
+		if c > target || c == h.Total {
+			return i
+		}
+	}
+	return len(h.Bins) - 1
+}
+
+// Render formats the histogram as a compact one-line summary plus a
+// bar sketch of the occupied range, for the human-readable reports.
+func (h *Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s mean=%.2f p50=%d p95=%d max=%d n=%d\n",
+		label, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Max, h.Total)
+	if h.Total == 0 {
+		return b.String()
+	}
+	// Sketch at most 16 buckets spanning the occupied bins.
+	hi := 0
+	for i, n := range h.Bins {
+		if n > 0 {
+			hi = i
+		}
+	}
+	step := (hi + 16) / 16
+	if step < 1 {
+		step = 1
+	}
+	var peak uint64
+	counts := make([]uint64, 0, 16)
+	for lo := 0; lo <= hi; lo += step {
+		var c uint64
+		for i := lo; i < lo+step && i < len(h.Bins); i++ {
+			c += h.Bins[i]
+		}
+		counts = append(counts, c)
+		if c > peak {
+			peak = c
+		}
+	}
+	for bi, c := range counts {
+		bar := 0
+		if peak > 0 {
+			bar = int(40 * c / peak)
+		}
+		fmt.Fprintf(&b, "  %4d..%-4d %8d %s\n",
+			bi*step, bi*step+step-1, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

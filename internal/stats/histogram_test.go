@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []int{0, 1, 1, 2, 7, 12, -3} {
+		h.Add(v)
+	}
+	if h.Total != 7 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	// 12 clamps into the last bin but keeps its magnitude in Sum/Max.
+	if h.Bins[7] != 2 {
+		t.Fatalf("last bin = %d, want 2", h.Bins[7])
+	}
+	if h.Max != 12 {
+		t.Fatalf("Max = %d", h.Max)
+	}
+	if want := float64(0+1+1+2+7+12+0) / 7; h.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), want)
+	}
+	if h.Bins[0] != 2 { // 0 and clamped -3
+		t.Fatalf("bin 0 = %d, want 2", h.Bins[0])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 0; i < 100; i++ {
+		h.Add(i % 10)
+	}
+	if q := h.Quantile(0.5); q != 5 {
+		t.Fatalf("p50 = %d, want 5", q)
+	}
+	if q := h.Quantile(0.95); q != 9 {
+		t.Fatalf("p95 = %d, want 9", q)
+	}
+	if q := NewHistogram(4).Quantile(0.5); q != 0 {
+		t.Fatalf("empty p50 = %d", q)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 0; i < 32; i++ {
+		h.Add(i)
+	}
+	out := h.Render("window")
+	if !strings.Contains(out, "window") || !strings.Contains(out, "mean=") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("render has no bars:\n%s", out)
+	}
+}

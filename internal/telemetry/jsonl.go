@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonlEvent is the wire form of one event: one JSON object per line,
+// kinds by stable name, slice omitted when not slice-scoped. The field
+// order of the writer is fixed so golden tests can compare dumps
+// byte-for-byte.
+type jsonlEvent struct {
+	Cycle int64  `json:"cycle"`
+	Seq   uint64 `json:"seq"`
+	Kind  string `json:"kind"`
+	Slice *int8  `json:"slice,omitempty"`
+	Arg   int64  `json:"arg,omitempty"`
+	Arg2  int64  `json:"arg2,omitempty"`
+}
+
+// WriteJSONL streams events to w as JSON Lines. The encoder is
+// hand-rolled (fixed field order, no reflection) so multi-million-event
+// dumps stay cheap and byte-stable.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for i := range events {
+		buf = appendJSONL(buf[:0], &events[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// appendJSONL renders one event in the fixed wire order.
+func appendJSONL(b []byte, ev *Event) []byte {
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendInt(b, ev.Cycle, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Slice >= 0 {
+		b = append(b, `,"slice":`...)
+		b = strconv.AppendInt(b, int64(ev.Slice), 10)
+	}
+	if ev.Arg != 0 {
+		b = append(b, `,"arg":`...)
+		b = strconv.AppendInt(b, ev.Arg, 10)
+	}
+	if ev.Arg2 != 0 {
+		b = append(b, `,"arg2":`...)
+		b = strconv.AppendInt(b, ev.Arg2, 10)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// ReadJSONL parses a JSONL event dump produced by WriteJSONL (blank
+// lines are skipped, unknown kinds rejected).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+		}
+		k, ok := KindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: line %d: unknown kind %q", line, je.Kind)
+		}
+		ev := Event{Cycle: je.Cycle, Seq: je.Seq, Kind: k,
+			Slice: -1, Arg: je.Arg, Arg2: je.Arg2}
+		if je.Slice != nil {
+			ev.Slice = *je.Slice
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+// Ring is a fixed-capacity event ring: one flat []Event allocated up
+// front, a write cursor, and a drop counter. Recording is a struct
+// copy plus two integer updates — no allocation, no pointer writes —
+// so the enabled path stays cheap enough for multi-million-event runs,
+// and a bounded ring means an unattended dump cannot eat the heap.
+// When the ring wraps, the oldest events are overwritten and Dropped
+// reports how many were lost.
+type Ring struct {
+	buf     []Event
+	next    int    // next write index
+	n       int    // live events (<= cap)
+	dropped uint64 // events overwritten after the ring filled
+}
+
+// DefaultRingCap bounds the standard Recorder's event ring: enough for
+// every event of a few hundred thousand simulated instructions.
+const DefaultRingCap = 1 << 21
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.dropped++
+	}
+}
+
+// Len returns the number of live events.
+func (r *Ring) Len() int { return r.n }
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the live events in recording order. The slice is
+// freshly assembled; mutating it does not affect the ring.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.n)
+	if r.n == len(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+		return out
+	}
+	return append(out, r.buf[:r.next]...)
+}

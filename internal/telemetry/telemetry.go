@@ -1,0 +1,149 @@
+// Package telemetry is the timing model's structured observability
+// layer: a zero-allocation, ring-buffered event stream plus per-cycle
+// occupancy and stall-cause histograms.
+//
+// The timing core (internal/core) emits one fixed-size Event per
+// pipeline occurrence — fetch, dispatch, slice-issue, slice-complete,
+// replay, partial-match verify, branch resolution, memory issue,
+// commit, squash — through the Collector interface. With a nil
+// Collector the instrumentation reduces to one predictable branch per
+// site, so the disabled path stays off the scheduler's hot path; with
+// the standard Recorder attached, events land in a preallocated ring
+// and per-cycle samples fold into fixed-size histograms, so steady
+// state allocates nothing.
+//
+// The package also provides the offline halves of the pipeline:
+// JSONL export/import of event dumps (jsonl.go), an aggregated
+// machine-readable Summary (summary.go), and the per-instruction
+// slice-pipeline timeline renderer behind cmd/pok-trace
+// (timeline.go).
+package telemetry
+
+// Kind enumerates the structured pipeline event taxonomy.
+type Kind uint8
+
+const (
+	// EvFetch: an instruction entered the fetch buffer.
+	// Arg = PC, Arg2 = 1 when fetched on the wrong path.
+	EvFetch Kind = iota
+	// EvDispatch: the instruction was renamed into the window.
+	EvDispatch
+	// EvSliceIssue: slice Slice won an issue slot and began execution.
+	// Arg2 = 1 when the op is full-width (Slice is then always 0).
+	EvSliceIssue
+	// EvSliceComplete: slice Slice's result becomes bypassable.
+	// Arg = the cycle the result is available.
+	EvSliceComplete
+	// EvReplay: a slice-op issued speculatively and must replay.
+	// Arg = earliest retry cycle (0 = retry when a slot frees),
+	// Arg2 = replay cause (ReplayLoadLatency / ReplayPendingAddr).
+	EvReplay
+	// EvMemIssue: a load was sent to the memory system.
+	// Arg = established completion cycle (or a large sentinel while
+	// deferred), Arg2 = 1 when satisfied by store forwarding.
+	EvMemIssue
+	// EvPartialVerify: a partial-tag access classified its match.
+	// Arg = the cache's partial-match class, Arg2 = 1 on way mispredict.
+	EvPartialVerify
+	// EvBranchResolve: a control instruction resolved.
+	// Arg = resolution cycle, Arg2 = resolution flags
+	// (ResolveEarly|ResolveMispredict).
+	EvBranchResolve
+	// EvCommit: the instruction retired architecturally.
+	EvCommit
+	// EvSquash: a wrong-path instruction was removed from the machine.
+	EvSquash
+
+	numKinds = int(EvSquash) + 1
+)
+
+// Replay causes (EvReplay.Arg2).
+const (
+	// ReplayLoadLatency: a producer load announced a hit but missed (or
+	// was slower than the speculative wakeup assumed).
+	ReplayLoadLatency = int64(iota)
+	// ReplayPendingAddr: the producer is a partial-tag load whose
+	// completion time is still unknown pending its full address.
+	ReplayPendingAddr
+)
+
+// Branch resolution flags (EvBranchResolve.Arg2).
+const (
+	// ResolveMispredict marks the resolved branch as mispredicted.
+	ResolveMispredict = int64(1) << iota
+	// ResolveEarly marks a mispredict exposed by a partial comparison
+	// before the full-width compare finished (paper §5).
+	ResolveEarly
+)
+
+var kindNames = [numKinds]string{
+	EvFetch:         "fetch",
+	EvDispatch:      "dispatch",
+	EvSliceIssue:    "slice-issue",
+	EvSliceComplete: "slice-complete",
+	EvReplay:        "replay",
+	EvMemIssue:      "mem-issue",
+	EvPartialVerify: "partial-verify",
+	EvBranchResolve: "branch-resolve",
+	EvCommit:        "commit",
+	EvSquash:        "squash",
+}
+
+// String returns the stable wire name of the kind (used by the JSONL
+// dump and the golden event-stream tests).
+func (k Kind) String() string {
+	if int(k) < numKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString inverts String; ok reports whether name is a known
+// event kind.
+func KindFromString(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one fixed-size structured pipeline event. It carries no
+// pointers and no strings so a ring of them is a single flat
+// allocation and recording one is a copy.
+type Event struct {
+	Cycle int64  // cycle the event was emitted
+	Seq   uint64 // dynamic instruction sequence number
+	Arg   int64  // kind-specific payload (see Kind docs)
+	Arg2  int64  // kind-specific payload (see Kind docs)
+	Kind  Kind
+	Slice int8 // slice index, -1 when not slice-scoped
+}
+
+// CycleSample is the per-cycle occupancy snapshot the core publishes
+// once per simulated clock.
+type CycleSample struct {
+	Cycle  int64
+	Window int // RUU entries in flight
+	IQ     int // window entries still holding an issue-queue slot
+	LSQ    int // load/store queue occupancy
+	Issued int // issue slots consumed this cycle (all slices)
+	Ports  int // D$ ports consumed this cycle
+}
+
+// Collector receives the structured event stream and the per-cycle
+// samples. Implementations must not retain pointers into the core;
+// both payload types are plain values.
+//
+// The core guards every emission with a cached boolean, so a nil
+// Collector costs one branch per site and nothing else.
+type Collector interface {
+	// Event records one pipeline event.
+	Event(ev Event)
+	// CycleSample records the end-of-cycle occupancy snapshot.
+	CycleSample(cs CycleSample)
+	// Summary renders whatever the collector aggregated; collectors
+	// that only forward events may return nil.
+	Summary() *Summary
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TimelineOptions bounds the rendered wavefront window.
+type TimelineOptions struct {
+	// FromSeq/ToSeq select the instruction range (inclusive); ToSeq 0
+	// means "through the last instruction in the dump".
+	FromSeq, ToSeq uint64
+	// FromCycle/ToCycle clip the horizontal axis; ToCycle 0 means
+	// auto-fit to the selected instructions.
+	FromCycle, ToCycle int64
+	// MaxRows bounds the number of instruction rows (0 = 64).
+	MaxRows int
+	// MaxCols bounds the number of cycle columns (0 = 160); a wider
+	// span is truncated with a ">" marker.
+	MaxCols int
+}
+
+// lane is the per-instruction accumulation of events.
+type lane struct {
+	seq        uint64
+	pc         int64
+	wp         bool
+	first, end int64
+	cells      map[int64]byte
+}
+
+// RenderTimeline draws the Figure 1-style per-instruction
+// slice-pipeline wavefront from an event dump: one row per dynamic
+// instruction, one column per cycle.
+//
+//	F fetch        D dispatch    0-7 slice issue   e full-width issue
+//	* >1 slice     r replay      m   memory issue  b/B resolve (B=early)
+//	C commit       S squash      .   in flight
+func RenderTimeline(events []Event, opt TimelineOptions) string {
+	if opt.MaxRows == 0 {
+		opt.MaxRows = 64
+	}
+	if opt.MaxCols == 0 {
+		opt.MaxCols = 160
+	}
+
+	lanes := map[uint64]*lane{}
+	order := []uint64{}
+	get := func(seq uint64) *lane {
+		l := lanes[seq]
+		if l == nil {
+			l = &lane{seq: seq, pc: -1, first: -1, end: -1, cells: map[int64]byte{}}
+			lanes[seq] = l
+			order = append(order, seq)
+		}
+		return l
+	}
+	// set writes c at cycle unless a higher-priority mark is present.
+	prio := func(c byte) int {
+		switch {
+		case c == 'C' || c == 'S':
+			return 5
+		case c >= '0' && c <= '9', c == 'e', c == '*':
+			return 4
+		case c == 'm', c == 'b', c == 'B':
+			return 3
+		case c == 'r':
+			return 2
+		case c == 'D', c == 'F':
+			return 1
+		}
+		return 0
+	}
+	for _, ev := range events {
+		if ev.Seq < opt.FromSeq || (opt.ToSeq > 0 && ev.Seq > opt.ToSeq) {
+			continue
+		}
+		l := get(ev.Seq)
+		if l.first < 0 || ev.Cycle < l.first {
+			l.first = ev.Cycle
+		}
+		if ev.Cycle > l.end {
+			l.end = ev.Cycle
+		}
+		var c byte
+		switch ev.Kind {
+		case EvFetch:
+			c, l.pc, l.wp = 'F', ev.Arg, ev.Arg2 != 0
+		case EvDispatch:
+			c = 'D'
+		case EvSliceIssue:
+			c = byte('0' + ev.Slice)
+			if ev.Arg2 != 0 {
+				c = 'e' // full-width op
+			}
+			if old, ok := l.cells[ev.Cycle]; ok && (old >= '0' && old <= '9') && old != c {
+				c = '*' // several slices issued this cycle
+			}
+		case EvSliceComplete:
+			continue // completion is implied one lane cell later
+		case EvReplay:
+			c = 'r'
+		case EvMemIssue:
+			c = 'm'
+		case EvBranchResolve:
+			c = 'b'
+			if ev.Arg2&ResolveEarly != 0 {
+				c = 'B'
+			}
+		case EvCommit:
+			c = 'C'
+		case EvSquash:
+			c = 'S'
+		default:
+			continue
+		}
+		if old, ok := l.cells[ev.Cycle]; !ok || prio(c) >= prio(old) {
+			if !(ok && old == '*' && c >= '0' && c <= '9') {
+				l.cells[ev.Cycle] = c
+			}
+		}
+	}
+	if len(order) == 0 {
+		return "timeline: no events in range\n"
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	if len(order) > opt.MaxRows {
+		order = order[:opt.MaxRows]
+	}
+
+	lo, hi := opt.FromCycle, opt.ToCycle
+	if hi == 0 {
+		lo, hi = int64(1)<<62, int64(-1)
+		for _, seq := range order {
+			l := lanes[seq]
+			if l.first >= 0 && l.first < lo {
+				lo = l.first
+			}
+			if l.end > hi {
+				hi = l.end
+			}
+		}
+		if opt.FromCycle > lo {
+			lo = opt.FromCycle
+		}
+	}
+	truncated := false
+	if hi-lo+1 > int64(opt.MaxCols) {
+		hi = lo + int64(opt.MaxCols) - 1
+		truncated = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d..%d  (F fetch, D dispatch, 0-7 slice issue, e full op, r replay,\n", lo, hi)
+	b.WriteString("                m mem issue, b/B resolve (B=early), C commit, S squash)\n")
+	// Cycle ruler, one tick per 10 columns.
+	ruler := make([]byte, hi-lo+1)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	for c := lo; c <= hi; c++ {
+		if c%10 == 0 {
+			tick := fmt.Sprintf("%d", c)
+			for k := 0; k < len(tick) && int(c-lo)+k < len(ruler); k++ {
+				ruler[int(c-lo)+k] = tick[k]
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%26s %s\n", "", string(ruler))
+	for _, seq := range order {
+		l := lanes[seq]
+		row := make([]byte, hi-lo+1)
+		for i := range row {
+			row[i] = ' '
+		}
+		end := l.end
+		for c := l.first; c <= end; c++ {
+			if c < lo || c > hi {
+				continue
+			}
+			row[c-lo] = '.'
+		}
+		for c, ch := range l.cells {
+			if c >= lo && c <= hi {
+				row[c-lo] = ch
+			}
+		}
+		mark := ' '
+		if l.wp {
+			mark = 'w' // wrong-path instruction
+		}
+		pc := "?"
+		if l.pc >= 0 {
+			pc = fmt.Sprintf("0x%x", uint32(l.pc))
+		}
+		fmt.Fprintf(&b, "#%-12d %c %-9s %s", l.seq, mark, pc, string(row))
+		if truncated && l.end > hi {
+			b.WriteByte('>')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -31,6 +31,7 @@ import (
 	"pok/internal/core"
 	"pok/internal/emu"
 	"pok/internal/exp"
+	"pok/internal/telemetry"
 	"pok/internal/workload"
 )
 
@@ -170,6 +171,52 @@ var (
 	PlotFigure6  = exp.PlotFigure6
 	PlotFigure11 = exp.PlotFigure11
 	PlotFigure12 = exp.PlotFigure12
+)
+
+// Telemetry: the structured observability layer of internal/telemetry.
+// Attach a recorder via Config.Collector (or Config.NewRecorder) to
+// capture the per-pipeline-stage event stream and occupancy
+// histograms; the aggregated summary lands in Result.Telemetry.
+type (
+	// TelemetryCollector receives structured pipeline events.
+	TelemetryCollector = telemetry.Collector
+	// TelemetryRecorder is the standard ring-buffered collector.
+	TelemetryRecorder = telemetry.Recorder
+	// TelemetrySummary is the aggregated telemetry of one run.
+	TelemetrySummary = telemetry.Summary
+	// TelemetryEvent is one fixed-size structured pipeline event.
+	TelemetryEvent = telemetry.Event
+	// TimelineOptions bounds the pok-trace wavefront rendering.
+	TimelineOptions = telemetry.TimelineOptions
+)
+
+var (
+	// WriteEventsJSONL dumps an event stream as JSON Lines.
+	WriteEventsJSONL = telemetry.WriteJSONL
+	// ReadEventsJSONL parses a JSONL event dump.
+	ReadEventsJSONL = telemetry.ReadJSONL
+	// RenderTimeline draws the per-instruction slice-pipeline wavefront
+	// (cmd/pok-trace) from an event dump.
+	RenderTimeline = telemetry.RenderTimeline
+)
+
+// Benchmark-regression records: the machine-readable BENCH_<date>.json
+// files pok-bench -json writes and CI gates on via -compare.
+type (
+	// BenchReport is one pok-bench -json record.
+	BenchReport = exp.BenchReport
+	// BenchExperiment is one experiment entry of a BenchReport.
+	BenchExperiment = exp.BenchExperiment
+	// BenchComparison is the diff of two BenchReports.
+	BenchComparison = exp.BenchComparison
+)
+
+var (
+	// LoadBenchReport reads a BENCH_<date>.json file.
+	LoadBenchReport = exp.LoadBenchReport
+	// CompareBenchReports diffs two records against a regression
+	// tolerance (0 = the default 25%).
+	CompareBenchReports = exp.CompareBenchReports
 )
 
 // ProfileBenchmark returns the dynamic instruction mix of the named
