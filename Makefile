@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench ci eval eval-quick examples clean
+.PHONY: all build test vet bench ci check fuzz-smoke eval eval-quick examples clean
 
 all: build test
 
@@ -30,6 +30,26 @@ vet:
 		echo "$$unformatted"; \
 		exit 1; \
 	fi
+
+# Checked runs: every workload against the lockstep oracle, the
+# invariant checker and the deadlock watchdog, on both schedulers, with
+# a seeded fault-injection campaign the machine must recover from —
+# then one deliberate corruption and one wedge to prove the detectors
+# themselves fire (those two runs MUST fail).
+check:
+	$(GO) run ./cmd/pok-check -all -insts 30000 -inject -seed 1 -min-faults 100
+	@if $(GO) run ./cmd/pok-check -bench li -corrupt 1000 >/dev/null 2>&1; then \
+		echo "check: seeded corruption went undetected"; exit 1; fi
+	@if $(GO) run ./cmd/pok-check -bench li -wedge 500 -deadlock-budget 2000 >/dev/null 2>&1; then \
+		echo "check: wedged pipeline went undetected"; exit 1; fi
+	@echo "check: divergence + deadlock detectors verified"
+
+# Short native-fuzzing smoke for the assembler and the emulator (the
+# checked-in corpora under internal/*/testdata/fuzz run on every plain
+# `go test` as regression inputs).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 30s ./internal/asm
+	$(GO) test -run '^$$' -fuzz FuzzEmuStep -fuzztime 30s ./internal/emu
 
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks.

@@ -236,7 +236,7 @@ func BenchmarkAssembler(b *testing.B) {
 // BenchmarkCachePartialClassify measures the partial tag classification
 // hot path used by Figure 4 and the timing model.
 func BenchmarkCachePartialClassify(b *testing.B) {
-	c := cache.New(cache.Config{Name: "b", SizeBytes: 64 << 10, LineBytes: 64,
+	c := cache.MustNew(cache.Config{Name: "b", SizeBytes: 64 << 10, LineBytes: 64,
 		Assoc: 4, HitLatency: 1})
 	for a := uint32(0); a < 1<<16; a += 64 {
 		c.Access(a * 7)

@@ -1,0 +1,69 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"pok/internal/emu"
+	"pok/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary source text through the assembler and,
+// when it assembles, checks the machine-code invariants end to end:
+// every encodable text word must round-trip through Decode/Encode
+// bit-exactly, disassemble to something, and the program must execute
+// (bounded) without panicking. The assembler itself must never panic on
+// any input, valid or not.
+func FuzzAssemble(f *testing.F) {
+	f.Add("")
+	f.Add("nop\n")
+	f.Add("li $v0, 10\nsyscall\n")
+	f.Add("main:\n\tli $t0, 5\nloop:\n\taddiu $t0, $t0, -1\n\tbne $t0, $zero, loop\n\tli $v0, 10\n\tsyscall\n")
+	f.Add(".data\nx: .word 1, 2, 3\n.text\n\tla $t0, x\n\tlw $t1, 0($t0)\n\tli $v0, 10\n\tsyscall\n")
+	f.Add(".text\n\tlui $t0, 0x1000\n\tori $t0, $t0, 0x8000\n\tsw $zero, -4($t0)\n\tli $v0, 10\n\tsyscall\n")
+	f.Add("b: .word\n")
+	f.Add("\tjal f\n\tli $v0, 10\n\tsyscall\nf:\n\tjr $ra\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			// Rejected input: the error must be a real diagnostic.
+			if err.Error() == "" {
+				t.Fatal("empty assembler diagnostic")
+			}
+			return
+		}
+		for _, seg := range prog.Segments {
+			// Only the segment holding the entry point is guaranteed to
+			// be machine code; data segments hold arbitrary words.
+			if prog.Entry < seg.Addr || prog.Entry >= seg.Addr+uint32(len(seg.Data)) {
+				continue
+			}
+			for i := 0; i+4 <= len(seg.Data); i += 4 {
+				w := uint32(seg.Data[i]) | uint32(seg.Data[i+1])<<8 |
+					uint32(seg.Data[i+2])<<16 | uint32(seg.Data[i+3])<<24
+				in, err := isa.Decode(w)
+				if err != nil {
+					// A .word directive may legally place arbitrary data
+					// in the text segment (jump tables); the emulator
+					// reports a decode error if control reaches it.
+					continue
+				}
+				if s := in.String(); strings.TrimSpace(s) == "" {
+					t.Fatalf("empty disassembly for 0x%08x", w)
+				}
+				back, err := isa.Encode(in)
+				if err != nil {
+					t.Fatalf("decode(0x%08x) = %v does not re-encode: %v", w, in, err)
+				}
+				if back != w {
+					t.Fatalf("encode/decode round trip: 0x%08x -> %v -> 0x%08x",
+						w, in, back)
+				}
+			}
+		}
+		// Bounded execution: errors (bad memory, no exit) are fine,
+		// panics are not.
+		em := emu.New(prog)
+		_, _ = em.Run(4096, nil)
+	})
+}

@@ -22,11 +22,25 @@ const Word = 32
 // (1 = conventional full-width datapath).
 var ValidSliceCounts = []int{1, 2, 4}
 
-// Width returns the width in bits of one slice for an n-slice datapath.
-// It panics if n does not evenly divide the word width.
-func Width(n int) int {
+// ValidateSliceCount reports whether n is a realizable slice count for
+// the 32-bit datapath: positive and evenly dividing the word width.
+// Callers holding externally-supplied configuration (the simulator's
+// Config.Validate, tools parsing flags) should reject bad counts through
+// this function; the arithmetic helpers below assume a validated n.
+func ValidateSliceCount(n int) error {
 	if n <= 0 || Word%n != 0 {
-		panic(fmt.Sprintf("bitslice: invalid slice count %d", n))
+		return fmt.Errorf("bitslice: invalid slice count %d (must divide the %d-bit word)", n, Word)
+	}
+	return nil
+}
+
+// Width returns the width in bits of one slice for an n-slice datapath.
+// n must have passed ValidateSliceCount; the panic here marks a
+// programming error (an unvalidated count reaching the datapath), not a
+// recoverable condition.
+func Width(n int) int {
+	if err := ValidateSliceCount(n); err != nil {
+		panic(err)
 	}
 	return Word / n
 }

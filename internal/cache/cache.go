@@ -60,11 +60,12 @@ type Cache struct {
 	Writebacks uint64 // dirty victims evicted
 }
 
-// New builds a cache; it panics on invalid geometry (configurations are
-// static machine descriptions, not runtime inputs).
-func New(cfg Config) *Cache {
+// New builds a cache, rejecting invalid geometry with the Validate error
+// so tools that accept user-supplied machine descriptions can surface it
+// instead of crashing.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
 	sets := make([][]line, nSets)
@@ -78,7 +79,18 @@ func New(cfg Config) *Cache {
 		indexBits:  bits.TrailingZeros(uint(nSets)),
 		sets:       sets,
 		mru:        make([]int, nSets),
+	}, nil
+}
+
+// MustNew builds a cache from a geometry the caller vouches for (the
+// baked-in Table-2 machine descriptions); it panics on a Validate error,
+// which for those configurations is provably unreachable.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return c
 }
 
 // Config returns the cache geometry.

@@ -7,11 +7,11 @@ import (
 
 func small() *Cache {
 	// 8 sets x 2 ways x 16B lines = 256B.
-	return New(Config{Name: "t", SizeBytes: 256, LineBytes: 16, Assoc: 2, HitLatency: 1})
+	return MustNew(Config{Name: "t", SizeBytes: 256, LineBytes: 16, Assoc: 2, HitLatency: 1})
 }
 
 func TestGeometry(t *testing.T) {
-	c := New(Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 4})
+	c := MustNew(Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Assoc: 4})
 	if c.OffsetBits() != 6 {
 		t.Fatalf("offset bits %d", c.OffsetBits())
 	}
@@ -121,7 +121,7 @@ func TestClassifyPartial(t *testing.T) {
 func TestClassifyPartialConvergence(t *testing.T) {
 	// Property: with all tag bits known, classification is SingleHit iff
 	// Lookup hits, and ZeroMatch/SingleMiss otherwise.
-	c := New(Config{Name: "t", SizeBytes: 8 << 10, LineBytes: 32, Assoc: 4})
+	c := MustNew(Config{Name: "t", SizeBytes: 8 << 10, LineBytes: 32, Assoc: 4})
 	r := rand.New(rand.NewSource(7))
 	addrs := make([]uint32, 2000)
 	for i := range addrs {

@@ -16,11 +16,11 @@ type Hierarchy struct {
 // memory, all with 64B lines.
 func DefaultConfig() *Hierarchy {
 	return &Hierarchy{
-		L1I: New(Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 64,
+		L1I: MustNew(Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 64,
 			Assoc: 2, HitLatency: 1}),
-		L1D: New(Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64,
+		L1D: MustNew(Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64,
 			Assoc: 4, HitLatency: 1}),
-		L2: New(Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64,
+		L2: MustNew(Config{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64,
 			Assoc: 4, HitLatency: 6}),
 		MemLatency: 100,
 	}

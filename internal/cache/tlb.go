@@ -37,22 +37,39 @@ type TLB struct {
 	Misses   uint64
 }
 
-// NewTLB builds a TLB; it panics on invalid geometry (static machine
-// description).
-func NewTLB(cfg TLBConfig) *TLB {
+// normalize applies the TLBConfig defaults (4KB pages, fully associative
+// when Assoc is zero or exceeds the entry count).
+func (cfg TLBConfig) normalize() TLBConfig {
 	if cfg.PageBits == 0 {
 		cfg.PageBits = 12
 	}
 	if cfg.Assoc == 0 || cfg.Assoc > cfg.Entries {
 		cfg.Assoc = cfg.Entries // fully associative
 	}
+	return cfg
+}
+
+// Validate checks the (normalized) geometry is realizable: a positive
+// entry count split into a power-of-two number of equal sets.
+func (cfg TLBConfig) Validate() error {
+	cfg = cfg.normalize()
 	if cfg.Entries <= 0 || cfg.Entries%cfg.Assoc != 0 {
-		panic(fmt.Sprintf("cache: bad TLB geometry %+v", cfg))
+		return fmt.Errorf("cache: bad TLB geometry %+v", cfg)
+	}
+	if nSets := cfg.Entries / cfg.Assoc; bits.OnesCount(uint(nSets)) != 1 {
+		return fmt.Errorf("cache: TLB set count %d not a power of two", nSets)
+	}
+	return nil
+}
+
+// NewTLB builds a TLB, rejecting invalid geometry with the Validate
+// error.
+func NewTLB(cfg TLBConfig) (*TLB, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	nSets := cfg.Entries / cfg.Assoc
-	if bits.OnesCount(uint(nSets)) != 1 {
-		panic(fmt.Sprintf("cache: TLB set count %d not a power of two", nSets))
-	}
 	sets := make([][]tlbEntry, nSets)
 	for i := range sets {
 		sets[i] = make([]tlbEntry, cfg.Assoc)
@@ -62,7 +79,17 @@ func NewTLB(cfg TLBConfig) *TLB {
 		sets:     sets,
 		setMask:  uint32(nSets - 1),
 		pageBits: uint(cfg.PageBits),
+	}, nil
+}
+
+// MustNewTLB builds a TLB from a geometry the caller vouches for; it
+// panics on a Validate error.
+func MustNewTLB(cfg TLBConfig) *TLB {
+	t, err := NewTLB(cfg)
+	if err != nil {
+		panic(err)
 	}
+	return t
 }
 
 // Config returns the TLB geometry.
@@ -123,5 +150,5 @@ func (t *TLB) MissRate() float64 {
 // DefaultDTLB returns a 64-entry fully-associative 4KB-page data TLB with
 // a 30-cycle walk, a typical configuration for the paper's era.
 func DefaultDTLB() *TLB {
-	return NewTLB(TLBConfig{Name: "DTLB", Entries: 64, PageBits: 12, MissLatency: 30})
+	return MustNewTLB(TLBConfig{Name: "DTLB", Entries: 64, PageBits: 12, MissLatency: 30})
 }

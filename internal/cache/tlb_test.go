@@ -3,7 +3,7 @@ package cache
 import "testing"
 
 func TestTLBHitMissLRU(t *testing.T) {
-	tlb := NewTLB(TLBConfig{Entries: 2, PageBits: 12, MissLatency: 30})
+	tlb := MustNewTLB(TLBConfig{Entries: 2, PageBits: 12, MissLatency: 30})
 	lat, hit := tlb.Access(0x0000_1000)
 	if hit || lat != 30 {
 		t.Fatalf("cold access: lat=%d hit=%v", lat, hit)
@@ -29,7 +29,7 @@ func TestTLBHitMissLRU(t *testing.T) {
 
 func TestTLBSetAssociative(t *testing.T) {
 	// 4 entries, 2-way: 2 sets; pages alternate sets by VPN low bit.
-	tlb := NewTLB(TLBConfig{Entries: 4, Assoc: 2, PageBits: 12, MissLatency: 10})
+	tlb := MustNewTLB(TLBConfig{Entries: 4, Assoc: 2, PageBits: 12, MissLatency: 10})
 	// Three pages mapping to set 0 (even VPNs) thrash a 2-way set.
 	tlb.Access(0 << 12)
 	tlb.Access(2 << 12)
@@ -50,13 +50,18 @@ func TestTLBGeometryValidation(t *testing.T) {
 		{Entries: 6, Assoc: 4},  // entries % assoc != 0
 		{Entries: 24, Assoc: 2}, // 12 sets: not a power of two
 	} {
+		if tlb, err := NewTLB(cfg); err == nil {
+			t.Errorf("NewTLB(%+v) accepted bad geometry: %+v", cfg, tlb.Config())
+		} else if cfg.Validate() == nil {
+			t.Errorf("Validate(%+v) disagrees with NewTLB", cfg)
+		}
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("NewTLB(%+v) did not panic", cfg)
+					t.Errorf("MustNewTLB(%+v) did not panic", cfg)
 				}
 			}()
-			NewTLB(cfg)
+			MustNewTLB(cfg)
 		}()
 	}
 	// Defaults fill in.

@@ -12,7 +12,7 @@ import (
 // Commit
 // ---------------------------------------------------------------------------
 
-func (s *Sim) commit() int {
+func (s *Sim) commit() (int, error) {
 	n := 0
 	for n < s.cfg.CommitWidth && s.window.Len() > 0 {
 		e := s.window.Front()
@@ -26,6 +26,21 @@ func (s *Sim) commit() int {
 		}
 		if s.collecting {
 			s.emit(telemetry.EvCommit, e.seq, -1, 0, 0)
+		}
+		if s.oracleOn {
+			// Lockstep oracle: diff the committed architectural record
+			// against the functional reference before any bookkeeping, so
+			// a divergence report reflects the machine exactly as it
+			// committed the bad instruction.
+			var rec CommitRecord
+			s.makeCommitRecord(e, &rec)
+			if s.injOn {
+				s.inj.MutateCommit(&rec) // deliberate-corruption test hook
+			}
+			if err := s.cfg.Oracle.CheckCommit(&rec); err != nil {
+				return n, fmt.Errorf("core: commit oracle (seq %d, cycle %d): %w",
+					e.seq, s.now, err)
+			}
 		}
 		if e.lsqInserted {
 			if e.isStore {
@@ -53,7 +68,7 @@ func (s *Sim) commit() int {
 		s.res.Insts++
 		n++
 	}
-	return n
+	return n, nil
 }
 
 // entryDone reports whether e has completed every pipeline obligation.

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 
+	"pok/internal/bitslice"
 	"pok/internal/cache"
 	"pok/internal/telemetry"
 )
@@ -135,6 +136,26 @@ type Config struct {
 	// nil Collector costs one cached-boolean branch per emission site, so
 	// the disabled path stays off the scheduler's hot path.
 	Collector telemetry.Collector
+
+	// Oracle, when non-nil, receives every committed instruction's
+	// architectural record in commit order — the lockstep functional
+	// oracle of internal/check diffs it against an independent emulator
+	// and aborts the run at the first divergence. Nil costs one cached
+	// boolean at commit.
+	Oracle CommitChecker
+
+	// Invariants, when non-nil, enables the per-cycle structural
+	// invariant checker (ROB age ordering, occupancy bounds, serialized
+	// slice issue, rename-map sanity, replay watchdog) and turns the
+	// livelock guard into a configurable deadlock watchdog returning
+	// ErrDeadlock with a pipeline dump.
+	Invariants *InvariantConfig
+
+	// Inject, when non-nil, perturbs speculative-timing decisions for
+	// fault injection (see internal/check/inject). Injection never
+	// corrupts architectural values, so a correct machine recovers to an
+	// oracle-identical commit stream.
+	Inject Injector
 }
 
 // NewRecorder builds a telemetry Recorder sized for this machine
@@ -213,11 +234,31 @@ func (c *Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unsupported slice count %d", c.Slices)
 	}
+	if err := bitslice.ValidateSliceCount(c.Slices); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	if c.FetchWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1 {
 		return fmt.Errorf("core: widths must be positive")
 	}
 	if c.WindowSize < 1 || c.LSQSize < 1 {
 		return fmt.Errorf("core: window/LSQ must be positive")
+	}
+	if c.IssueQueueSize < 0 {
+		return fmt.Errorf("core: negative issue queue size %d", c.IssueQueueSize)
+	}
+	if c.IntALUs < 1 || c.CachePorts < 1 {
+		return fmt.Errorf("core: need at least one ALU per slice and one cache port")
+	}
+	if c.FrontEndDepth < 1 || c.RFStages < 0 {
+		return fmt.Errorf("core: front-end depth must be >= 1 and RF stages >= 0")
+	}
+	if c.L1DLat < 1 {
+		return fmt.Errorf("core: L1D latency must be >= 1 cycle")
+	}
+	if inv := c.Invariants; inv != nil {
+		if inv.DeadlockBudget < 0 || inv.ReplayBudget < 0 || inv.Every < 0 {
+			return fmt.Errorf("core: negative invariant budget")
+		}
 	}
 	if c.Slices == 1 && (c.PartialBypass || c.OoOSlices || c.EarlyBranch ||
 		c.EarlyLSDisambig || c.PartialTag || c.NarrowWidth || c.SerialMul) {
@@ -262,7 +303,7 @@ func (c *Config) Hierarchy() *cache.Hierarchy {
 	if c.L1DLat != 1 {
 		cfg := h.L1D.Config()
 		cfg.HitLatency = c.L1DLat
-		h.L1D = cache.New(cfg)
+		h.L1D = cache.MustNew(cfg)
 	}
 	return h
 }

@@ -143,6 +143,12 @@ func (s *Sim) tryIssueLoad(e *entry) {
 		return
 	}
 
+	if s.injOn && s.inj.ForceAliasConflict(e.seq) {
+		// Injected disambiguation conflict: treat the load as if a prior
+		// store's partial address matched (§5.1 LoadWait); it retries
+		// next cycle.
+		return
+	}
 	status, fwdSeq := s.lsq.Disambiguate(e.seq, s.cfg.EarlyLSDisambig)
 	if status == lsq.LoadWait {
 		return
@@ -203,6 +209,12 @@ func (s *Sim) tryIssueLoad(e *entry) {
 		tagBits := l1.KnownTagBits(16)
 		kind := l1.ClassifyPartial(addr, tagBits)
 		_, _, correct := l1.PredictWay(addr, tagBits)
+		if correct && s.injOn && s.inj.ForceWayMiss(e.seq) {
+			// Injected MRU way mispredict: the speculative way selection
+			// is declared wrong; the access replays at full-address time
+			// through the §5.2 verification path.
+			correct = false
+		}
 		lat, _ := s.hier.AccessData(addr)
 		switch {
 		case kind == cache.ZeroMatch:

@@ -205,6 +205,18 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 		s.enqueueCand(e, sl)
 		return true
 	}
+	if s.injOn && s.inj.FlipSlice(e.seq, sl) {
+		// Injected slice corruption: the verify stage catches it, the
+		// slot is wasted and the slice-op replays next cycle.
+		st.retryC = s.now + 1
+		e.invalidateDeps()
+		s.res.Replays++
+		if s.collecting {
+			s.emit(telemetry.EvReplay, e.seq, int8(sl), st.retryC, telemetry.ReplayInjected)
+		}
+		s.enqueueCand(e, sl)
+		return true
+	}
 	st.started = true
 	st.startC = s.now
 	e.invalidateDeps()
@@ -280,6 +292,16 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 		s.res.Replays++
 		if s.collecting {
 			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, replayCause(act))
+		}
+		s.enqueueCand(e, 0)
+		return true
+	}
+	if s.injOn && s.inj.FlipSlice(e.seq, 0) {
+		st.retryC = s.now + 1
+		e.invalidateDeps()
+		s.res.Replays++
+		if s.collecting {
+			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, telemetry.ReplayInjected)
 		}
 		s.enqueueCand(e, 0)
 		return true

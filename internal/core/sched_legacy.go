@@ -52,6 +52,16 @@ func (s *Sim) scheduleLegacy() {
 				all = false
 				continue
 			}
+			if s.injOn && s.inj.FlipSlice(e.seq, sl) {
+				// Injected slice corruption (mirrors tryIssueSlice).
+				st.retryC = s.now + 1
+				s.res.Replays++
+				if s.collecting {
+					s.emit(telemetry.EvReplay, e.seq, int8(sl), st.retryC, telemetry.ReplayInjected)
+				}
+				all = false
+				continue
+			}
 			st.started = true
 			st.startC = s.now
 			if s.tracing {
@@ -118,6 +128,15 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 		s.res.Replays++
 		if s.collecting {
 			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, replayCause(act))
+		}
+		return
+	}
+	if s.injOn && s.inj.FlipSlice(e.seq, 0) {
+		// Injected corruption of a full-width result (mirrors tryIssueFull).
+		st.retryC = s.now + 1
+		s.res.Replays++
+		if s.collecting {
+			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, telemetry.ReplayInjected)
 		}
 		return
 	}

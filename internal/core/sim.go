@@ -204,6 +204,10 @@ type Sim struct {
 	legacy     bool
 	tracing    bool // cfg.Trace != nil; gates trace formatting at call sites
 	collecting bool // cfg.Collector != nil; gates telemetry emission
+	oracleOn   bool // cfg.Oracle != nil; gates commit-record construction
+	invOn      bool // cfg.Invariants != nil; gates the per-cycle checker
+	injOn      bool // cfg.Inject != nil; gates fault-injection hooks
+	inj        Injector
 	tel        telemetry.Collector
 	wheel      []cand   // binary min-heap on cand.wake
 	ready      []cand   // due candidates, kept sorted by (seq, slice)
@@ -275,6 +279,10 @@ func NewSim(prog *emu.Program, cfg Config, maxInsts uint64) (*Sim, error) {
 		legacy:     cfg.LegacyScheduler,
 		tracing:    cfg.Trace != nil,
 		collecting: cfg.Collector != nil,
+		oracleOn:   cfg.Oracle != nil,
+		invOn:      cfg.Invariants != nil,
+		injOn:      cfg.Inject != nil,
+		inj:        cfg.Inject,
 		tel:        cfg.Collector,
 		maxInsts:   maxInsts,
 		divFree:    -1,
@@ -361,7 +369,11 @@ func RunWarm(prog *emu.Program, cfg Config, warmup, maxInsts uint64) (*Result, e
 // Run drives cycles until the instruction budget commits or the program
 // ends, then finalizes statistics.
 func (s *Sim) Run() (*Result, error) {
-	const safety = 40_000 // cycles with no commit => livelock guard
+	// The deadlock watchdog: with Invariants enabled the budget is
+	// configurable; without, it keeps the historic 40k-cycle livelock
+	// guard. Either way it returns a structured ErrDeadlock with a
+	// pipeline dump, never hangs.
+	budget := s.cfg.Invariants.deadlockBudget()
 	lastCommit := int64(0)
 	lastCount := uint64(0)
 	for {
@@ -376,9 +388,13 @@ func (s *Sim) Run() (*Result, error) {
 		if s.drained() {
 			break
 		}
-		if s.now-lastCommit > safety {
-			return nil, fmt.Errorf("core: no commit for %d cycles at cycle %d (%d committed)",
-				safety, s.now, s.res.Insts)
+		if s.now-lastCommit > budget {
+			return nil, &DeadlockError{
+				Cycle:     s.now,
+				Committed: s.res.Insts,
+				Budget:    budget,
+				Dump:      s.dumpWindow(16),
+			}
 		}
 		s.now++
 	}
@@ -437,7 +453,10 @@ func (s *Sim) cycle() (int, error) {
 	s.issueUsed = [8]int{}
 	s.mulUsed, s.fpUsed, s.portsUsed = 0, 0, 0
 
-	n := s.commit()
+	n, err := s.commit()
+	if err != nil {
+		return n, err
+	}
 	if s.legacy {
 		s.memoryStageLegacy()
 		s.scheduleLegacy()
@@ -452,6 +471,11 @@ func (s *Sim) cycle() (int, error) {
 	s.recycleRetired()
 	if s.collecting {
 		s.sampleCycle()
+	}
+	if s.invOn {
+		if err := s.checkInvariants(); err != nil {
+			return n, err
+		}
 	}
 	return n, nil
 }

@@ -1,0 +1,88 @@
+package emu
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"pok/internal/isa"
+)
+
+// fuzzProgram builds a one-instruction program: the fuzzed word followed
+// by a clean exit sequence (ori $v0,$zero,10; syscall), so a benign
+// fuzzed instruction falls through to a halt.
+func fuzzProgram(word uint32) *Program {
+	exitSel, err := isa.Encode(isa.Inst{Op: isa.OpORI, Rt: isa.RegV0, Rs: isa.RegZero, Imm: 10})
+	if err != nil {
+		panic(err)
+	}
+	sys, err := isa.Encode(isa.Inst{Op: isa.OpSYSCALL})
+	if err != nil {
+		panic(err)
+	}
+	data := make([]byte, 12)
+	binary.LittleEndian.PutUint32(data[0:], word)
+	binary.LittleEndian.PutUint32(data[4:], exitSel)
+	binary.LittleEndian.PutUint32(data[8:], sys)
+	return &Program{
+		Entry:    DefaultTextBase,
+		Segments: []Segment{{Addr: DefaultTextBase, Data: data}},
+	}
+}
+
+// FuzzEmuStep executes one arbitrary instruction word against seeded
+// register state. The emulator must never panic; when the step succeeds
+// the DynInst record must agree with the architectural state it claims
+// to have produced (the property the lockstep oracle relies on).
+func FuzzEmuStep(f *testing.F) {
+	seed := func(in isa.Inst) uint32 {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return 0
+		}
+		return w
+	}
+	f.Add(uint32(0), uint32(1), uint32(2)) // sll $zero (nop encoding)
+	f.Add(seed(isa.Inst{Op: isa.OpADDU, Rd: isa.RegT0, Rs: isa.RegT0, Rt: isa.RegT0 + 1}), uint32(7), ^uint32(0))
+	f.Add(seed(isa.Inst{Op: isa.OpLW, Rt: isa.RegT0, Rs: isa.RegSP, Imm: -4}), uint32(3), uint32(4))         // stack load
+	f.Add(seed(isa.Inst{Op: isa.OpLW, Rt: isa.RegT0, Rs: isa.RegT0 + 1, Imm: 1}), uint32(0), uint32(0x1000)) // unaligned
+	f.Add(seed(isa.Inst{Op: isa.OpSW, Rt: isa.RegT0, Rs: isa.RegGP, Imm: 8}), uint32(0xdeadbeef), uint32(0))
+	f.Add(seed(isa.Inst{Op: isa.OpMULT, Rs: isa.RegT0, Rt: isa.RegT0 + 1}), uint32(0x7fffffff), uint32(2))
+	f.Add(seed(isa.Inst{Op: isa.OpDIV, Rs: isa.RegT0, Rt: isa.RegT0 + 1}), uint32(100), uint32(0))                      // divide by zero
+	f.Add(seed(isa.Inst{Op: isa.OpBEQ, Rs: isa.RegT0, Rt: isa.RegT0 + 1, Imm: -2}), uint32(5), uint32(5))               // taken back-branch
+	f.Add(seed(isa.Inst{Op: isa.OpJR, Rs: isa.RegT0}), uint32(0x12345679), uint32(0))                                   // wild jump
+	f.Add(seed(isa.Inst{Op: isa.OpLB, Rt: isa.RegT0, Rs: isa.RegT0 + 1, Imm: 0x7fff}), ^uint32(0), uint32(0xffff_fffc)) // address wrap
+	f.Fuzz(func(t *testing.T, word, r1, r2 uint32) {
+		e := New(fuzzProgram(word))
+		e.SetReg(isa.RegT0, r1)
+		e.SetReg(isa.RegT0+1, r2)
+		e.SetReg(isa.RegA0, r2)
+		e.SetReg(isa.RegA0+1, r1^r2)
+		e.SetInput(int32(r1)) // feed a potential read_int syscall
+		for i := 0; i < 16; i++ {
+			d, err := e.Step()
+			if err != nil {
+				if errors.Is(err, ErrHalted) && !e.Halted() {
+					t.Fatal("ErrHalted from a running emulator")
+				}
+				return // decode/fetch/memory errors are legitimate outcomes
+			}
+			// The architectural record must match the state it claims.
+			if d.Dst != isa.RegZero && e.Reg(d.Dst) != d.DstVal {
+				t.Fatalf("inst 0x%08x %v: DynInst.DstVal=0x%x but %v=0x%x",
+					word, d.Inst, d.DstVal, d.Dst, e.Reg(d.Dst))
+			}
+			if d.Dst2 != isa.RegZero && e.Reg(d.Dst2) != d.Dst2Val {
+				t.Fatalf("inst 0x%08x %v: DynInst.Dst2Val=0x%x but %v=0x%x",
+					word, d.Inst, d.Dst2Val, d.Dst2, e.Reg(d.Dst2))
+			}
+			if e.Halted() {
+				return
+			}
+			if d.NextPC != e.PC() {
+				t.Fatalf("inst 0x%08x %v: NextPC=0x%x but PC=0x%x",
+					word, d.Inst, d.NextPC, e.PC())
+			}
+		}
+	})
+}

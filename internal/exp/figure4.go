@@ -59,13 +59,16 @@ func Figure4(opt Options, geoms []Figure4Geometry) ([]Figure4Result, error) {
 	var out []Figure4Result
 	for _, name := range opt.benchmarks() {
 		for _, g := range geoms {
-			c := cache.New(cache.Config{
+			c, err := cache.New(cache.Config{
 				Name: g.String(), SizeBytes: g.SizeBytes,
 				LineBytes: g.LineBytes, Assoc: g.Assoc, HitLatency: 1,
 			})
+			if err != nil {
+				return nil, err
+			}
 			res := Figure4Result{Benchmark: name, Geometry: g, TagBits: c.TagBits()}
 			counts := make([][4]uint64, res.TagBits)
-			err := opt.forEachInst(name, func(d *emu.DynInst) {
+			err = opt.forEachInst(name, func(d *emu.DynInst) {
 				if !d.Inst.Op.IsLoad() {
 					return
 				}

@@ -65,6 +65,10 @@ const (
 	// ReplayPendingAddr: the producer is a partial-tag load whose
 	// completion time is still unknown pending its full address.
 	ReplayPendingAddr
+	// ReplayInjected: the slice result was declared corrupt by a fault
+	// injector (internal/check/inject); the verify stage caught it and
+	// the slice-op replays, exactly like a hardware soft-error recovery.
+	ReplayInjected
 )
 
 // Branch resolution flags (EvBranchResolve.Arg2).

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"pok/internal/cc"
@@ -21,11 +22,19 @@ type CompiledWorkload struct {
 	reference func(scale int) string
 }
 
-var compiledRegistry = map[string]*CompiledWorkload{}
+var (
+	compiledRegistry = map[string]*CompiledWorkload{}
+
+	// compiledRegErr mirrors regErr for the compiled suite: duplicate
+	// registrations are recorded, not panicked, and surface on first Get.
+	compiledRegErr error
+)
 
 func registerCompiled(w *CompiledWorkload) {
 	if _, dup := compiledRegistry[w.Name]; dup {
-		panic("workload: duplicate compiled " + w.Name)
+		compiledRegErr = errors.Join(compiledRegErr,
+			fmt.Errorf("workload: duplicate compiled %s", w.Name))
+		return
 	}
 	compiledRegistry[w.Name] = w
 }
@@ -35,8 +44,12 @@ func CompiledNames() []string {
 	return []string{"cc-queens", "cc-qsort", "cc-matmul", "cc-sieve", "cc-hanoi"}
 }
 
-// GetCompiled returns the named compiled workload.
+// GetCompiled returns the named compiled workload. A registration error
+// (duplicate names at init) is surfaced here, on first use.
 func GetCompiled(name string) (*CompiledWorkload, error) {
+	if compiledRegErr != nil {
+		return nil, compiledRegErr
+	}
 	w, ok := compiledRegistry[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown compiled benchmark %q", name)

@@ -13,6 +13,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -40,13 +41,28 @@ type Workload struct {
 	reference func(scale int) string
 }
 
-var registry = map[string]*Workload{}
+var (
+	registry = map[string]*Workload{}
+
+	// regErr accumulates registration mistakes (duplicate names) instead
+	// of panicking inside package init, where a crash would predate main
+	// and produce an unactionable stack. Get surfaces it on first use.
+	regErr error
+)
 
 func register(w *Workload) {
 	if _, dup := registry[w.Name]; dup {
-		panic("workload: duplicate " + w.Name)
+		regErr = errors.Join(regErr, fmt.Errorf("workload: duplicate %s", w.Name))
+		return
 	}
 	registry[w.Name] = w
+}
+
+// RegistrationError reports any benchmark-table registration mistakes
+// (duplicate names in either the assembly or compiled suite) accumulated
+// during package init; nil means the tables are coherent.
+func RegistrationError() error {
+	return errors.Join(regErr, compiledRegErr)
 }
 
 // Names returns all benchmark names in the paper's Table 1 order.
@@ -77,8 +93,12 @@ func Names() []string {
 	return append(out, extra...)
 }
 
-// Get returns the named workload.
+// Get returns the named workload. A registration error (duplicate names
+// at init) is surfaced here, on first use, rather than crashing init.
 func Get(name string) (*Workload, error) {
+	if regErr != nil {
+		return nil, regErr
+	}
 	w, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown benchmark %q", name)

@@ -28,6 +28,8 @@ package pok
 import (
 	"pok/internal/asm"
 	"pok/internal/cc"
+	"pok/internal/check"
+	"pok/internal/check/inject"
 	"pok/internal/core"
 	"pok/internal/emu"
 	"pok/internal/exp"
@@ -217,6 +219,41 @@ var (
 	// CompareBenchReports diffs two records against a regression
 	// tolerance (0 = the default 25%).
 	CompareBenchReports = exp.CompareBenchReports
+)
+
+// Robustness & verification: the lockstep commit oracle, the per-cycle
+// invariant checker and the deterministic fault-injection harness of
+// internal/check (CLI: cmd/pok-check). See DESIGN.md, "Robustness &
+// Verification".
+type (
+	// CheckOptions configures one checked (oracle + invariants +
+	// optional injection) run.
+	CheckOptions = check.Options
+	// CheckReport is the machine-readable outcome of a checked run.
+	CheckReport = check.Report
+	// Divergence is the first commit at which the timing machine's
+	// architectural state differed from the functional reference.
+	Divergence = check.Divergence
+	// InvariantConfig tunes the per-cycle invariant checker and the
+	// deadlock watchdog (Config.Invariants).
+	InvariantConfig = core.InvariantConfig
+	// InjectOptions configures the deterministic fault injector.
+	InjectOptions = inject.Options
+	// FaultInjector is the seeded injector implementing Config.Inject.
+	FaultInjector = inject.Injector
+)
+
+var (
+	// RunChecked runs a program under the lockstep oracle and invariant
+	// checker (plus an optional injector) and classifies the outcome.
+	RunChecked = check.RunChecked
+	// NewOracle builds a standalone lockstep commit oracle for
+	// Config.Oracle.
+	NewOracle = check.NewOracle
+	// NewInjector builds the seeded deterministic fault injector.
+	NewInjector = inject.New
+	// ErrDeadlock identifies a tripped deadlock watchdog via errors.Is.
+	ErrDeadlock = core.ErrDeadlock
 )
 
 // ProfileBenchmark returns the dynamic instruction mix of the named
