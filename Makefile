@@ -52,9 +52,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEmuStep -fuzztime 30s ./internal/emu
 
 # Reduced-budget benchmark versions of every table/figure plus the
-# substrate micro-benchmarks.
+# substrate micro-benchmarks, then a quick-budget pok-bench pass that
+# refreshes the repo-root BENCH_PR4.json regression record (the CI
+# smoke gate compares against the newest committed BENCH_*.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/pok-bench -json-file BENCH_PR4.json -insts 20000
 
 # Regenerate the paper's full evaluation into results/.
 eval:

@@ -34,6 +34,7 @@ func main() {
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent benchmarks per experiment")
 	jsonOut := flag.Bool("json", false, "write a BENCH_<date>.json regression record (to -out dir, or the working directory)")
+	jsonFile := flag.String("json-file", "", "exact path for the -json record (default BENCH_<date>.json; implies -json)")
 	telemetryRun := flag.Bool("telemetry", false, "collect per-config pipeline telemetry and write telemetry_<cfg>.json summaries")
 	compare := flag.Bool("compare", false, "compare two BENCH json records (args: old.json new.json); exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0, "regression tolerance for -compare as a fraction (0 = default 0.25)")
@@ -179,6 +180,22 @@ func main() {
 		f12 := pok.Figure12(f11)
 		emit(fmt.Sprintf("figure12-x%d", sliceBy), pok.RenderFigure12(f12))
 		emit(fmt.Sprintf("figure12-x%d-plot", sliceBy), pok.PlotFigure12(f12))
+
+		// Cycle-attribution companion: where each technique's Figure 12
+		// delta actually came from (internal/profile CPI stacks).
+		csStart := time.Now()
+		cs, err := pok.CPIStackReport(opt, sliceBy)
+		if err != nil {
+			fatal(err)
+		}
+		var csCycles int64
+		for _, row := range cs {
+			for _, st := range row.Stacks {
+				csCycles += st.Cycles
+			}
+		}
+		record(fmt.Sprintf("cpistack-x%d", sliceBy), csStart, csCycles, 0)
+		emit(fmt.Sprintf("cpistack-x%d", sliceBy), pok.RenderCPIStackReport(cs))
 	}
 
 	if *ablations {
@@ -237,7 +254,7 @@ func main() {
 
 	total := time.Since(start)
 
-	if *jsonOut {
+	if *jsonOut || *jsonFile != "" {
 		report := pok.BenchReport{
 			Date:        time.Now().Format("2006-01-02"),
 			GoVersion:   runtime.Version(),
@@ -251,13 +268,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		dir := *outDir
-		if dir == "" {
-			dir = "."
-		} else if err := os.MkdirAll(dir, 0o755); err != nil {
-			fatal(err)
+		path := *jsonFile
+		if path == "" {
+			dir := *outDir
+			if dir == "" {
+				dir = "."
+			} else if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+			path = filepath.Join(dir, "BENCH_"+report.Date+".json")
 		}
-		path := filepath.Join(dir, "BENCH_"+report.Date+".json")
 		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 			fatal(err)
 		}

@@ -6,10 +6,13 @@
 //	pok-sim -bench gzip -config slice2 -insts 300000
 //	pok-sim -asm prog.s -config simple4 -trace
 //	pok-sim -bench gcc -config slice4 -telemetry -events dump.jsonl
+//	pok-sim -bench gzip -config slice4 -prof
 //
 // -telemetry prints the per-stage occupancy/stall summary after the
 // run; -events writes the structured pipeline event stream as JSONL
-// (render it with pok-trace).
+// with a self-describing meta header (render it with pok-trace,
+// analyse it with pok-prof); -prof chains the cycle-accounting
+// profiler onto the recorder and prints the run's CPI stack.
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 	telemetry := flag.Bool("telemetry", false, "collect structured telemetry and print the per-stage summary")
 	events := flag.String("events", "", "write the telemetry event stream to this JSONL file (implies -telemetry)")
 	ringCap := flag.Int("events-cap", 0, "event ring capacity (0 = default; oldest events drop beyond it)")
+	prof := flag.Bool("prof", false, "chain the cycle-accounting profiler and print the CPI stack")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -64,9 +68,18 @@ func main() {
 		cfg.Trace = os.Stderr
 	}
 	var rec *pok.TelemetryRecorder
-	if *telemetry || *events != "" {
+	if *telemetry || *events != "" || *prof {
 		rec = cfg.NewRecorder(*ringCap)
 		cfg.Collector = rec
+	}
+	var lc *pok.ProfileCollector
+	if *prof {
+		// The profiler chains in front of the recorder: the recorder
+		// sees the identical stream, and the profiler's unbounded copy
+		// guarantees a lossless dump for -events.
+		lc = pok.NewProfileCollector(rec)
+		lc.Benchmark, lc.Config = *bench, *cfgName
+		cfg.Collector = lc
 	}
 
 	var r *pok.Result
@@ -94,22 +107,39 @@ func main() {
 	}
 
 	printResult(r)
-	if r.Telemetry != nil {
+	if r.Telemetry != nil && (*telemetry || *events != "") {
 		fmt.Println()
 		fmt.Print(r.Telemetry.Render())
 	}
+	if lc != nil {
+		st, err := lc.Stack()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(st.Render())
+	}
 	if *events != "" && rec != nil {
+		evs := rec.Events()
+		dropped := rec.Dropped()
+		if lc != nil {
+			evs, dropped = lc.Events(), 0 // profiler copy is lossless
+		}
+		meta := &pok.EventDumpMeta{
+			Benchmark: r.Benchmark, Config: *cfgName,
+			Insts: r.Insts, Cycles: r.Cycles, Dropped: dropped,
+		}
 		f, err := os.Create(*events)
 		if err != nil {
 			fatal(err)
 		}
-		if err := pok.WriteEventsJSONL(f, rec.Events()); err != nil {
+		if err := pok.WriteEventsDump(f, meta, evs); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d events to %s (render with pok-trace)\n", len(rec.Events()), *events)
+		fmt.Printf("wrote %d events to %s (render with pok-trace, analyse with pok-prof)\n", len(evs), *events)
 	}
 }
 

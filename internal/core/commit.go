@@ -25,7 +25,8 @@ func (s *Sim) commit() (int, error) {
 			s.trace("commit   #%d", e.seq)
 		}
 		if s.collecting {
-			s.emit(telemetry.EvCommit, e.seq, -1, 0, 0)
+			doneC, dep := s.commitDone(e)
+			s.emit(telemetry.EvCommit, e.seq, -1, doneC, dep)
 		}
 		if s.oracleOn {
 			// Lockstep oracle: diff the committed architectural record
@@ -101,6 +102,69 @@ func (s *Sim) entryDone(e *entry) bool {
 		return false
 	}
 	return true
+}
+
+// commitDone classifies the committing instruction's oldest-unresolved
+// pipeline obligation for EvCommit: doneC is the cycle the last
+// obligation completed (the instruction was commit-ready from doneC
+// onward), dep the telemetry.CommitDep* class of that obligation. The
+// function is a pure read of entry state shared by both schedulers
+// (every field it touches is written by the shared memory/schedule
+// helpers or at scheduler sites whose cycles provably coincide), so the
+// cross-scheduler golden event-stream test covers it.
+//
+// Tie-breaking is deliberate: when a load's memory completion or a
+// branch's resolution lands on the same cycle as the final slice
+// execution, the memory/branch obligation wins — those are the
+// components partial operand knowledge targets (§5, §7), and the
+// CPI-stack consumer wants their shrinkage visible, not masked by the
+// coincident execute.
+func (s *Sim) commitDone(e *entry) (doneC int64, dep int64) {
+	// Execution end: last slice result, or the full-width latency.
+	var end int64
+	for i := 0; i < e.nSlices; i++ {
+		st := &e.slices[i]
+		t := st.startC + 1
+		if e.nSlices == 1 {
+			t = st.startC + int64(e.fullLat)
+		}
+		if t > end {
+			end = t
+		}
+	}
+	dep = telemetry.CommitDepSlice
+	if e.replayedSelf {
+		dep = telemetry.CommitDepReplay
+	}
+	if end <= e.dispC+int64(s.cfg.RFStages)+1 && dep == telemetry.CommitDepSlice {
+		// The op issued at the earliest architecturally possible cycle:
+		// nothing in the backend gated it.
+		dep = telemetry.CommitDepNone
+	}
+	if e.isStore && e.dataReadyC > end {
+		// A store's last obligation can be its data operand becoming
+		// forwardable; that is still a slice-dependence cost upstream.
+		end = e.dataReadyC
+		dep = telemetry.CommitDepSlice
+	}
+	if e.isLoad && e.memActualDone >= end && e.memActualDone < inf {
+		end = e.memActualDone
+		switch {
+		case e.wayMispred:
+			dep = telemetry.CommitDepWayMispredict
+		case e.disambigWait || e.forwarded:
+			dep = telemetry.CommitDepLSQ
+		case !e.l1Hit:
+			dep = telemetry.CommitDepDRAM
+		default:
+			dep = telemetry.CommitDepDCache
+		}
+	}
+	if e.isCtrl && e.resolved && e.resolveC >= end {
+		end = e.resolveC
+		dep = telemetry.CommitDepBranch
+	}
+	return end, dep
 }
 
 // Summary renders the result as the multi-line human-readable report the

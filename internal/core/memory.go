@@ -102,6 +102,7 @@ func (s *Sim) checkStoreData(e *entry) bool {
 	}
 	if ready {
 		q.DataReady = true
+		e.dataReadyC = s.now // commit attribution: when the data arrived
 	}
 	return ready
 }
@@ -147,10 +148,12 @@ func (s *Sim) tryIssueLoad(e *entry) {
 		// Injected disambiguation conflict: treat the load as if a prior
 		// store's partial address matched (§5.1 LoadWait); it retries
 		// next cycle.
+		e.disambigWait = true
 		return
 	}
 	status, fwdSeq := s.lsq.Disambiguate(e.seq, s.cfg.EarlyLSDisambig)
 	if status == lsq.LoadWait {
+		e.disambigWait = true // commit attribution: LSQ held this load back
 		return
 	}
 	// "Early release": the load issued while its own or some prior store's

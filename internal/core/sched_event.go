@@ -197,6 +197,7 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 		// Load-hit misspeculation: the slot is wasted and the slice-op
 		// replays once its operand truly arrives.
 		st.retryC = retryAt(act)
+		e.replayedSelf = true
 		e.invalidateDeps()
 		s.res.Replays++
 		if s.collecting {
@@ -209,6 +210,7 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 		// Injected slice corruption: the verify stage catches it, the
 		// slot is wasted and the slice-op replays next cycle.
 		st.retryC = s.now + 1
+		e.replayedSelf = true
 		e.invalidateDeps()
 		s.res.Replays++
 		if s.collecting {
@@ -224,7 +226,7 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 		s.trace("exec     #%d slice %d", e.seq, sl)
 	}
 	if s.collecting {
-		s.emit(telemetry.EvSliceIssue, e.seq, int8(sl), 0, 0)
+		s.emit(telemetry.EvSliceIssue, e.seq, int8(sl), s.criticalProducer(e, sl), 0)
 	}
 	s.onSliceExecuted(e, sl)
 	if allSlicesStarted(e) {
@@ -288,6 +290,7 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 	st.inReady = false // the candidate is consumed either way below
 	if act := s.depsAvailC(e, 0, false); act > s.now {
 		st.retryC = retryAt(act)
+		e.replayedSelf = true
 		e.invalidateDeps()
 		s.res.Replays++
 		if s.collecting {
@@ -298,6 +301,7 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 	}
 	if s.injOn && s.inj.FlipSlice(e.seq, 0) {
 		st.retryC = s.now + 1
+		e.replayedSelf = true
 		e.invalidateDeps()
 		s.res.Replays++
 		if s.collecting {
@@ -315,7 +319,7 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
 	}
 	if s.collecting {
-		s.emit(telemetry.EvSliceIssue, e.seq, 0, 0, 1)
+		s.emit(telemetry.EvSliceIssue, e.seq, 0, s.criticalProducer(e, 0), 1)
 	}
 	s.onSliceExecuted(e, 0)
 	s.wakeConsumers(e)

@@ -45,6 +45,7 @@ func (s *Sim) scheduleLegacy() {
 				// Load-hit misspeculation: the slot is wasted and the
 				// slice-op replays once its operand truly arrives.
 				st.retryC = retryAt(act)
+				e.replayedSelf = true
 				s.res.Replays++
 				if s.collecting {
 					s.emit(telemetry.EvReplay, e.seq, int8(sl), st.retryC, replayCause(act))
@@ -55,6 +56,7 @@ func (s *Sim) scheduleLegacy() {
 			if s.injOn && s.inj.FlipSlice(e.seq, sl) {
 				// Injected slice corruption (mirrors tryIssueSlice).
 				st.retryC = s.now + 1
+				e.replayedSelf = true
 				s.res.Replays++
 				if s.collecting {
 					s.emit(telemetry.EvReplay, e.seq, int8(sl), st.retryC, telemetry.ReplayInjected)
@@ -68,7 +70,7 @@ func (s *Sim) scheduleLegacy() {
 				s.trace("exec     #%d slice %d", e.seq, sl)
 			}
 			if s.collecting {
-				s.emit(telemetry.EvSliceIssue, e.seq, int8(sl), 0, 0)
+				s.emit(telemetry.EvSliceIssue, e.seq, int8(sl), s.criticalProducer(e, sl), 0)
 			}
 			s.onSliceExecuted(e, sl)
 		}
@@ -125,6 +127,7 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 	}
 	if act := s.depsAvail(e, 0, false); act > s.now {
 		st.retryC = retryAt(act)
+		e.replayedSelf = true
 		s.res.Replays++
 		if s.collecting {
 			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, replayCause(act))
@@ -134,6 +137,7 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 	if s.injOn && s.inj.FlipSlice(e.seq, 0) {
 		// Injected corruption of a full-width result (mirrors tryIssueFull).
 		st.retryC = s.now + 1
+		e.replayedSelf = true
 		s.res.Replays++
 		if s.collecting {
 			s.emit(telemetry.EvReplay, e.seq, 0, st.retryC, telemetry.ReplayInjected)
@@ -147,7 +151,7 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)
 	}
 	if s.collecting {
-		s.emit(telemetry.EvSliceIssue, e.seq, 0, 0, 1)
+		s.emit(telemetry.EvSliceIssue, e.seq, 0, s.criticalProducer(e, 0), 1)
 	}
 	s.onSliceExecuted(e, 0)
 }

@@ -146,6 +146,69 @@ func needsAmount(op isa.Op) bool {
 	return op == isa.OpSLLV || op == isa.OpSRLV || op == isa.OpSRAV
 }
 
+// criticalProducer identifies the dataflow edge that gated slice sl of e
+// at its (successful) issue: the input whose ground-truth availability
+// was latest. The encoding lands in EvSliceIssue.Arg so the offline
+// critical-path extractor (internal/profile) can rebuild the per-slice
+// dependence DAG without register state:
+//
+//	> 0  seq+1 of the latest-arriving register producer
+//	  -1  the entry's own previous slice (carry chain / in-order issue)
+//	   0  no in-flight producer (operands ready at dispatch)
+//
+// Ties between a register producer and the carry chain go to the carry
+// chain (the structural hazard is the binding constraint). The function
+// is a pure read of producer state shared by both schedulers, so the
+// cross-scheduler golden event-stream test covers it.
+func (s *Sim) criticalProducer(e *entry, sl int) int64 {
+	bestT := int64(0)
+	bestSeq := int64(0)
+	track := func(i int, t int64) {
+		if p := e.srcProd[i]; p != nil && t > bestT {
+			bestT = t
+			bestSeq = int64(p.seq) + 1
+		}
+	}
+	op := e.d.Inst.Op
+	if e.nSlices == 1 {
+		for i := 0; i < e.d.NSrc; i++ {
+			mx := int64(-1)
+			for k := 0; k < s.cfg.Slices; k++ {
+				if a := s.srcAvail(e, i, k, false); a > mx {
+					mx = a
+				}
+			}
+			track(i, mx)
+		}
+		return bestSeq
+	}
+	inSlices, carry := op.InputSlicesFor(sl, e.nSlices)
+	for i := 0; i < e.d.NSrc; i++ {
+		if i == e.dataSrc {
+			continue // a store's data operand is not consumed by agen
+		}
+		if i == e.amountSrc {
+			track(i, s.srcAvail(e, i, 0, false))
+			continue
+		}
+		mx := int64(-1)
+		for _, k := range inSlices {
+			if a := s.srcAvail(e, i, k, false); a > mx {
+				mx = a
+			}
+		}
+		track(i, mx)
+	}
+	if (carry || !s.cfg.OoOSlices) && sl > 0 {
+		if prev := &e.slices[sl-1]; prev.started {
+			if t := prev.startC + 1; t >= bestT && t > 0 {
+				return -1
+			}
+		}
+	}
+	return bestSeq
+}
+
 // depsAvailC is the memoizing wrapper around depsAvail used by the
 // event-driven scheduler: the result is cached per (slice, announce) and
 // invalidated only when a producer event (or the entry's own replay or

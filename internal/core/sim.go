@@ -73,6 +73,14 @@ type entry struct {
 	l1Hit           bool
 	earlyMissSignal bool // partial tag ruled out all ways: miss known early
 
+	// Commit-attribution bookkeeping (EvCommit.Arg/.Arg2): these fields
+	// are written by the shared memory/schedule helpers and read only at
+	// commit to classify the instruction's oldest-unresolved dependence.
+	// They never feed back into timing decisions.
+	disambigWait bool  // a load issue attempt was blocked by disambiguation
+	replayedSelf bool  // one of this entry's own slice-ops replayed
+	dataReadyC   int64 // cycle a store's data operand became forwardable
+
 	// Source-operand roles (index into srcProd/d.Src, -1 if absent).
 	dataSrc   int // stores: the data operand, not consumed by agen
 	amountSrc int // variable shifts: the shift-amount operand

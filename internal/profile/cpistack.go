@@ -1,0 +1,283 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+
+	"pok/internal/telemetry"
+)
+
+// CPIStack is one run's cycle-accounting breakdown: every cycle of the
+// run attributed to exactly one Component, so Comp sums to Cycles by
+// construction (the invariant test in cpistack_test.go holds this
+// against core.Result.Cycles for every baked-in workload).
+type CPIStack struct {
+	// Benchmark / Config label the run (from the dump meta or caller).
+	Benchmark string `json:"benchmark,omitempty"`
+	Config    string `json:"config,omitempty"`
+	// Cycles is the attributed total (== the run's cycle count).
+	Cycles int64 `json:"cycles"`
+	// Insts counts committed instructions observed in the stream.
+	Insts uint64 `json:"insts"`
+	// Comp holds per-component attributed cycles, indexed by Component.
+	Comp [NumComponents]int64 `json:"components"`
+	// Lossy marks a stack built from a stream whose bounded ring
+	// dropped events: totals still sum to Cycles, but early-run
+	// attribution is approximate.
+	Lossy bool `json:"lossy,omitempty"`
+}
+
+// CPI returns cycles per committed instruction.
+func (st *CPIStack) CPI() float64 {
+	if st.Insts == 0 {
+		return 0
+	}
+	return float64(st.Cycles) / float64(st.Insts)
+}
+
+// Sum returns the attributed-cycle total (== Cycles by construction;
+// exported so tests and the pok-prof self-check can assert it).
+func (st *CPIStack) Sum() int64 {
+	var n int64
+	for _, c := range st.Comp {
+		n += c
+	}
+	return n
+}
+
+// commitRec is one committed instruction's attribution inputs, in
+// commit (== program) order.
+type commitRec struct {
+	seq      uint64
+	cycle    int64 // commit cycle
+	fetchC   int64
+	dispC    int64
+	doneC    int64 // EvCommit.Arg: last obligation completed
+	dep      int64 // EvCommit.Arg2: CommitDep* class
+	resolveC int64 // branch resolution cycle (branches only)
+	mispred  bool
+}
+
+// instRec accumulates one in-flight instruction's events until commit.
+type instRec struct {
+	fetchC   int64
+	dispC    int64
+	resolveC int64
+	mispred  bool
+	hasFetch bool
+	hasDisp  bool
+}
+
+// BuildCPIStack attributes every cycle of a run to one component using
+// interval-style accounting over the event stream.
+//
+// Cycles in which an instruction committed are CompBase. Every
+// zero-commit gap cycle is attributed through the *next* committing
+// instruction — with in-order commit the next committer is exactly the
+// window head during the gap, so its oldest-unresolved obligation is
+// what the machine was waiting for:
+//
+//   - before its dispatch, when the previous commit was a mispredicted
+//     branch: CompBranch — the gap is the mispredict shadow (resolve
+//     wait plus refetch and front-end refill), the penalty §5's early
+//     resolution shrinks; interval accounting charges the whole refill
+//     to the mispredict;
+//   - otherwise before its fetch, or fetched but within the front-end
+//     pipeline depth: CompFetch;
+//   - front end cleared but not dispatched: CompWindow;
+//   - dispatched: the component of the commit's dependence class
+//     (EvCommit.Arg2) — slice, replay, LSQ, D-cache, branch, DRAM.
+//
+// Cycles after the last commit (pipeline drain) are CompFetch.
+//
+// totalCycles is the run's cycle count (core.Result.Cycles, or the
+// dump meta's cycles field); when <= 0 it is inferred as the last
+// event cycle + 1, which undercounts only the silent drain tail.
+func BuildCPIStack(events []telemetry.Event, totalCycles int64) (*CPIStack, error) {
+	live := make(map[uint64]*instRec)
+	var commits []commitRec
+	var maxCycle int64
+
+	for i := range events {
+		ev := &events[i]
+		if ev.Cycle > maxCycle {
+			maxCycle = ev.Cycle
+		}
+		switch ev.Kind {
+		case telemetry.EvFetch:
+			if ev.Arg2 != 0 {
+				continue // wrong-path fetch: never commits
+			}
+			live[ev.Seq] = &instRec{fetchC: ev.Cycle, hasFetch: true}
+		case telemetry.EvDispatch:
+			if r := live[ev.Seq]; r != nil {
+				r.dispC, r.hasDisp = ev.Cycle, true
+			}
+		case telemetry.EvBranchResolve:
+			if r := live[ev.Seq]; r != nil {
+				r.resolveC = ev.Arg
+				r.mispred = ev.Arg2&telemetry.ResolveMispredict != 0
+			}
+		case telemetry.EvSquash:
+			delete(live, ev.Seq)
+		case telemetry.EvCommit:
+			c := commitRec{seq: ev.Seq, cycle: ev.Cycle,
+				doneC: ev.Arg, dep: ev.Arg2}
+			if r := live[ev.Seq]; r != nil {
+				c.fetchC, c.dispC = r.fetchC, r.dispC
+				c.resolveC, c.mispred = r.resolveC, r.mispred
+				if !r.hasFetch || !r.hasDisp {
+					c.fetchC, c.dispC = ev.Cycle, ev.Cycle
+				}
+				delete(live, ev.Seq)
+			} else {
+				// Lossy stream: the fetch/dispatch events fell off the
+				// ring. Clamp the boundaries to the commit cycle so
+				// the gap attribution stays well-formed.
+				c.fetchC, c.dispC = ev.Cycle, ev.Cycle
+			}
+			commits = append(commits, c)
+		}
+	}
+
+	if totalCycles <= 0 {
+		totalCycles = maxCycle + 1
+	}
+
+	st := &CPIStack{Cycles: totalCycles, Insts: uint64(len(commits))}
+	if len(commits) == 0 {
+		st.Comp[CompFetch] = totalCycles
+		return st, nil
+	}
+
+	// Front-end latency: the pipeline's fetch-to-dispatch depth is the
+	// minimum observed over all commits (the first instruction after a
+	// quiet front end dispatches unblocked).
+	frontLat := int64(1 << 62)
+	for i := range commits {
+		if d := commits[i].dispC - commits[i].fetchC; d >= 0 && d < frontLat {
+			frontLat = d
+		}
+	}
+
+	prev := int64(-1) // last attributed cycle (commit or gap)
+	shadowed := false // previous commit was a mispredicted branch
+	for i := range commits {
+		c := &commits[i]
+		end := c.cycle
+		if end >= totalCycles {
+			end = totalCycles - 1
+		}
+		for x := prev + 1; x < end; x++ {
+			st.Comp[st.gapComponent(x, c, frontLat, shadowed)]++
+		}
+		if end > prev {
+			st.Comp[CompBase]++ // first commit in this cycle
+			prev = end
+		}
+		shadowed = c.mispred
+	}
+	// Drain tail: cycles after the last commit.
+	for x := prev + 1; x < totalCycles; x++ {
+		st.Comp[CompFetch]++
+	}
+	return st, nil
+}
+
+// gapComponent attributes one zero-commit cycle x via the next
+// committing instruction c. shadowed marks c as the refetch target of
+// a just-committed mispredicted branch: its whole pre-dispatch refill
+// is then the mispredict penalty.
+func (st *CPIStack) gapComponent(x int64, c *commitRec, frontLat int64, shadowed bool) Component {
+	if shadowed && x < c.dispC {
+		return CompBranch // mispredict shadow: resolve wait + refill
+	}
+	switch {
+	case x < c.fetchC:
+		return CompFetch
+	case x < c.fetchC+frontLat:
+		return CompFetch // in flight in the front-end pipeline
+	case x < c.dispC:
+		return CompWindow
+	default:
+		return depComponent(c.dep)
+	}
+}
+
+// Render formats the stack as the fixed-width report pok-prof prints.
+func (st *CPIStack) Render() string {
+	var b strings.Builder
+	name := st.Benchmark
+	if st.Config != "" {
+		if name != "" {
+			name += " / "
+		}
+		name += st.Config
+	}
+	if name == "" {
+		name = "run"
+	}
+	fmt.Fprintf(&b, "CPI stack: %s\n", name)
+	fmt.Fprintf(&b, "  cycles %d  insts %d  CPI %.4f\n", st.Cycles, st.Insts, st.CPI())
+	if st.Lossy {
+		b.WriteString("  (lossy stream: ring dropped events; early-run attribution approximate)\n")
+	}
+	for i := 0; i < NumComponents; i++ {
+		cyc := st.Comp[i]
+		pct := 0.0
+		if st.Cycles > 0 {
+			pct = 100 * float64(cyc) / float64(st.Cycles)
+		}
+		bar := strings.Repeat("#", int(pct/2.5+0.5))
+		fmt.Fprintf(&b, "  %-18s %10d  %5.1f%%  %s\n",
+			Component(i).Label(), cyc, pct, bar)
+	}
+	fmt.Fprintf(&b, "  %-18s %10d  100.0%%\n", "total", st.Sum())
+	return b.String()
+}
+
+// RenderCompare formats a side-by-side CPI-stack diff between two
+// runs (pok-prof -compare). Deltas are relative to a.
+func RenderCompare(a, b *CPIStack) string {
+	var sb strings.Builder
+	la, lb := a.label(), b.label()
+	fmt.Fprintf(&sb, "CPI-stack compare: %s vs %s\n", la, lb)
+	fmt.Fprintf(&sb, "  %-18s %12s %12s %9s\n", "component", la, lb, "delta")
+	for i := 0; i < NumComponents; i++ {
+		ca, cb := a.Comp[i], b.Comp[i]
+		var delta string
+		switch {
+		case ca == 0 && cb == 0:
+			delta = "-"
+		case ca == 0:
+			delta = "new"
+		default:
+			delta = fmt.Sprintf("%+.1f%%", 100*float64(cb-ca)/float64(ca))
+		}
+		fmt.Fprintf(&sb, "  %-18s %12d %12d %9s\n",
+			Component(i).Label(), ca, cb, delta)
+	}
+	fmt.Fprintf(&sb, "  %-18s %12d %12d %9s\n", "total", a.Cycles, b.Cycles,
+		fmt.Sprintf("%+.1f%%", pctDelta(a.Cycles, b.Cycles)))
+	fmt.Fprintf(&sb, "  %-18s %12.4f %12.4f %9s\n", "CPI", a.CPI(), b.CPI(), "")
+	return sb.String()
+}
+
+func pctDelta(a, b int64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * float64(b-a) / float64(a)
+}
+
+func (st *CPIStack) label() string {
+	switch {
+	case st.Benchmark != "" && st.Config != "":
+		return st.Benchmark + "/" + st.Config
+	case st.Benchmark != "":
+		return st.Benchmark
+	case st.Config != "":
+		return st.Config
+	}
+	return "run"
+}

@@ -1,0 +1,395 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pok/internal/telemetry"
+)
+
+// EdgeKind classifies one hop of the critical path: what kind of
+// dependence made the child wait for the parent.
+type EdgeKind int
+
+const (
+	// EdgeDispatch: the chain's root — front-end and dispatch time of
+	// the first instruction on the path (no in-flight producer).
+	EdgeDispatch EdgeKind = iota
+	// EdgeSlice: a register slice-dependence edge between instructions.
+	EdgeSlice
+	// EdgeCarry: the entry's own previous slice (carry chain or
+	// in-order slice issue).
+	EdgeCarry
+	// EdgeLoadLSQ: the producing load was gated by LSQ disambiguation
+	// or satisfied by store forwarding.
+	EdgeLoadLSQ
+	// EdgeLoadDCache: the producing load's D-cache hit latency.
+	EdgeLoadDCache
+	// EdgeLoadWay: the producing load replayed through partial-tag way
+	// verification (§5.2).
+	EdgeLoadWay
+	// EdgeLoadDRAM: the producing load missed L1 and waited on the
+	// lower hierarchy.
+	EdgeLoadDRAM
+	// EdgeBranchResolve: the instruction's fetch was gated by a
+	// mispredicted branch's resolution (§5 early resolution shrinks
+	// these edges).
+	EdgeBranchResolve
+
+	// NumEdgeKinds is the edge taxonomy size.
+	NumEdgeKinds = int(EdgeBranchResolve) + 1
+)
+
+var edgeKindNames = [NumEdgeKinds]string{
+	"dispatch", "slice", "carry", "load-lsq", "load-dcache",
+	"load-way-mispredict", "load-dram", "branch-resolve",
+}
+
+// String returns the edge kind's stable report name.
+func (k EdgeKind) String() string {
+	if k >= 0 && int(k) < NumEdgeKinds {
+		return edgeKindNames[k]
+	}
+	return "unknown"
+}
+
+// PathStep is one hop of the critical path, listed end-first: the
+// chain waited Cycles for this dependence, completing at cycle At.
+type PathStep struct {
+	Seq    uint64   `json:"seq"`
+	Slice  int8     `json:"slice"`
+	Kind   EdgeKind `json:"-"`
+	KindS  string   `json:"kind"`
+	Cycles int64    `json:"cycles"`
+	At     int64    `json:"at"`
+}
+
+// CriticalPath is the longest dependence chain through the per-slice
+// dataflow DAG, with per-edge-kind cycle totals: "slice4 helps gcc
+// because branch-resolution edges shrink 31%" read straight off Kind.
+type CriticalPath struct {
+	// Length is the completion cycle of the path's terminal slice-op.
+	Length int64 `json:"length"`
+	// Kind holds per-edge-kind cycle totals, summing to Length.
+	Kind [NumEdgeKinds]int64 `json:"kinds"`
+	// Steps is the full chain, end-first.
+	Steps []PathStep `json:"steps"`
+}
+
+// cpNode is one executed slice-op in the rebuilt dependence DAG.
+type cpNode struct {
+	startC  int64 // issue cycle (EvSliceIssue)
+	doneC   int64 // bypass-availability cycle (EvSliceComplete.Arg)
+	critArg int64 // EvSliceIssue.Arg: critical-producer encoding
+	seq     uint64
+	slice   int8
+	present bool
+}
+
+// cpInst accumulates one instruction's DAG-relevant state.
+type cpInst struct {
+	nodes     []cpNode
+	fetchC    int64
+	resolveC  int64
+	memDone   int64
+	dep       int64 // EvCommit.Arg2
+	seq       uint64
+	committed bool
+	isLoad    bool
+	mispred   bool
+	forwarded bool
+}
+
+// lastNode returns the instruction's latest-completing slice-op.
+func (in *cpInst) lastNode() *cpNode {
+	var best *cpNode
+	for i := range in.nodes {
+		n := &in.nodes[i]
+		if n.present && (best == nil || n.doneC > best.doneC) {
+			best = n
+		}
+	}
+	return best
+}
+
+// producerNode picks the node of producer pr that gated a consumer
+// slice-op at slice sl which completed by cycle t. With partial
+// operand bypassing the consumer's slice s waits only for the
+// producer's matching slice s, so prefer that node; when it is absent
+// (or finished after t, which cannot be the gating edge), fall back to
+// the producer's latest node done by t.
+func producerNode(pr *cpInst, sl int8, t int64) *cpNode {
+	if s := int(sl); s >= 0 && s < len(pr.nodes) &&
+		pr.nodes[s].present && pr.nodes[s].doneC <= t {
+		return &pr.nodes[s]
+	}
+	var best *cpNode
+	for i := range pr.nodes {
+		n := &pr.nodes[i]
+		if n.present && n.doneC <= t && (best == nil || n.doneC > best.doneC) {
+			best = n
+		}
+	}
+	return best
+}
+
+// loadEdgeKind maps a producing load's commit-dependence class onto
+// the edge taxonomy.
+func loadEdgeKind(in *cpInst) EdgeKind {
+	switch in.dep {
+	case telemetry.CommitDepLSQ:
+		return EdgeLoadLSQ
+	case telemetry.CommitDepWayMispredict:
+		return EdgeLoadWay
+	case telemetry.CommitDepDRAM:
+		return EdgeLoadDRAM
+	default:
+		if in.forwarded {
+			return EdgeLoadLSQ
+		}
+		return EdgeLoadDCache
+	}
+}
+
+// ErrNoCommits reports an event stream with no committed instructions.
+var ErrNoCommits = errors.New("profile: event stream contains no commits")
+
+// BuildCriticalPath rebuilds the per-slice dependence DAG from the
+// slice-issue/complete edges of a complete event stream and walks the
+// longest chain backward from the latest-completing committed slice-op.
+//
+// Each EvSliceIssue carries its critical producer (the input whose
+// ground-truth availability gated the issue), so the backward walk
+// follows exactly the gating edges: register slice dependences, carry
+// chains, load completions (classified by the load's own commit
+// dependence: LSQ / D-cache / way-mispredict / DRAM), and — when a
+// chain root's fetch sat in a mispredicted branch's shadow — the
+// branch-resolution edge back into the branch's comparison slices.
+//
+// The stream must be complete: a lossy (ring-overwritten) dump would
+// silently produce a wrong path, so callers with a DumpMeta must
+// refuse Dropped > 0 streams (pok-prof does).
+func BuildCriticalPath(events []telemetry.Event) (*CriticalPath, error) {
+	insts := make(map[uint64]*cpInst)
+	get := func(seq uint64) *cpInst {
+		in := insts[seq]
+		if in == nil {
+			in = &cpInst{seq: seq, resolveC: -1, memDone: -1, dep: -1}
+			insts[seq] = in
+		}
+		return in
+	}
+	// Mispredicted committed branches, in commit order, for shadow
+	// (fetch-gating) edges.
+	var mispredBr []*cpInst
+
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case telemetry.EvFetch:
+			in := get(ev.Seq)
+			in.fetchC = ev.Cycle
+		case telemetry.EvSliceIssue:
+			in := get(ev.Seq)
+			sl := int(ev.Slice)
+			for len(in.nodes) <= sl {
+				in.nodes = append(in.nodes, cpNode{})
+			}
+			in.nodes[sl] = cpNode{startC: ev.Cycle, doneC: ev.Cycle + 1,
+				critArg: ev.Arg, seq: ev.Seq, slice: ev.Slice, present: true}
+		case telemetry.EvSliceComplete:
+			in := get(ev.Seq)
+			if sl := int(ev.Slice); sl < len(in.nodes) && in.nodes[sl].present {
+				in.nodes[sl].doneC = ev.Arg
+			}
+		case telemetry.EvMemIssue:
+			in := get(ev.Seq)
+			in.isLoad = true
+			in.memDone = ev.Arg
+			in.forwarded = in.forwarded || ev.Arg2 != 0
+		case telemetry.EvBranchResolve:
+			in := get(ev.Seq)
+			in.resolveC = ev.Arg
+			in.mispred = ev.Arg2&telemetry.ResolveMispredict != 0
+		case telemetry.EvCommit:
+			in := get(ev.Seq)
+			in.committed = true
+			in.dep = ev.Arg2
+			if in.mispred {
+				mispredBr = append(mispredBr, in)
+			}
+		case telemetry.EvSquash:
+			// Sequence numbers are rolled back on squash and reused by
+			// the refetched correct path; drop the wrong-path record.
+			delete(insts, ev.Seq)
+		}
+	}
+
+	// Terminal node: the latest-completing slice-op of any committed
+	// instruction (ties to the younger instruction).
+	var end *cpNode
+	var endInst *cpInst
+	for _, in := range insts {
+		if !in.committed {
+			continue
+		}
+		n := in.lastNode()
+		if n == nil {
+			continue
+		}
+		if end == nil || n.doneC > end.doneC ||
+			(n.doneC == end.doneC && in.seq > endInst.seq) {
+			end, endInst = n, in
+		}
+	}
+	if end == nil {
+		return nil, ErrNoCommits
+	}
+
+	cp := &CriticalPath{Length: end.doneC}
+	add := func(seq uint64, sl int8, k EdgeKind, cycles, at int64) {
+		if cycles < 0 {
+			cycles = 0
+		}
+		cp.Kind[k] += cycles
+		cp.Steps = append(cp.Steps, PathStep{Seq: seq, Slice: sl,
+			Kind: k, KindS: k.String(), Cycles: cycles, At: at})
+	}
+	// shadowBranch finds the mispredicted branch whose resolution
+	// gated a refetch at cycle fetchC (resolution just before fetch).
+	shadowBranch := func(seq uint64, fetchC int64) *cpInst {
+		var best *cpInst
+		for _, b := range mispredBr {
+			if b.seq >= seq || b.resolveC > fetchC {
+				continue
+			}
+			if fetchC-b.resolveC > 8 {
+				continue // too old: fetch was blocked on something else
+			}
+			if best == nil || b.resolveC > best.resolveC {
+				best = b
+			}
+		}
+		return best
+	}
+
+	cur, curInst, t := end, endInst, end.doneC
+	for steps := 0; steps < 1<<20; steps++ {
+		// Carry chain / in-order slice issue: previous own slice.
+		if cur.critArg == -1 && int(cur.slice) > 0 {
+			if sl := int(cur.slice) - 1; sl < len(curInst.nodes) && curInst.nodes[sl].present {
+				p := &curInst.nodes[sl]
+				add(cur.seq, cur.slice, EdgeCarry, t-p.doneC, t)
+				cur, t = p, p.doneC
+				continue
+			}
+		}
+		// Recorded register producer.
+		if cur.critArg > 0 {
+			if pr := insts[uint64(cur.critArg-1)]; pr != nil {
+				if pr.isLoad && pr.memDone >= 0 && pr.memDone <= t {
+					// The operand arrived with the load's data: split
+					// the hop into the consumer's wait on the memory
+					// system (classified by the load's commit
+					// dependence) and continue from the load's address
+					// generation.
+					if agen := pr.lastNode(); agen != nil && agen.doneC <= pr.memDone {
+						add(cur.seq, cur.slice, EdgeSlice, t-pr.memDone, t)
+						add(pr.seq, -1, loadEdgeKind(pr), pr.memDone-agen.doneC, pr.memDone)
+						cur, curInst, t = agen, pr, agen.doneC
+						continue
+					}
+				}
+				if p := producerNode(pr, cur.slice, t); p != nil {
+					add(cur.seq, cur.slice, EdgeSlice, t-p.doneC, t)
+					cur, curInst, t = p, pr, p.doneC
+					continue
+				}
+			}
+		}
+		// No gating producer left in the stream. If this instruction's
+		// fetch sat in a mispredicted branch's shadow the path
+		// continues through the branch's resolving comparison;
+		// otherwise dispatch is in order, so what gated this
+		// instruction's issue was its dispatch predecessor — follow
+		// it, charging the hop to the dispatch edge, so the per-kind
+		// totals describe the whole run instead of collapsing into one
+		// giant root edge.
+		if b := shadowBranch(curInst.seq, curInst.fetchC); b != nil {
+			if p := b.lastNode(); p != nil && p.doneC <= t {
+				add(cur.seq, cur.slice, EdgeBranchResolve, t-p.doneC, t)
+				cur, curInst, t = p, b, p.doneC
+				continue
+			}
+		}
+		pr, p := dispatchPred(insts, curInst.seq, t)
+		if pr == nil {
+			// True root: the first instruction of the chain (or no
+			// earlier-completing predecessor under OoO slices).
+			add(cur.seq, cur.slice, EdgeDispatch, t, t)
+			return cp, nil
+		}
+		add(cur.seq, cur.slice, EdgeDispatch, t-p.doneC, t)
+		cur, curInst, t = p, pr, p.doneC
+	}
+	return cp, nil
+}
+
+// dispatchPred finds the nearest older committed instruction whose
+// latest slice-op completed by cycle t — the in-order dispatch
+// predecessor the walk continues through when an instruction had no
+// in-flight register producer. Out-of-order slice completion can leave
+// immediate predecessors finishing after t; the scan skips up to a
+// small window of them before declaring a root.
+func dispatchPred(insts map[uint64]*cpInst, seq uint64, t int64) (*cpInst, *cpNode) {
+	for back := uint64(1); back <= 64 && back <= seq; back++ {
+		pr := insts[seq-back]
+		if pr == nil || !pr.committed {
+			continue
+		}
+		if p := pr.lastNode(); p != nil && p.doneC <= t {
+			return pr, p
+		}
+	}
+	return nil, nil
+}
+
+// Render formats the critical path: per-edge-kind totals, then up to
+// maxSteps hops from the end of the chain (0 = all).
+func (cp *CriticalPath) Render(maxSteps int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %d cycles, %d hops\n", cp.Length, len(cp.Steps))
+	for k := 0; k < NumEdgeKinds; k++ {
+		cyc := cp.Kind[k]
+		if cyc == 0 {
+			continue
+		}
+		pct := 0.0
+		if cp.Length > 0 {
+			pct = 100 * float64(cyc) / float64(cp.Length)
+		}
+		fmt.Fprintf(&b, "  %-20s %10d  %5.1f%%\n", EdgeKind(k).String(), cyc, pct)
+	}
+	n := len(cp.Steps)
+	if maxSteps > 0 && maxSteps < n {
+		n = maxSteps
+	}
+	if n > 0 {
+		b.WriteString("  chain (end first):\n")
+	}
+	for i := 0; i < n; i++ {
+		s := cp.Steps[i]
+		loc := fmt.Sprintf("#%d", s.Seq)
+		if s.Slice >= 0 {
+			loc += fmt.Sprintf(" s%d", s.Slice)
+		} else {
+			loc += " mem"
+		}
+		fmt.Fprintf(&b, "    @%-8d %-12s %-20s +%d\n", s.At, loc, s.KindS, s.Cycles)
+	}
+	if n < len(cp.Steps) {
+		fmt.Fprintf(&b, "    ... %d more hops\n", len(cp.Steps)-n)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package profile
+
+import "pok/internal/telemetry"
+
+// Live is a chained telemetry.Collector that accumulates the complete
+// event stream for profiling while forwarding everything to an inner
+// collector (typically the standard Recorder), so attaching the
+// profiler changes nothing about what the Recorder sees or aggregates.
+//
+// Unlike the Recorder's bounded ring, Live grows without dropping —
+// the CPI stack and critical path need every commit edge — so it is an
+// opt-in analysis mode (pok-sim -prof), not an always-on collector.
+// Because it only copies value-typed events, attaching it cannot
+// perturb simulated timing: the nil-collector identity test holds the
+// profiled run's Result bit-identical to the bare run's.
+type Live struct {
+	inner  telemetry.Collector
+	events []telemetry.Event
+	cycles int64 // last sampled cycle + 1
+
+	// Benchmark / Config label the stacks built from this collector.
+	Benchmark string
+	Config    string
+}
+
+// NewLive chains a profiling collector in front of inner (which may be
+// nil to profile without recording).
+func NewLive(inner telemetry.Collector) *Live {
+	return &Live{inner: inner, events: make([]telemetry.Event, 0, 1<<16)}
+}
+
+// Event implements telemetry.Collector.
+func (l *Live) Event(ev telemetry.Event) {
+	l.events = append(l.events, ev)
+	if l.inner != nil {
+		l.inner.Event(ev)
+	}
+}
+
+// CycleSample implements telemetry.Collector.
+func (l *Live) CycleSample(cs telemetry.CycleSample) {
+	if cs.Cycle+1 > l.cycles {
+		l.cycles = cs.Cycle + 1
+	}
+	if l.inner != nil {
+		l.inner.CycleSample(cs)
+	}
+}
+
+// Summary implements telemetry.Collector by forwarding the inner
+// collector's aggregation (nil when profiling without a Recorder).
+func (l *Live) Summary() *telemetry.Summary {
+	if l.inner != nil {
+		return l.inner.Summary()
+	}
+	return nil
+}
+
+// Events returns the complete accumulated stream in emission order.
+func (l *Live) Events() []telemetry.Event { return l.events }
+
+// Cycles returns the number of simulated cycles observed.
+func (l *Live) Cycles() int64 { return l.cycles }
+
+// Stack builds the run's CPI stack from the accumulated stream.
+func (l *Live) Stack() (*CPIStack, error) {
+	st, err := BuildCPIStack(l.events, l.cycles)
+	if err != nil {
+		return nil, err
+	}
+	st.Benchmark, st.Config = l.Benchmark, l.Config
+	return st, nil
+}
+
+// CriticalPath extracts the run's critical path from the accumulated
+// stream (which is complete by construction, so never lossy).
+func (l *Live) CriticalPath() (*CriticalPath, error) {
+	return BuildCriticalPath(l.events)
+}

@@ -1,0 +1,272 @@
+package profile
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pok/internal/telemetry"
+)
+
+// Perfetto / Chrome trace-event export: the slice pipeline rendered as
+// one track per stage (fetch, one execute track per slice index,
+// memory), one trace slice per instruction-slice, with branch
+// resolutions and commits as instant markers. Load the JSON in
+// ui.perfetto.dev or chrome://tracing. One simulated cycle maps to one
+// microsecond of trace time.
+//
+// Stages overlap freely inside a cycle (IssueWidth > 1), which the
+// trace-event model renders as nesting; a per-stage lane allocator
+// spreads concurrent slices over parallel threads instead, so each
+// lane shows a clean, non-overlapping sequence.
+
+// PerfettoOptions tunes the export.
+type PerfettoOptions struct {
+	// MaxEvents caps emitted trace events (0 = DefaultPerfettoMax);
+	// the export stops cleanly at the cap so huge dumps stay loadable.
+	MaxEvents int
+	// Self overlays the analyser's own wall-time phases as a second
+	// process track when non-nil.
+	Self *SelfProfile
+}
+
+// DefaultPerfettoMax bounds the export to stay loadable in the UI.
+const DefaultPerfettoMax = 400000
+
+// traceEvent is one Chrome trace-event object.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	pidPipeline = 1
+	pidSelf     = 2
+
+	tidFetch  = 100 // + lane
+	tidExec   = 200 // + 16*slice + lane
+	tidMem    = 400 // + lane
+	tidMark   = 500 // resolve / commit instants
+	laneWidth = 16
+)
+
+// laneAlloc spreads overlapping intervals over parallel lanes.
+type laneAlloc struct{ busy []int64 }
+
+func (la *laneAlloc) alloc(start, end int64) int {
+	for i, b := range la.busy {
+		if b <= start {
+			la.busy[i] = end
+			return i
+		}
+	}
+	la.busy = append(la.busy, end)
+	return len(la.busy) - 1
+}
+
+// WritePerfetto renders the event stream as trace-event JSON.
+func WritePerfetto(w io.Writer, events []telemetry.Event, opt PerfettoOptions) error {
+	maxEv := opt.MaxEvents
+	if maxEv <= 0 {
+		maxEv = DefaultPerfettoMax
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[` + "\n"); err != nil {
+		return err
+	}
+	n := 0
+	first := true
+	emit := func(te *traceEvent) error {
+		if n >= maxEv {
+			return nil
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		n++
+		b, err := json.Marshal(te)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+
+	// Track metadata.
+	meta := func(pid, tid int, name string, sort int) error {
+		if err := emit(&traceEvent{Name: "process_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": map[int]string{
+				pidPipeline: "pok slice pipeline", pidSelf: "pok-prof self"}[pid]}}); err != nil {
+			return err
+		}
+		if err := emit(&traceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name}}); err != nil {
+			return err
+		}
+		return emit(&traceEvent{Name: "thread_sort_index", Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"sort_index": sort}})
+	}
+
+	type pending struct {
+		fetchC int64
+		pc     int64
+		wp     bool
+	}
+	inFlight := make(map[uint64]*pending)
+	var fetchLanes laneAlloc
+	execLanes := make(map[int8]*laneAlloc)
+	var memLanes laneAlloc
+	namedExec := make(map[int8]bool)
+	namedFetch, namedMem, namedMark := false, false, false
+
+	for i := range events {
+		if n >= maxEv {
+			break
+		}
+		ev := &events[i]
+		ts := ev.Cycle // 1 cycle == 1µs
+		var err error
+		switch ev.Kind {
+		case telemetry.EvFetch:
+			inFlight[ev.Seq] = &pending{fetchC: ev.Cycle, pc: ev.Arg, wp: ev.Arg2 != 0}
+		case telemetry.EvDispatch:
+			p := inFlight[ev.Seq]
+			if p == nil {
+				break
+			}
+			if !namedFetch {
+				namedFetch = true
+				if err = meta(pidPipeline, tidFetch, "front end", 0); err != nil {
+					break
+				}
+			}
+			dur := ev.Cycle - p.fetchC
+			if dur < 1 {
+				dur = 1
+			}
+			lane := fetchLanes.alloc(p.fetchC, p.fetchC+dur)
+			if lane >= laneWidth {
+				lane = laneWidth - 1
+			}
+			err = emit(&traceEvent{Name: fmt.Sprintf("#%d", ev.Seq), Cat: "front",
+				Ph: "X", TS: p.fetchC, Dur: dur, PID: pidPipeline, TID: tidFetch + lane,
+				Args: map[string]any{"pc": fmt.Sprintf("0x%x", p.pc), "wrong_path": p.wp}})
+		case telemetry.EvSliceIssue:
+			la := execLanes[ev.Slice]
+			if la == nil {
+				la = &laneAlloc{}
+				execLanes[ev.Slice] = la
+			}
+			if !namedExec[ev.Slice] {
+				namedExec[ev.Slice] = true
+				name := fmt.Sprintf("exec s%d", ev.Slice)
+				if ev.Arg2 != 0 {
+					name = "exec s0 (full/sliced)"
+				}
+				if err = meta(pidPipeline, tidExec+laneWidth*int(ev.Slice),
+					name, 10+int(ev.Slice)); err != nil {
+					break
+				}
+			}
+			// Duration refined by EvSliceComplete, which the core emits
+			// in the same call; 1 cycle is the sliced default.
+			lane := la.alloc(ts, ts+1)
+			if lane >= laneWidth {
+				lane = laneWidth - 1
+			}
+			err = emit(&traceEvent{Name: fmt.Sprintf("#%d s%d", ev.Seq, ev.Slice),
+				Cat: "exec", Ph: "X", TS: ts, Dur: 1, PID: pidPipeline,
+				TID:  tidExec + laneWidth*int(ev.Slice) + lane,
+				Args: map[string]any{"critical_producer": ev.Arg}})
+		case telemetry.EvReplay:
+			err = emit(&traceEvent{Name: fmt.Sprintf("replay #%d s%d", ev.Seq, ev.Slice),
+				Cat: "replay", Ph: "i", TS: ts, PID: pidPipeline, TID: tidMark, S: "t",
+				Args: map[string]any{"retry": ev.Arg, "cause": ev.Arg2}})
+		case telemetry.EvMemIssue:
+			if !namedMem {
+				namedMem = true
+				if err = meta(pidPipeline, tidMem, "memory", 90); err != nil {
+					break
+				}
+			}
+			dur := ev.Arg - ts
+			if dur < 1 || ev.Arg >= int64(1)<<60 {
+				dur = 1
+			}
+			lane := memLanes.alloc(ts, ts+dur)
+			if lane >= laneWidth {
+				lane = laneWidth - 1
+			}
+			err = emit(&traceEvent{Name: fmt.Sprintf("#%d mem", ev.Seq), Cat: "mem",
+				Ph: "X", TS: ts, Dur: dur, PID: pidPipeline, TID: tidMem + lane,
+				Args: map[string]any{"forwarded": ev.Arg2 != 0}})
+		case telemetry.EvBranchResolve:
+			if !namedMark {
+				namedMark = true
+				if err = meta(pidPipeline, tidMark, "resolve/commit/squash", 95); err != nil {
+					break
+				}
+			}
+			err = emit(&traceEvent{Name: fmt.Sprintf("resolve #%d", ev.Seq),
+				Cat: "branch", Ph: "i", TS: ev.Arg, PID: pidPipeline, TID: tidMark, S: "t",
+				Args: map[string]any{"mispredict": ev.Arg2&telemetry.ResolveMispredict != 0,
+					"early": ev.Arg2&telemetry.ResolveEarly != 0}})
+		case telemetry.EvCommit:
+			delete(inFlight, ev.Seq)
+			err = emit(&traceEvent{Name: fmt.Sprintf("commit #%d", ev.Seq),
+				Cat: "commit", Ph: "i", TS: ts, PID: pidPipeline, TID: tidMark, S: "t",
+				Args: map[string]any{"done": ev.Arg,
+					"dep": telemetry.CommitDepName(ev.Arg2)}})
+		case telemetry.EvSquash:
+			delete(inFlight, ev.Seq)
+			err = emit(&traceEvent{Name: fmt.Sprintf("squash #%d", ev.Seq),
+				Cat: "squash", Ph: "i", TS: ts, PID: pidPipeline, TID: tidMark, S: "t"})
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	// Self-profiling overlay: the analyser's wall-time phases as a
+	// second process (ts in real microseconds).
+	if opt.Self != nil {
+		if err := meta(pidSelf, 1, "phases", 0); err != nil {
+			return err
+		}
+		for _, p := range opt.Self.Phases() {
+			end := p.End
+			if end == 0 {
+				end = p.Start
+			}
+			if err := emit(&traceEvent{Name: p.Name, Cat: "self", Ph: "X",
+				TS:  p.Start.Microseconds(),
+				Dur: maxI64(1, (end - p.Start).Microseconds()),
+				PID: pidSelf, TID: 1}); err != nil {
+				return err
+			}
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

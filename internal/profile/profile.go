@@ -1,0 +1,114 @@
+// Package profile is the offline cycle-accounting and critical-path
+// analysis engine over the telemetry event stream.
+//
+// The telemetry layer (PR 2) counts pipeline events; this package
+// explains *where a run's cycles went*. It consumes the structured
+// event stream — live, via the Live chained Collector, or offline from
+// a JSONL dump — and produces three views:
+//
+//   - a CPI stack (cpistack.go): every commit-to-commit cycle of the
+//     run attributed to exactly one bottleneck component, so the stack
+//     sums to the run's total cycle count by construction;
+//   - a critical path (critpath.go): the longest dependence chain
+//     through the per-slice dataflow DAG rebuilt from slice-issue
+//     edges, with per-edge-kind cycle totals;
+//   - a Perfetto / Chrome trace-event export (perfetto.go) of the
+//     slice pipeline, one track per stage, plus a self-profiling
+//     overlay of the analyser's own wall-time phases (selfprof.go).
+//
+// The attribution taxonomy mirrors the paper's argument (§5, §7):
+// partial operand knowledge removes cycles from LSQ disambiguation
+// waits, D-cache way verification, and branch resolution latency. The
+// CPI stack makes those three components (and their shrinkage between
+// configurations) directly printable.
+package profile
+
+import "pok/internal/telemetry"
+
+// Component enumerates the CPI-stack attribution taxonomy. Every cycle
+// of a run is attributed to exactly one component.
+type Component int
+
+const (
+	// CompBase: cycles in which at least one instruction committed.
+	CompBase Component = iota
+	// CompFetch: zero-commit cycles in which the next committing
+	// instruction had not yet cleared the front end (I-cache misses,
+	// refetch after squash, wrong-path occupancy, fill and drain).
+	CompFetch
+	// CompWindow: zero-commit cycles the next committing instruction
+	// spent fetched but not dispatched — the window, LSQ or issue
+	// queue was full.
+	CompWindow
+	// CompSlice: zero-commit cycles after dispatch in which the next
+	// committing instruction waited on slice-dependence edges
+	// (operands, carry chain, in-order slice issue, issue bandwidth).
+	CompSlice
+	// CompReplay: as CompSlice, but the instruction's own slice-ops
+	// replayed, so misspeculation recovery is the binding cost.
+	CompReplay
+	// CompLSQ: zero-commit cycles gated by load/store-queue
+	// disambiguation (a load held back, or satisfied by forwarding).
+	CompLSQ
+	// CompDCache: zero-commit cycles gated by a D-cache hit access,
+	// including partial-tag way-mispredict verification replays (§5.2).
+	CompDCache
+	// CompBranch: zero-commit cycles gated by branch resolution —
+	// either the committing branch's own resolve, or fetch blocked in
+	// a mispredicted branch's shadow (§5 early resolution shrinks it).
+	CompBranch
+	// CompDRAM: zero-commit cycles gated by an L1 D-cache miss waiting
+	// on the lower memory hierarchy.
+	CompDRAM
+
+	// NumComponents is the taxonomy size.
+	NumComponents = int(CompDRAM) + 1
+)
+
+// componentNames are the stable short names (wire/report keys).
+var componentNames = [NumComponents]string{
+	"base", "fetch", "window", "slice", "replay",
+	"lsq", "dcache", "branch", "dram",
+}
+
+// componentLabels are the human-facing report labels.
+var componentLabels = [NumComponents]string{
+	"base", "fetch/wrong-path", "window-full", "slice-dependence",
+	"replay", "lsq-disambig", "dcache/way-verify", "branch-resolution",
+	"dram",
+}
+
+// String returns the component's stable short name.
+func (c Component) String() string {
+	if c >= 0 && int(c) < NumComponents {
+		return componentNames[c]
+	}
+	return "unknown"
+}
+
+// Label returns the component's human-facing report label.
+func (c Component) Label() string {
+	if c >= 0 && int(c) < NumComponents {
+		return componentLabels[c]
+	}
+	return "unknown"
+}
+
+// depComponent maps an EvCommit.Arg2 dependence class to the stack
+// component that owns the gap cycles it explains.
+func depComponent(dep int64) Component {
+	switch dep {
+	case telemetry.CommitDepReplay:
+		return CompReplay
+	case telemetry.CommitDepLSQ:
+		return CompLSQ
+	case telemetry.CommitDepDCache, telemetry.CommitDepWayMispredict:
+		return CompDCache
+	case telemetry.CommitDepDRAM:
+		return CompDRAM
+	case telemetry.CommitDepBranch:
+		return CompBranch
+	default: // CommitDepNone, CommitDepSlice
+		return CompSlice
+	}
+}

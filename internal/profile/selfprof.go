@@ -1,0 +1,54 @@
+package profile
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SelfProfile records the analyser's own wall-time phases so a
+// Perfetto export can overlay "what the tool spent its time on" next
+// to the simulated pipeline (the self-profiling mode of pok-prof).
+type SelfProfile struct {
+	t0     time.Time
+	phases []SelfPhase
+}
+
+// SelfPhase is one wall-clock phase of the analyser.
+type SelfPhase struct {
+	Name  string
+	Start time.Duration // offset from profile start
+	End   time.Duration
+}
+
+// NewSelfProfile starts a wall-clock phase recorder.
+func NewSelfProfile() *SelfProfile {
+	return &SelfProfile{t0: time.Now()}
+}
+
+// Phase opens a named wall-time phase and returns its closer:
+//
+//	defer sp.Phase("parse dump")()
+func (sp *SelfProfile) Phase(name string) func() {
+	i := len(sp.phases)
+	sp.phases = append(sp.phases, SelfPhase{Name: name, Start: time.Since(sp.t0)})
+	return func() { sp.phases[i].End = time.Since(sp.t0) }
+}
+
+// Phases returns the recorded phases in open order.
+func (sp *SelfProfile) Phases() []SelfPhase { return sp.phases }
+
+// Render formats the phases as a short wall-time report.
+func (sp *SelfProfile) Render() string {
+	var b strings.Builder
+	b.WriteString("self-profile (wall time):\n")
+	for _, p := range sp.phases {
+		end := p.End
+		if end == 0 {
+			end = time.Since(sp.t0)
+		}
+		fmt.Fprintf(&b, "  %-16s %10.3fms\n", p.Name,
+			float64(end-p.Start)/float64(time.Millisecond))
+	}
+	return b.String()
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -61,11 +62,55 @@ func appendJSONL(b []byte, ev *Event) []byte {
 	return b
 }
 
-// ReadJSONL parses a JSONL event dump produced by WriteJSONL (blank
-// lines are skipped, unknown kinds rejected).
+// DumpMeta is the optional self-describing first line of a JSONL event
+// dump: `{"meta":"pok-events",...}`. It carries what an offline
+// consumer cannot reconstruct from the events alone — whether the
+// bounded ring dropped events (the stream is lossy) and the run's total
+// cycle count (events only bound the last *observed* cycle).
+type DumpMeta struct {
+	Meta      string `json:"meta"` // always "pok-events"
+	Benchmark string `json:"benchmark,omitempty"`
+	Config    string `json:"config,omitempty"`
+	Insts     uint64 `json:"insts,omitempty"`
+	Cycles    int64  `json:"cycles,omitempty"`
+	Dropped   uint64 `json:"dropped,omitempty"`
+}
+
+// dumpMetaTag is the sentinel value of DumpMeta.Meta on the wire.
+const dumpMetaTag = "pok-events"
+
+// WriteJSONLDump writes a self-describing dump: the meta header line
+// followed by the event stream. Pass a nil meta to write a bare stream
+// (the WriteJSONL wire format, unchanged for golden-test stability).
+func WriteJSONLDump(w io.Writer, meta *DumpMeta, events []Event) error {
+	if meta != nil {
+		m := *meta
+		m.Meta = dumpMetaTag
+		hdr, err := json.Marshal(&m)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(hdr, '\n')); err != nil {
+			return err
+		}
+	}
+	return WriteJSONL(w, events)
+}
+
+// ReadJSONL parses a JSONL event dump produced by WriteJSONL or
+// WriteJSONLDump (a meta header is skipped, blank lines are skipped,
+// unknown kinds rejected).
 func ReadJSONL(r io.Reader) ([]Event, error) {
+	_, evs, err := ReadJSONLDump(r)
+	return evs, err
+}
+
+// ReadJSONLDump parses a JSONL event dump, returning the meta header
+// when present (nil for bare WriteJSONL streams, which predate it).
+func ReadJSONLDump(r io.Reader) (*DumpMeta, []Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var meta *DumpMeta
 	var out []Event
 	line := 0
 	for sc.Scan() {
@@ -74,13 +119,20 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		if len(raw) == 0 {
 			continue
 		}
+		if line == 1 && bytes.Contains(raw, []byte(`"meta"`)) {
+			var m DumpMeta
+			if err := json.Unmarshal(raw, &m); err == nil && m.Meta == dumpMetaTag {
+				meta = &m
+				continue
+			}
+		}
 		var je jsonlEvent
 		if err := json.Unmarshal(raw, &je); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("telemetry: line %d: %w", line, err)
 		}
 		k, ok := KindFromString(je.Kind)
 		if !ok {
-			return nil, fmt.Errorf("telemetry: line %d: unknown kind %q", line, je.Kind)
+			return nil, nil, fmt.Errorf("telemetry: line %d: unknown kind %q", line, je.Kind)
 		}
 		ev := Event{Cycle: je.Cycle, Seq: je.Seq, Kind: k,
 			Slice: -1, Arg: je.Arg, Arg2: je.Arg2}
@@ -90,7 +142,7 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return meta, out, nil
 }

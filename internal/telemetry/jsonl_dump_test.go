@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJSONLDumpMetaRoundTrip: a dump written with a meta header parses
+// back into the identical header plus the identical events, and the
+// event lines after the header are byte-identical to the bare
+// WriteJSONL wire form (the header is purely additive).
+func TestJSONLDumpMetaRoundTrip(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Seq: 1, Kind: EvFetch, Slice: -1, Arg: 0x400000},
+		{Cycle: 2, Seq: 1, Kind: EvSliceIssue, Slice: 0, Arg: -1},
+		{Cycle: 5, Seq: 1, Kind: EvCommit, Slice: -1, Arg: 4, Arg2: CommitDepDRAM},
+	}
+	meta := &DumpMeta{Benchmark: "gzip", Config: "slice4",
+		Insts: 20000, Cycles: 21611, Dropped: 7}
+
+	var dump bytes.Buffer
+	if err := WriteJSONLDump(&dump, meta, events); err != nil {
+		t.Fatal(err)
+	}
+	gotMeta, gotEvents, err := ReadJSONLDump(bytes.NewReader(dump.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta == nil {
+		t.Fatal("meta header lost in round trip")
+	}
+	want := *meta
+	want.Meta = dumpMetaTag
+	if *gotMeta != want {
+		t.Fatalf("meta = %+v, want %+v", *gotMeta, want)
+	}
+	if len(gotEvents) != len(events) {
+		t.Fatalf("%d events, want %d", len(gotEvents), len(events))
+	}
+	for i := range events {
+		if gotEvents[i] != events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, gotEvents[i], events[i])
+		}
+	}
+
+	// Header is additive: stripping line 1 yields the bare wire form.
+	var bare bytes.Buffer
+	if err := WriteJSONL(&bare, events); err != nil {
+		t.Fatal(err)
+	}
+	_, rest, ok := strings.Cut(dump.String(), "\n")
+	if !ok || rest != bare.String() {
+		t.Fatalf("dump body diverged from bare WriteJSONL:\n%q\nvs\n%q", rest, bare.String())
+	}
+}
+
+// TestJSONLDumpNilMetaAndLegacyStreams: nil meta writes a bare stream,
+// and bare streams read back with a nil header — old dumps keep
+// working.
+func TestJSONLDumpNilMetaAndLegacyStreams(t *testing.T) {
+	events := []Event{{Cycle: 3, Seq: 9, Kind: EvDispatch, Slice: -1}}
+	var a, b bytes.Buffer
+	if err := WriteJSONLDump(&a, nil, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("nil-meta dump %q differs from bare stream %q", a.String(), b.String())
+	}
+	meta, evs, err := ReadJSONLDump(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Fatalf("bare stream produced a meta header: %+v", meta)
+	}
+	if len(evs) != 1 || evs[0] != events[0] {
+		t.Fatalf("events = %+v, want %+v", evs, events)
+	}
+}
+
+// TestJSONLDumpFirstEventNotMistakenForMeta: an event line mentioning
+// "meta" in a string field must not be swallowed as a header.
+func TestJSONLDumpFirstEventNotMistakenForMeta(t *testing.T) {
+	in := `{"meta":"not-pok-events","benchmark":"x"}` + "\n"
+	if _, _, err := ReadJSONLDump(strings.NewReader(in)); err == nil {
+		t.Fatal("bogus meta line should fail event parsing, not vanish")
+	}
+}

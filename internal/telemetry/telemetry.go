@@ -29,6 +29,11 @@ const (
 	// EvDispatch: the instruction was renamed into the window.
 	EvDispatch
 	// EvSliceIssue: slice Slice won an issue slot and began execution.
+	// Arg = the critical producer of the slice-op: seq+1 of the
+	// latest-arriving register producer, -1 when the entry's own previous
+	// slice (carry chain / in-order slice issue) gated it, 0 when every
+	// operand was ready at dispatch. The offline critical-path extractor
+	// (internal/profile) rebuilds the per-slice dependence DAG from this.
 	// Arg2 = 1 when the op is full-width (Slice is then always 0).
 	EvSliceIssue
 	// EvSliceComplete: slice Slice's result becomes bypassable.
@@ -50,6 +55,12 @@ const (
 	// (ResolveEarly|ResolveMispredict).
 	EvBranchResolve
 	// EvCommit: the instruction retired architecturally.
+	// Arg = the cycle the instruction's last pipeline obligation
+	// completed (it was commit-ready from Arg onward and retired when it
+	// reached the window head under the commit width), Arg2 = the
+	// CommitDep* classification of that oldest-unresolved obligation.
+	// The CPI-stack builder (internal/profile) attributes zero-commit
+	// gap cycles to the component named by the next commit's Arg2.
 	EvCommit
 	// EvSquash: a wrong-path instruction was removed from the machine.
 	EvSquash
@@ -70,6 +81,56 @@ const (
 	// the slice-op replays, exactly like a hardware soft-error recovery.
 	ReplayInjected
 )
+
+// Commit dependence classes (EvCommit.Arg2): which pipeline obligation
+// of the committing instruction finished last. Computed by the core at
+// commit from shared producer state so both schedulers classify
+// identically; consumed by the CPI-stack builder to attribute
+// zero-commit gap cycles.
+const (
+	// CommitDepNone: every obligation was satisfied as soon as the
+	// instruction dispatched (single-cycle op, operands ready).
+	CommitDepNone = int64(iota)
+	// CommitDepSlice: the last obligation was slice execution — the op
+	// waited on slice-dependence edges (operands, carry chain, in-order
+	// slice issue) or on issue bandwidth.
+	CommitDepSlice
+	// CommitDepReplay: as CommitDepSlice, but at least one of the
+	// entry's own slice-ops replayed, so replay recovery is the binding
+	// cost.
+	CommitDepReplay
+	// CommitDepLSQ: a load whose completion was gated by load/store
+	// queue disambiguation (held back, or satisfied by store forwarding).
+	CommitDepLSQ
+	// CommitDepDCache: a load that hit the D-cache; its completion time
+	// is the cache access itself.
+	CommitDepDCache
+	// CommitDepWayMispredict: a load whose partial-tag way prediction
+	// was wrong; completion waited for the full-address verification
+	// replay (§5.2).
+	CommitDepWayMispredict
+	// CommitDepDRAM: a load that missed the L1 D-cache; completion
+	// waited on the lower memory hierarchy.
+	CommitDepDRAM
+	// CommitDepBranch: a control instruction whose resolution was the
+	// last obligation (§5 early branch resolution shrinks this).
+	CommitDepBranch
+
+	numCommitDeps = int(CommitDepBranch) + 1
+)
+
+// CommitDepName returns a stable short label for a CommitDep* class
+// (used by CPI-stack rendering and the JSONL-facing tools).
+func CommitDepName(dep int64) string {
+	names := [numCommitDeps]string{
+		"none", "slice", "replay", "lsq", "dcache", "way-mispredict",
+		"dram", "branch",
+	}
+	if dep >= 0 && dep < int64(numCommitDeps) {
+		return names[dep]
+	}
+	return "unknown"
+}
 
 // Branch resolution flags (EvBranchResolve.Arg2).
 const (

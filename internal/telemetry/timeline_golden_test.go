@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// The timeline goldens pin RenderTimeline's exact byte-for-byte output
+// for the tricky renderer paths: the empty-dump message, wrong-path
+// squash marking, a replay chain re-issue, and the MaxRows/MaxCols
+// window clamping with its ">" truncation marker. pok-trace's output
+// is a debugging surface people diff across runs, so accidental
+// formatting drift is a regression.
+
+func timelineGolden(t *testing.T, got string, want []string) {
+	t.Helper()
+	w := strings.Join(want, "\n") + "\n"
+	if got != w {
+		t.Fatalf("timeline drifted:\ngot:\n%q\nwant:\n%q", got, w)
+	}
+}
+
+func TestTimelineGoldenEmptyDump(t *testing.T) {
+	if got := RenderTimeline(nil, TimelineOptions{}); got != "timeline: no events in range\n" {
+		t.Fatalf("empty dump = %q", got)
+	}
+	// A non-empty stream clipped to a seq range with no members is the
+	// same "no events" case, not a zero-width panic.
+	events := []Event{{Cycle: 0, Seq: 1, Kind: EvFetch, Slice: -1}}
+	got := RenderTimeline(events, TimelineOptions{FromSeq: 7, ToSeq: 9})
+	if got != "timeline: no events in range\n" {
+		t.Fatalf("clipped-to-empty dump = %q", got)
+	}
+}
+
+func TestTimelineGoldenSquashedInstruction(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Seq: 1, Kind: EvFetch, Slice: -1, Arg: 0x400000},
+		{Cycle: 2, Seq: 1, Kind: EvDispatch, Slice: -1},
+		{Cycle: 4, Seq: 1, Kind: EvSliceIssue, Slice: 0},
+		{Cycle: 6, Seq: 1, Kind: EvBranchResolve, Slice: -1, Arg: 6, Arg2: ResolveMispredict},
+		{Cycle: 7, Seq: 1, Kind: EvCommit, Slice: -1},
+		// Wrong-path fetch (Arg2=1) squashed when the branch resolves.
+		{Cycle: 1, Seq: 2, Kind: EvFetch, Slice: -1, Arg: 0x400abc, Arg2: 1},
+		{Cycle: 3, Seq: 2, Kind: EvDispatch, Slice: -1},
+		{Cycle: 6, Seq: 2, Kind: EvSquash, Slice: -1},
+	}
+	got := RenderTimeline(events, TimelineOptions{})
+	timelineGolden(t, got, []string{
+		"cycles 0..7  (F fetch, D dispatch, 0-7 slice issue, e full op, r replay,",
+		"                m mem issue, b/B resolve (B=early), C commit, S squash)",
+		"                           0       ",
+		"#1              0x400000  F.D.0.bC",
+		"#2            w 0x400abc   F.D..S ",
+	})
+}
+
+func TestTimelineGoldenReplayChain(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Seq: 1, Kind: EvFetch, Slice: -1, Arg: 0x400010},
+		{Cycle: 2, Seq: 1, Kind: EvDispatch, Slice: -1},
+		{Cycle: 4, Seq: 1, Kind: EvSliceIssue, Slice: 0},
+		{Cycle: 4, Seq: 1, Kind: EvMemIssue, Slice: -1, Arg: 7},
+		{Cycle: 5, Seq: 1, Kind: EvCommit, Slice: -1},
+		// Consumer issues speculatively at 5, replays (producer load was
+		// slower than the wakeup assumed), re-issues at 8.
+		{Cycle: 1, Seq: 2, Kind: EvFetch, Slice: -1, Arg: 0x400014},
+		{Cycle: 3, Seq: 2, Kind: EvDispatch, Slice: -1},
+		{Cycle: 5, Seq: 2, Kind: EvSliceIssue, Slice: 0},
+		{Cycle: 6, Seq: 2, Kind: EvReplay, Slice: 0, Arg: 8, Arg2: ReplayLoadLatency},
+		{Cycle: 8, Seq: 2, Kind: EvSliceIssue, Slice: 0},
+		{Cycle: 9, Seq: 2, Kind: EvSliceComplete, Slice: 0, Arg: 10},
+		{Cycle: 10, Seq: 2, Kind: EvCommit, Slice: -1},
+	}
+	got := RenderTimeline(events, TimelineOptions{})
+	timelineGolden(t, got, []string{
+		"cycles 0..10  (F fetch, D dispatch, 0-7 slice issue, e full op, r replay,",
+		"                m mem issue, b/B resolve (B=early), C commit, S squash)",
+		"                           0         1",
+		"#1              0x400010  F.D.0C     ",
+		"#2              0x400014   F.D.0r.0.C",
+	})
+}
+
+func TestTimelineGoldenWindowClamping(t *testing.T) {
+	events := []Event{
+		{Cycle: 0, Seq: 1, Kind: EvFetch, Slice: -1, Arg: 0x400020},
+		{Cycle: 12, Seq: 1, Kind: EvCommit, Slice: -1},
+		{Cycle: 1, Seq: 2, Kind: EvFetch, Slice: -1, Arg: 0x400024},
+		{Cycle: 5, Seq: 2, Kind: EvCommit, Slice: -1},
+		{Cycle: 2, Seq: 3, Kind: EvFetch, Slice: -1, Arg: 0x400028},
+		{Cycle: 6, Seq: 3, Kind: EvCommit, Slice: -1},
+	}
+	// MaxRows 2 drops seq 3; MaxCols 8 clips the axis to cycles 0..7,
+	// and seq 1 (which runs to cycle 12) gets the ">" truncation mark.
+	got := RenderTimeline(events, TimelineOptions{MaxRows: 2, MaxCols: 8})
+	timelineGolden(t, got, []string{
+		"cycles 0..7  (F fetch, D dispatch, 0-7 slice issue, e full op, r replay,",
+		"                m mem issue, b/B resolve (B=early), C commit, S squash)",
+		"                           0       ",
+		"#1              0x400020  F.......>",
+		"#2              0x400024   F...C  ",
+	})
+}

@@ -33,6 +33,7 @@ import (
 	"pok/internal/core"
 	"pok/internal/emu"
 	"pok/internal/exp"
+	"pok/internal/profile"
 	"pok/internal/telemetry"
 	"pok/internal/workload"
 )
@@ -143,6 +144,11 @@ var (
 	RenderFigure11 = exp.RenderFigure11
 	Figure12       = exp.Figure12
 	RenderFigure12 = exp.RenderFigure12
+	// CPIStackReport runs the technique ladder with the profiler
+	// attached: the per-technique cycle-attribution companion to
+	// Figures 11/12.
+	CPIStackReport       = exp.CPIStackReport
+	RenderCPIStackReport = exp.RenderCPIStackReport
 )
 
 // Ablation studies beyond the paper's figures.
@@ -200,6 +206,52 @@ var (
 	// RenderTimeline draws the per-instruction slice-pipeline wavefront
 	// (cmd/pok-trace) from an event dump.
 	RenderTimeline = telemetry.RenderTimeline
+)
+
+// Cycle accounting & critical path: the offline analysis engine of
+// internal/profile (CLI: cmd/pok-prof). A CPIStack attributes every
+// cycle of a run to one bottleneck component; a CriticalPath is the
+// longest dependence chain through the per-slice dataflow DAG. See
+// DESIGN.md, "Cycle accounting & critical path".
+type (
+	// EventDumpMeta is the self-describing header line of a JSONL
+	// event dump (benchmark, config, cycles, dropped-event count).
+	EventDumpMeta = telemetry.DumpMeta
+	// CPIStack is one run's cycle-accounting breakdown.
+	CPIStack = profile.CPIStack
+	// CriticalPath is the longest dependence chain of one run.
+	CriticalPath = profile.CriticalPath
+	// ProfileCollector is the chained live-profiling collector
+	// (pok-sim -prof).
+	ProfileCollector = profile.Live
+	// PerfettoOptions tunes the Chrome trace-event export.
+	PerfettoOptions = profile.PerfettoOptions
+	// SelfProfile records the analyser's own wall-time phases.
+	SelfProfile = profile.SelfProfile
+)
+
+var (
+	// WriteEventsDump writes a self-describing JSONL dump (meta header
+	// plus event stream).
+	WriteEventsDump = telemetry.WriteJSONLDump
+	// ReadEventsDump parses a JSONL dump, returning the meta header
+	// when present.
+	ReadEventsDump = telemetry.ReadJSONLDump
+	// BuildCPIStack attributes every cycle of an event stream.
+	BuildCPIStack = profile.BuildCPIStack
+	// RenderCPIStackCompare renders a side-by-side CPI-stack diff.
+	RenderCPIStackCompare = profile.RenderCompare
+	// BuildCriticalPath extracts the longest dependence chain.
+	BuildCriticalPath = profile.BuildCriticalPath
+	// WritePerfetto exports the slice pipeline as Chrome trace-event
+	// JSON (load in ui.perfetto.dev).
+	WritePerfetto = profile.WritePerfetto
+	// NewProfileCollector chains a live profiler in front of an inner
+	// collector (which may be nil).
+	NewProfileCollector = profile.NewLive
+	// NewSelfProfile starts a wall-clock phase recorder for the
+	// Perfetto self-profiling overlay.
+	NewSelfProfile = profile.NewSelfProfile
 )
 
 // Benchmark-regression records: the machine-readable BENCH_<date>.json
