@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench ci check fuzz-smoke eval eval-quick examples clean
+.PHONY: all build test vet bench ci check fuzz-smoke soak soak-smoke eval eval-quick examples clean
 
 all: build test
 
@@ -51,6 +51,20 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzAssemble -fuzztime 30s ./internal/asm
 	$(GO) test -run '^$$' -fuzz FuzzEmuStep -fuzztime 30s ./internal/emu
 
+# Random-program differential soak (internal/gen + internal/soak).
+# soak-smoke is the PR gate: a 15-second time-boxed campaign on the
+# bit-sliced configs. soak is the nightly shape: 90s per base seed,
+# three seeds, plus one fault-injection campaign per cell. Both exit
+# non-zero on any finding, each arriving pre-minimized as a repro
+# bundle under soak-out/repros/.
+soak-smoke:
+	$(GO) run ./cmd/pok-soak -duration 15s -seed 1 -configs slice2,slice4 \
+		-scheduler both -out soak-out -q
+
+soak:
+	$(GO) run ./cmd/pok-soak -duration 90s -seeds 3 -inject-seeds 1 \
+		-out soak-out
+
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks, then a quick-budget pok-bench pass that
 # refreshes the repo-root BENCH_PR4.json regression record (the CI
@@ -75,4 +89,4 @@ examples:
 	$(GO) run ./examples/minic
 
 clean:
-	rm -rf results test_output.txt bench_output.txt
+	rm -rf results test_output.txt bench_output.txt soak-out

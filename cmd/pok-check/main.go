@@ -11,6 +11,7 @@
 //	pok-check -all -inject -seed 1 -scheduler both
 //	pok-check -bench li -corrupt 1000        # prove divergence detection
 //	pok-check -bench li -wedge 500           # prove the deadlock watchdog
+//	pok-check -prog repro.s -config slice2   # replay a soak repro bundle
 //
 // With -inject, every fault perturbs speculation only (slice verify
 // flips, forced MRU way mispredicts, fake partial-address conflicts,
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pok"
@@ -48,6 +50,7 @@ func configByName(name string) (pok.Config, error) {
 
 func main() {
 	bench := flag.String("bench", "", "comma-separated benchmark names")
+	progFile := flag.String("prog", "", "assemble and check this .s file instead of -bench (repro-bundle replay)")
 	all := flag.Bool("all", false, "run every benchmark in the suite")
 	cfgNames := flag.String("config", "slice2", "comma-separated machine configs: base, simple2, simple4, slice2, slice4")
 	sched := flag.String("scheduler", "both", "scheduler(s) to run: event, legacy, both")
@@ -67,14 +70,37 @@ func main() {
 	jsonOut := flag.String("json", "", "write the report array as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
-	var names []string
+	// target is one program to drive through the check matrix: a named
+	// benchmark from the suite, or a standalone .s file (-prog), which
+	// is how soak repro bundles replay.
+	type target struct {
+		name   string
+		prog   *pok.Program
+		warmup uint64
+	}
+	var targets []target
 	switch {
+	case *progFile != "":
+		src, err := os.ReadFile(*progFile)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := pok.Assemble(string(src))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *progFile, err))
+		}
+		name := strings.TrimSuffix(filepath.Base(*progFile), filepath.Ext(*progFile))
+		targets = append(targets, target{name: name, prog: prog})
 	case *all:
-		names = pok.Benchmarks()
+		for _, name := range pok.Benchmarks() {
+			targets = append(targets, target{name: name})
+		}
 	case *bench != "":
-		names = strings.Split(*bench, ",")
+		for _, name := range strings.Split(*bench, ",") {
+			targets = append(targets, target{name: strings.TrimSpace(name)})
+		}
 	default:
-		fatal(fmt.Errorf("need -bench or -all"))
+		fatal(fmt.Errorf("need -bench, -prog or -all"))
 	}
 	var schedulers []bool // LegacyScheduler values
 	switch *sched {
@@ -93,14 +119,19 @@ func main() {
 		failures    int
 		totalFaults uint64
 	)
-	for _, name := range names {
-		w, err := pok.GetWorkload(strings.TrimSpace(name))
-		if err != nil {
-			fatal(err)
-		}
-		prog, err := w.Program(w.DefaultScale)
-		if err != nil {
-			fatal(err)
+	for _, tgt := range targets {
+		prog := tgt.prog
+		warmup := tgt.warmup
+		if prog == nil {
+			w, err := pok.GetWorkload(tgt.name)
+			if err != nil {
+				fatal(err)
+			}
+			prog, err = w.Program(w.DefaultScale)
+			if err != nil {
+				fatal(err)
+			}
+			warmup = w.FastForward
 		}
 		for _, cfgName := range strings.Split(*cfgNames, ",") {
 			cfg, err := configByName(strings.TrimSpace(cfgName))
@@ -113,8 +144,8 @@ func main() {
 					cfg := cfg
 					cfg.LegacyScheduler = legacy
 					opts := pok.CheckOptions{
-						Benchmark: w.Name,
-						Warmup:    w.FastForward,
+						Benchmark: tgt.name,
+						Warmup:    warmup,
 						MaxInsts:  *insts,
 						Invariants: &pok.InvariantConfig{
 							DeadlockBudget: *deadlockBudget,

@@ -1,0 +1,175 @@
+// pok-soak runs the random-program differential soak: seeded generated
+// PISA programs (internal/gen) execute under emulator-vs-core lockstep
+// verification across a machine-config × scheduler × injection-seed
+// matrix; any divergence, invariant violation, deadlock, panic or
+// timeout is delta-debugged to a minimal program and written out as a
+// self-contained repro bundle (prog.s + repro.json, replayable with
+// `pok-check -prog`). The soak frontier is checkpointed so multi-hour
+// runs survive interruption and continue with -resume.
+//
+// Usage:
+//
+//	pok-soak -programs 500 -seed 1                  # fixed program count
+//	pok-soak -duration 90s -seeds 3                 # time-boxed, 3 base seeds
+//	pok-soak -programs 200 -resume                  # continue after a kill
+//	pok-soak -programs 50 -corrupt 5                # seeded fault: prove the pipeline
+//
+// Exit status is non-zero iff any finding was recorded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pok/internal/check/inject"
+	"pok/internal/gen"
+	"pok/internal/soak"
+)
+
+func main() {
+	programs := flag.Int("programs", 0, "number of generated programs per base seed (0 = use -duration)")
+	seed := flag.Uint64("seed", 1, "first base seed")
+	seeds := flag.Int("seeds", 1, "number of consecutive base seeds to soak")
+	duration := flag.Duration("duration", 0, "time box per base seed (0 = use -programs)")
+	configs := flag.String("configs", "simple4,slice2,slice4", "comma-separated machine configs")
+	sched := flag.String("scheduler", "both", "scheduler(s): event, legacy, both")
+	insts := flag.Uint64("insts", 0, "instruction budget per run (0 = to completion)")
+	watchdog := flag.Duration("watchdog", 30*time.Second, "per-run wall-clock watchdog")
+	retries := flag.Int("retries", 1, "retries for a timed-out run before recording it")
+	injectSeeds := flag.Int("inject-seeds", 0, "fault-injection campaigns per cell beyond the clean run")
+	flipRate := flag.Float64("flip-rate", 0.02, "injection: per-(seq,slice) result-corruption probability")
+	wayRate := flag.Float64("waymiss-rate", 0.10, "injection: forced MRU way-mispredict probability")
+	conflictRate := flag.Float64("conflict-rate", 0.05, "injection: fake disambiguation-conflict probability")
+	corrupt := flag.Int64("corrupt", -1, "seed a commit corruption at this commit index on every run (detector/pipeline proof)")
+	wedge := flag.Int64("wedge", -1, "wedge this sequence number forever on every run (watchdog proof)")
+	fragments := flag.Int("fragments", 0, "generator: body fragments per program (0 = default)")
+	loopIters := flag.Int("loop-iters", 0, "generator: outer-loop trip count (0 = default)")
+	genInsts := flag.Uint64("gen-insts", 0, "generator: dynamic instruction budget (0 = default)")
+	noReduce := flag.Bool("no-reduce", false, "skip delta-debugging of findings")
+	reduceTests := flag.Int("reduce-tests", 400, "candidate-evaluation budget per reduction")
+	maxFindings := flag.Int("max-findings", 20, "stop a base seed early after this many findings")
+	outDir := flag.String("out", "soak-out", "output directory (findings JSON + repro bundles)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (default <out>/checkpoint-<seed>.json)")
+	checkpointEvery := flag.Int("checkpoint-every", 25, "programs between checkpoint snapshots")
+	resume := flag.Bool("resume", false, "resume from the checkpoint file")
+	register := flag.Bool("register-workloads", false, "register generated programs as ad-hoc workloads")
+	quiet := flag.Bool("q", false, "suppress per-program progress lines")
+	flag.Parse()
+
+	if *programs <= 0 && *duration <= 0 {
+		fatal(fmt.Errorf("need -programs or -duration"))
+	}
+	var schedulers []string
+	switch *sched {
+	case "both":
+		schedulers = []string{"event", "legacy"}
+	case "event", "legacy":
+		schedulers = []string{*sched}
+	default:
+		fatal(fmt.Errorf("unknown -scheduler %q (event, legacy, both)", *sched))
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	injOpts := inject.Options{}
+	useInject := *injectSeeds > 0
+	if useInject {
+		injOpts.SliceFlipRate = *flipRate
+		injOpts.WayMissRate = *wayRate
+		injOpts.ConflictRate = *conflictRate
+	}
+	// The -corrupt/-wedge hooks ride on the *clean* cell (InjectSeeds
+	// stays as given): they seed a deliberate fault into every run, so
+	// the soak must catch it and the reducer must shrink it — the
+	// end-to-end pipeline proof.
+	var hookOpts *inject.Options
+	if *corrupt >= 0 || *wedge >= 0 {
+		hookOpts = &inject.Options{}
+		if *corrupt >= 0 {
+			hookOpts.CorruptOn, hookOpts.CorruptAt = true, uint64(*corrupt)
+		}
+		if *wedge >= 0 {
+			hookOpts.WedgeOn, hookOpts.WedgeSeq = true, uint64(*wedge)
+		}
+	}
+
+	totalFindings := 0
+	for s := 0; s < *seeds; s++ {
+		base := *seed + uint64(s)
+		cp := *checkpoint
+		if cp == "" {
+			cp = filepath.Join(*outDir, fmt.Sprintf("checkpoint-%d.json", base))
+		}
+		opts := soak.Options{
+			BaseSeed:        base,
+			Programs:        *programs,
+			Duration:        *duration,
+			Configs:         strings.Split(*configs, ","),
+			Schedulers:      schedulers,
+			InjectSeeds:     *injectSeeds,
+			Inject:          injOpts,
+			MaxInsts:        *insts,
+			Watchdog:        *watchdog,
+			Retries:         *retries,
+			NoReduce:        *noReduce,
+			ReduceMaxTests:  *reduceTests,
+			MaxFindings:     *maxFindings,
+			OutDir:          *outDir,
+			Checkpoint:      cp,
+			CheckpointEvery: *checkpointEvery,
+			Gen: gen.Options{
+				Fragments: *fragments,
+				LoopIters: *loopIters,
+				MaxInsts:  *genInsts,
+			},
+			RegisterWorkloads: *register,
+		}
+		if hookOpts != nil {
+			opts.Hook = hookOpts
+		}
+		if !*quiet {
+			opts.Log = os.Stderr
+		}
+		rep, err := soak.Run(opts, *resume)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("findings-%d.json", base))
+		if err := writeJSON(path, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seed %d: %d programs, %d runs, %d findings -> %s\n",
+			base, rep.Programs, rep.Runs, len(rep.Findings), path)
+		for _, f := range rep.Findings {
+			fmt.Printf("  FINDING p%04d %s/%s kind=%s field=%s reduced=%d bundle=%s\n",
+				f.Program, f.Config, f.Scheduler, f.Kind, f.Field,
+				f.ReducedInsts, f.Bundle)
+		}
+		totalFindings += len(rep.Findings)
+	}
+	if totalFindings > 0 {
+		fmt.Fprintf(os.Stderr, "pok-soak: %d findings\n", totalFindings)
+		os.Exit(1)
+	}
+	fmt.Println("pok-soak: clean")
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pok-soak:", err)
+	os.Exit(1)
+}

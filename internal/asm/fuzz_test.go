@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pok/internal/emu"
+	"pok/internal/gen"
 	"pok/internal/isa"
 )
 
@@ -23,6 +24,13 @@ func FuzzAssemble(f *testing.F) {
 	f.Add(".text\n\tlui $t0, 0x1000\n\tori $t0, $t0, 0x8000\n\tsw $zero, -4($t0)\n\tli $v0, 10\n\tsyscall\n")
 	f.Add("b: .word\n")
 	f.Add("\tjal f\n\tli $v0, 10\n\tsyscall\nf:\n\tjr $ra\n")
+	// Generator corpora: whole programs biased at the paper's mechanisms
+	// (carry chains, partial-address aliases, low-slice-equal branches,
+	// way conflicts) give the mutator realistic multi-fragment inputs.
+	for i := uint64(0); i < 4; i++ {
+		f.Add(gen.New(gen.Options{Seed: gen.ProgramSeed(0xf0, int(i)),
+			Fragments: 6, LoopIters: 1}).Source())
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := Assemble(src)
 		if err != nil {

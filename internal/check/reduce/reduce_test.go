@@ -1,0 +1,215 @@
+package reduce
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"pok/internal/check"
+	"pok/internal/check/inject"
+	"pok/internal/core"
+)
+
+// TestDDMinFindsSingleton: the failure depends on one line; ddmin must
+// isolate exactly that line.
+func TestDDMinFindsSingleton(t *testing.T) {
+	var lines []string
+	for i := 0; i < 40; i++ {
+		lines = append(lines, "noise")
+	}
+	lines[23] = "needle"
+	test := func(cand []string) bool {
+		for _, l := range cand {
+			if l == "needle" {
+				return true
+			}
+		}
+		return false
+	}
+	got := DDMin(lines, test)
+	if !reflect.DeepEqual(got, []string{"needle"}) {
+		t.Fatalf("DDMin = %v, want [needle]", got)
+	}
+}
+
+// TestDDMinPair: the failure needs two lines that start far apart; the
+// result must contain both and nothing else (1-minimality).
+func TestDDMinPair(t *testing.T) {
+	var lines []string
+	for i := 0; i < 64; i++ {
+		lines = append(lines, "x")
+	}
+	lines[3] = "a"
+	lines[57] = "b"
+	test := func(cand []string) bool {
+		hasA, hasB := false, false
+		for _, l := range cand {
+			hasA = hasA || l == "a"
+			hasB = hasB || l == "b"
+		}
+		return hasA && hasB
+	}
+	got := DDMin(lines, test)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("DDMin = %v, want [a b]", got)
+	}
+}
+
+// TestDDMinPreservesOrder: reduction must be an order-preserving
+// subsequence (assembly programs are order-sensitive).
+func TestDDMinPreservesOrder(t *testing.T) {
+	lines := []string{"1", "2", "3", "4", "5", "6", "7", "8"}
+	test := func(cand []string) bool {
+		// Need "2" before "7".
+		i2, i7 := -1, -1
+		for i, l := range cand {
+			if l == "2" {
+				i2 = i
+			}
+			if l == "7" {
+				i7 = i
+			}
+		}
+		return i2 >= 0 && i7 >= 0 && i2 < i7
+	}
+	got := DDMin(lines, test)
+	if !reflect.DeepEqual(got, []string{"2", "7"}) {
+		t.Fatalf("DDMin = %v, want [2 7]", got)
+	}
+}
+
+// TestDDMinBounded stops after the test budget and still returns a
+// valid (possibly non-minimal) reproducer.
+func TestDDMinBounded(t *testing.T) {
+	var lines []string
+	for i := 0; i < 100; i++ {
+		lines = append(lines, "x")
+	}
+	lines[50] = "needle"
+	calls := 0
+	test := func(cand []string) bool {
+		calls++
+		for _, l := range cand {
+			if l == "needle" {
+				return true
+			}
+		}
+		return false
+	}
+	got, tests := DDMinBounded(lines, test, 5)
+	if tests > 5 {
+		t.Fatalf("spent %d tests, budget 5", tests)
+	}
+	found := false
+	for _, l := range got {
+		found = found || l == "needle"
+	}
+	if !found {
+		t.Fatalf("bounded reduction lost the needle: %v", got)
+	}
+}
+
+func TestOutcomeMatches(t *testing.T) {
+	div := Outcome{Kind: "divergence", Field: "dstval"}
+	if !div.Matches(Outcome{Kind: "divergence", Field: "dstval"}) {
+		t.Fatal("exact match failed")
+	}
+	if div.Matches(Outcome{Kind: "divergence", Field: "pc"}) {
+		t.Fatal("different field must not match a field-specific reference")
+	}
+	if !div.Matches(Outcome{Kind: "divergence"}) {
+		t.Fatal("field-less reference must accept any field")
+	}
+	if (Outcome{Kind: "deadlock"}).Matches(div) {
+		t.Fatal("kind mismatch accepted")
+	}
+	if (Outcome{}).Failing() {
+		t.Fatal("zero outcome must not be failing")
+	}
+}
+
+// minimal program for CheckRunner tests.
+const tinyProg = `
+main:
+	li $t0, 5
+loop:
+	addiu $t0, $t0, -1
+	bgtz $t0, loop
+	li $v0, 10
+	syscall
+`
+
+func TestCheckRunnerClean(t *testing.T) {
+	res := CheckRunner(core.BitSliced(2), check.Options{}, time.Minute)(tinyProg)
+	if res.Outcome.Failing() {
+		t.Fatalf("clean program classified %+v (%s)", res.Outcome, res.Err)
+	}
+	if res.Report == nil || !res.Report.OK {
+		t.Fatal("clean run must carry an OK report")
+	}
+}
+
+func TestCheckRunnerAssemblyError(t *testing.T) {
+	res := CheckRunner(core.BitSliced(2), check.Options{}, time.Minute)("bogus $q9\n")
+	if res.Outcome.Kind != "error" {
+		t.Fatalf("unassemblable candidate classified %+v", res.Outcome)
+	}
+	if res.Err == "" {
+		t.Fatal("assembly failure must carry a diagnostic")
+	}
+}
+
+// TestCheckRunnerDetectsSeededDivergence: the inject corrupt hook must
+// classify as a dstval/nextpc divergence through the runner.
+func TestCheckRunnerDetectsSeededDivergence(t *testing.T) {
+	opts := check.Options{
+		Injector: inject.New(inject.Options{CorruptOn: true, CorruptAt: 3}),
+	}
+	res := CheckRunner(core.BitSliced(2), opts, time.Minute)(tinyProg)
+	if res.Outcome.Kind != "divergence" {
+		t.Fatalf("seeded corruption classified %+v (%s)", res.Outcome, res.Err)
+	}
+}
+
+// TestProgramReduction reduces a seeded divergence end to end: the
+// minimal body must be tiny and still reproduce the exact failure
+// signature. The corrupt hook fires at commit index 10 regardless of
+// body content, but the *field* it corrupts depends on the instruction
+// at that index (dstval for register writers, nextpc otherwise), so
+// ddmin must keep just enough body to preserve the signature — at most
+// one line here.
+func TestProgramReduction(t *testing.T) {
+	prologue := []string{"main:", "\tli $t0, 40", "loop:"}
+	epilogue := []string{
+		"\taddiu $t0, $t0, -1",
+		"\tbgtz $t0, loop",
+		"\tli $v0, 10",
+		"\tsyscall",
+	}
+	var body []string
+	for i := 0; i < 24; i++ {
+		body = append(body, "\taddu $s2, $s2, $t0", "\txor $s3, $s3, $s2")
+	}
+	render := func(pro, b, epi []string) string {
+		return strings.Join(pro, "\n") + "\n" + strings.Join(b, "\n") + "\n" +
+			strings.Join(epi, "\n") + "\n"
+	}
+	newRunner := func() Runner {
+		return CheckRunner(core.BitSliced(2), check.Options{
+			Injector: inject.New(inject.Options{CorruptOn: true, CorruptAt: 10}),
+		}, time.Minute)
+	}
+	ref := newRunner()(render(prologue, body, epilogue)).Outcome
+	if ref.Kind != "divergence" {
+		t.Fatalf("reference run classified %+v", ref)
+	}
+	res := Program(prologue, body, epilogue, ref, render,
+		func(s string) RunResult { return newRunner()(s) }, 0)
+	if len(res.Body) > 1 {
+		t.Fatalf("reduction kept %d body lines, want <=1: %v", len(res.Body), res.Body)
+	}
+	if !newRunner()(render(prologue, res.Body, epilogue)).Outcome.Matches(ref) {
+		t.Fatal("minimized program no longer reproduces")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"pok/internal/gen"
 	"pok/internal/isa"
 )
 
@@ -52,6 +53,14 @@ func FuzzEmuStep(f *testing.F) {
 	f.Add(seed(isa.Inst{Op: isa.OpBEQ, Rs: isa.RegT0, Rt: isa.RegT0 + 1, Imm: -2}), uint32(5), uint32(5))               // taken back-branch
 	f.Add(seed(isa.Inst{Op: isa.OpJR, Rs: isa.RegT0}), uint32(0x12345679), uint32(0))                                   // wild jump
 	f.Add(seed(isa.Inst{Op: isa.OpLB, Rt: isa.RegT0, Rs: isa.RegT0 + 1, Imm: 0x7fff}), ^uint32(0), uint32(0xffff_fffc)) // address wrap
+	// Generator corpora: encoded words from the mechanism-biased
+	// distribution (slice-straddling immediates, partial-address
+	// offsets, boundary compares), paired with operand values that sit
+	// on the 16-bit slice cut.
+	edges := []uint32{0, 1, 0xffff, 0x10000, 0x7fffffff, 0x80000000, ^uint32(0)}
+	for i, w := range gen.SeedWords(0xfeed, 24) {
+		f.Add(w, edges[i%len(edges)], edges[(i/len(edges)+1)%len(edges)])
+	}
 	f.Fuzz(func(t *testing.T, word, r1, r2 uint32) {
 		e := New(fuzzProgram(word))
 		e.SetReg(isa.RegT0, r1)

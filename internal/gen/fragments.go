@@ -1,0 +1,203 @@
+package gen
+
+// The fragment generators. Each emits a short, self-contained group of
+// body lines that (a) uses only scratch registers and the arena, (b)
+// contains only forward branches, (c) keeps every memory access aligned
+// and inside the arena, and (d) folds a result into the checksum so the
+// work is architecturally observable (the lockstep oracle diffs every
+// commit anyway, but a live checksum also catches value bugs through
+// the final print).
+
+// fragCarryChain builds slice-boundary-straddling arithmetic: operands
+// whose low slice is all-ones (or nearly), so an addition's carry ripples
+// across the 16- or 8-bit slice boundary — the dependence pattern §3's
+// partial operand bypassing must sequence correctly.
+func fragCarryChain(s *g) {
+	boundary := []uint32{
+		0x0000ffff, // carry out of slice 0 (16-bit slices)
+		0x00ffffff, // carry out of slice 1 (8-bit slices) and slice 0
+		0x0fffffff,
+		0x7fffffff, // sign-boundary straddle
+		0xfffffffe, // wraps the whole word
+		0x0000fffe,
+		0x00010000 - 2,
+	}
+	a, b := s.reg(), s.reg()
+	c := s.reg2(a)
+	d := s.reg2(c)
+	s.emit("li %s, %d", a, int32(boundary[s.r.intn(len(boundary))]))
+	s.emit("li %s, %d", b, 1+s.r.intn(255))
+	s.emit("addu %s, %s, %s", c, a, b)
+	s.emit("sltu %s, %s, %s", d, c, a) // carry-out witness
+	n := 1 + s.r.intn(3)
+	for i := 0; i < n; i++ {
+		s.emit("addu %s, %s, %s", c, c, c) // keep the chain rippling
+	}
+	s.fold(c)
+	s.fold(d)
+}
+
+// fragAliasPair builds a near-aliasing store/load pair inside the 64KB
+// arena: with delta 0 the load must forward from the store; with a small
+// non-zero delta the partial (low-16-bit) addresses nearly match and the
+// §5.1 early disambiguator has to rule the pair in or out correctly.
+func fragAliasPair(s *g) {
+	addr := s.reg()
+	val := s.reg2(addr)
+	dst := s.reg2(addr)
+	off := 16 + 4*s.r.intn((ArenaSize-64)/4) // word-aligned, margin for deltas
+	deltas := []int{0, 0, 4, -4, 8, -8, 12}  // bias toward exact alias
+	d := deltas[s.r.intn(len(deltas))]
+	s.emit("li %s, %d", addr, off)
+	s.emit("addu %s, $s1, %s", addr, addr)
+	if s.r.intn(4) == 0 {
+		// Byte-granular variant: sb/lbu never fault on alignment.
+		s.emit("sb %s, %d(%s)", val, s.r.intn(4), addr)
+		s.emit("lbu %s, %d(%s)", dst, d+s.r.intn(4), addr)
+	} else {
+		s.emit("sw %s, 0(%s)", val, addr)
+		s.emit("lw %s, %d(%s)", dst, d, addr)
+	}
+	s.fold(dst)
+}
+
+// fragBranchSlice builds the §5.3 early-branch-resolution corner case:
+// beq/bne operands whose low 16 bits are equal but whose high slices
+// differ — the machine may only declare the branch outcome once the
+// differing (high) slice has compared, never after just the equal low
+// slice.
+func fragBranchSlice(s *g) {
+	a := s.reg()
+	b := s.reg2(a)
+	low := s.r.u16()
+	hi1 := s.r.u16()
+	hi2 := s.r.u16()
+	equal := s.r.intn(4) == 0 // sometimes fully equal: the taken beq path
+	if !equal && hi1 == hi2 {
+		hi2 ^= 1 + uint32(s.r.intn(0x7fff))
+	}
+	if equal {
+		hi2 = hi1
+	}
+	s.emit("li %s, %d", a, int32(hi1<<16|low))
+	s.emit("li %s, %d", b, int32(hi2<<16|low))
+	l := s.label()
+	if s.r.intn(2) == 0 {
+		s.emit("beq %s, %s, %s", a, b, l)
+	} else {
+		s.emit("bne %s, %s, %s", a, b, l)
+	}
+	s.fold(a)
+	s.emitLabel(l)
+	s.fold(b)
+}
+
+// fragWayConflict builds the §5.2 partial-tag stress: a burst of loads
+// whose addresses share the low (index) bits but differ above them, so
+// they contend for the same cache set across ways and the MRU way
+// prediction + partial tag match must sort them out.
+func fragWayConflict(s *g) {
+	const stride = 0x2000 // 8KB apart: same index bits, different tags
+	base := 4 * s.r.intn(0x2000/4)
+	a := s.reg()
+	b := s.reg2(a)
+	n := 2 + s.r.intn(3) // 2..4 conflicting ways
+	for i := 0; i < n; i++ {
+		s.emit("lw %s, %d($s1)", a, base+i*stride)
+		if i == 0 {
+			s.emit("move %s, %s", b, a)
+		} else {
+			s.emit("xor %s, %s, %s", b, b, a)
+		}
+	}
+	if s.r.intn(2) == 0 {
+		// Dirty one of the conflicting lines so a later burst sees a
+		// modified MRU way.
+		s.emit("sw %s, %d($s1)", b, base+stride*s.r.intn(n))
+	}
+	s.fold(b)
+}
+
+// fragALU emits a short chain of generic integer ops with tight
+// register reuse (dependence chains the slice schedulers pipeline).
+func fragALU(s *g) {
+	ops3 := []string{"addu", "subu", "and", "or", "xor", "nor", "slt", "sltu"}
+	opsI := []string{"addiu", "andi", "ori", "xori", "slti"}
+	n := 2 + s.r.intn(4)
+	for i := 0; i < n; i++ {
+		d := s.reg()
+		if s.r.intn(3) == 0 {
+			op := opsI[s.r.intn(len(opsI))]
+			imm := int32(int16(s.r.u16()))
+			if op != "addiu" && op != "slti" {
+				imm = int32(s.r.u16()) // logical immediates are zero-extended
+			}
+			s.emit("%s %s, %s, %d", op, d, s.reg(), imm)
+		} else {
+			op := ops3[s.r.intn(len(ops3))]
+			s.emit("%s %s, %s, %s", op, d, s.reg(), s.reg())
+		}
+		if i == n-1 {
+			s.fold(d)
+		}
+	}
+}
+
+// fragMulDiv emits multiply/divide traffic with HI/LO reads — the
+// bit-serial multiplier path (SerialMul) and the long-latency divide
+// unit, plus the implicit second destination the oracle must track.
+func fragMulDiv(s *g) {
+	a := s.reg()
+	b := s.reg2(a)
+	lo := s.reg()
+	hi := s.reg2(lo)
+	if s.r.intn(2) == 0 {
+		if s.r.intn(2) == 0 {
+			s.emit("mult %s, %s", a, b)
+		} else {
+			s.emit("multu %s, %s", a, b)
+		}
+	} else {
+		// Divide: the emulator's divide-by-zero result is fixed and
+		// deterministic, so no guard is needed for correctness — but
+		// odd divisors make the quotient more interesting.
+		s.emit("ori %s, %s, 1", b, b)
+		s.emit("divu %s, %s", a, b)
+	}
+	s.emit("mflo %s", lo)
+	s.emit("mfhi %s", hi)
+	s.fold(lo)
+	s.fold(hi)
+}
+
+// fragShift emits immediate and variable shifts (variable amounts use
+// the hardware's low-5-bit semantics; no masking needed).
+func fragShift(s *g) {
+	opsImm := []string{"sll", "srl", "sra"}
+	opsVar := []string{"sllv", "srlv", "srav"}
+	d := s.reg()
+	if s.r.intn(2) == 0 {
+		s.emit("%s %s, %s, %d", opsImm[s.r.intn(len(opsImm))], d, s.reg(), s.r.intn(32))
+	} else {
+		s.emit("%s %s, %s, %s", opsVar[s.r.intn(len(opsVar))], d, s.reg(), s.reg())
+	}
+	s.fold(d)
+}
+
+// fragMem emits a computed-address access: a scratch register masked
+// into the arena (word-aligned by the mask), exercising address
+// generation feeding the §5.1/§5.2 paths with values no static offset
+// reaches.
+func fragMem(s *g) {
+	addr := s.reg()
+	v := s.reg2(addr)
+	s.emit("andi %s, %s, %d", addr, s.reg(), ArenaSize-4) // 0xfffc: aligned, in-bounds
+	s.emit("addu %s, $s1, %s", addr, addr)
+	if s.r.intn(2) == 0 {
+		s.emit("lw %s, 0(%s)", v, addr)
+	} else {
+		s.emit("sw %s, 0(%s)", v, addr)
+		s.emit("lw %s, 0(%s)", v, addr)
+	}
+	s.fold(v)
+}

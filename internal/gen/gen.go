@@ -1,0 +1,350 @@
+// Package gen is a seeded, deterministic random-program generator for
+// the simulator's PISA-like ISA. It exists to feed the differential
+// soak harness (internal/soak, cmd/pok-soak): every program it emits
+//
+//   - always assembles (the emitted text uses only mnemonics, pseudo-ops
+//     and directives the assembler supports, with immediates in range);
+//   - always terminates (control flow is a single counted outer loop
+//     whose body contains only forward branches), within a computable
+//     dynamic instruction budget;
+//   - is byte-identical when regenerated from the same Options (the
+//     generator uses its own splitmix64 stream and no map iteration).
+//
+// The instruction mix is *biased at the paper's mechanisms* rather than
+// uniform: carry chains that straddle slice boundaries (§3/§4 partial
+// operand bypassing), near-aliasing load/store pairs inside the same
+// 64KB partial-address window (§5.1 early disambiguation), branch
+// operand pairs whose low slices are equal but whose high slices differ
+// (§5.3 early branch resolution), and way-conflicting access streams
+// (§5.2 partial tag matching + MRU way prediction). Those are exactly
+// the corner cases no hand-written kernel in internal/workload covers.
+package gen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ArenaSize is the byte size of the data arena every generated program
+// addresses. It is exactly one 64KB partial-address window (§5.1: the
+// low 16 address bits), so every generated load/store pair is a
+// partial-address near-alias candidate by construction.
+const ArenaSize = 65536
+
+// Options seeds and shapes one generated program.
+type Options struct {
+	// Seed selects the program deterministically.
+	Seed uint64 `json:"seed"`
+	// Fragments is the number of body fragments (default 24).
+	Fragments int `json:"fragments,omitempty"`
+	// LoopIters is the requested outer-loop trip count (default 8); it
+	// is clamped so the dynamic instruction count stays under MaxInsts.
+	LoopIters int `json:"loop_iters,omitempty"`
+	// MaxInsts is the dynamic instruction budget (default 20000).
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// Mix weights the fragment kinds (zero value = DefaultMix).
+	Mix Mix `json:"mix,omitempty"`
+}
+
+// Mix holds the relative weights of the fragment kinds. The zero value
+// is replaced by DefaultMix.
+type Mix struct {
+	CarryChain  float64 `json:"carry_chain,omitempty"`  // slice-boundary-straddling arithmetic
+	AliasPair   float64 `json:"alias_pair,omitempty"`   // near-aliasing load/store pairs (§5.1)
+	BranchSlice float64 `json:"branch_slice,omitempty"` // equal-low / differing-high branch operands (§5.3)
+	WayConflict float64 `json:"way_conflict,omitempty"` // same-set different-tag access streams (§5.2)
+	ALU         float64 `json:"alu,omitempty"`          // generic integer ALU chains
+	MulDiv      float64 `json:"mul_div,omitempty"`      // mult/div + hi/lo traffic
+	Shift       float64 `json:"shift,omitempty"`        // immediate and variable shifts
+	Mem         float64 `json:"mem,omitempty"`          // computed-address loads/stores
+}
+
+// DefaultMix biases generation at the paper's three mechanisms while
+// keeping enough generic traffic to exercise the whole pipeline.
+func DefaultMix() Mix {
+	return Mix{
+		CarryChain:  3,
+		AliasPair:   3,
+		BranchSlice: 3,
+		WayConflict: 2,
+		ALU:         3,
+		MulDiv:      1,
+		Shift:       1,
+		Mem:         2,
+	}
+}
+
+func (m Mix) zero() bool {
+	return m == Mix{}
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Fragments <= 0 {
+		o.Fragments = 24
+	}
+	if o.LoopIters <= 0 {
+		o.LoopIters = 8
+	}
+	if o.MaxInsts == 0 {
+		o.MaxInsts = 20000
+	}
+	if o.Mix.zero() {
+		o.Mix = DefaultMix()
+	}
+	return o
+}
+
+// Program is one generated program, split so the delta-debugging
+// reducer (internal/check/reduce) can operate on the Body lines alone:
+// the Prologue and Epilogue carry the loop skeleton and the exit
+// sequence, which every reduction must keep.
+type Program struct {
+	Seed     uint64
+	Opts     Options
+	Prologue []string
+	Body     []string
+	Epilogue []string
+	// Counts tallies emitted fragments by kind (deterministic JSON:
+	// encoding/json sorts map keys).
+	Counts map[string]int
+	// Iters is the clamped outer-loop trip count actually emitted.
+	Iters int
+}
+
+// Source renders the full assembly program.
+func (p *Program) Source() string {
+	return Render(p.Prologue, p.Body, p.Epilogue)
+}
+
+// Render joins a (prologue, body, epilogue) triple into assembly
+// source. The reducer re-renders candidate bodies through this.
+func Render(prologue, body, epilogue []string) string {
+	var b strings.Builder
+	for _, lines := range [][]string{prologue, body, epilogue} {
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// InstCount upper-bounds the machine instructions of a line slice —
+// the "size" the reducer minimizes and the budget clamp consumes.
+// Labels and directives count zero; the only multi-word pseudo-ops the
+// generator emits, li and la, count their worst-case expansion (2).
+func InstCount(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		t := strings.TrimSpace(l)
+		switch {
+		case t == "" || strings.HasSuffix(t, ":") || strings.HasPrefix(t, "."):
+		case strings.HasPrefix(t, "li ") || strings.HasPrefix(t, "la "):
+			n += 2
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// DynamicEstimate upper-bounds the committed instruction count of the
+// program (body branches are forward-only, so per-iteration dynamic
+// length never exceeds the static body length).
+func (p *Program) DynamicEstimate() uint64 {
+	perIter := uint64(InstCount(p.Body)) + 2 // + loop decrement/branch
+	return uint64(InstCount(p.Prologue)) + uint64(p.Iters)*perIter +
+		uint64(InstCount(p.Epilogue))
+}
+
+// rng is a splitmix64 stream: tiny, fast and stable across Go releases
+// (math/rand's stream is not guaranteed), which the byte-identical
+// regeneration property depends on.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) u32() uint32 { return uint32(r.next()) }
+
+func (r *rng) u16() uint32 { return uint32(r.next() & 0xffff) }
+
+// pick selects an index from weights proportionally.
+func (r *rng) pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := float64(r.next()>>11) / float64(1<<53) * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// scratch is the register pool fragments draw from. $s0 (loop counter),
+// $s1 (arena base), $s6 (checksum), $v0/$a0 (syscall), $at (assembler
+// temporary), $sp/$gp/$fp/$ra/$k0/$k1 and $zero are reserved.
+var scratch = []string{
+	"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9",
+	"$s2", "$s3", "$s4", "$s5", "$s7", "$v1", "$a1", "$a2", "$a3",
+}
+
+// g is the in-progress generation state.
+type g struct {
+	r      rng
+	labels int
+	body   []string
+	counts map[string]int
+}
+
+func (s *g) reg() string { return scratch[s.r.intn(len(scratch))] }
+
+// reg2 returns a scratch register different from a.
+func (s *g) reg2(a string) string {
+	for {
+		b := s.reg()
+		if b != a {
+			return b
+		}
+	}
+}
+
+func (s *g) label() string {
+	s.labels++
+	return fmt.Sprintf("g%d", s.labels)
+}
+
+func (s *g) emit(format string, args ...any) {
+	s.body = append(s.body, fmt.Sprintf("\t"+format, args...))
+}
+
+func (s *g) emitLabel(l string) {
+	s.body = append(s.body, l+":")
+}
+
+// fold accumulates a result register into the checksum so no fragment
+// is dead code (alternating add/xor keeps the checksum sensitive to
+// both value and carry behaviour).
+func (s *g) fold(r string) {
+	if s.r.intn(2) == 0 {
+		s.emit("addu $s6, $s6, %s", r)
+	} else {
+		s.emit("xor $s6, $s6, %s", r)
+	}
+}
+
+// New generates the program selected by opts. The same opts always
+// produce a byte-identical Source.
+func New(opts Options) *Program {
+	opts = opts.withDefaults()
+	s := &g{r: rng{s: mix64(opts.Seed)}, counts: map[string]int{}}
+
+	kinds := []struct {
+		name   string
+		weight float64
+		fn     func(*g)
+	}{
+		{"carry_chain", opts.Mix.CarryChain, fragCarryChain},
+		{"alias_pair", opts.Mix.AliasPair, fragAliasPair},
+		{"branch_slice", opts.Mix.BranchSlice, fragBranchSlice},
+		{"way_conflict", opts.Mix.WayConflict, fragWayConflict},
+		{"alu", opts.Mix.ALU, fragALU},
+		{"mul_div", opts.Mix.MulDiv, fragMulDiv},
+		{"shift", opts.Mix.Shift, fragShift},
+		{"mem", opts.Mix.Mem, fragMem},
+	}
+	weights := make([]float64, len(kinds))
+	for i, k := range kinds {
+		weights[i] = k.weight
+	}
+	for i := 0; i < opts.Fragments; i++ {
+		k := kinds[s.r.pick(weights)]
+		k.fn(s)
+		s.counts[k.name]++
+	}
+
+	prologue := []string{
+		".data",
+		fmt.Sprintf("arena: .space %d", ArenaSize),
+		".text",
+		"main:",
+		"\tla $s1, arena",
+		"\tli $s6, 0",
+	}
+	// Seed a few scratch registers with random constants so early
+	// fragments see varied operand values (registers reset to zero
+	// otherwise). A fixed subset keeps the prologue small.
+	for i := 0; i < 6; i++ {
+		prologue = append(prologue,
+			fmt.Sprintf("\tli %s, %d", scratch[s.r.intn(len(scratch))], int32(s.r.u32())))
+	}
+
+	// Clamp the trip count to the dynamic budget.
+	perIter := uint64(InstCount(s.body)) + 2
+	fixed := uint64(InstCount(prologue)) + 1 /* li $s0 */ + 4 /* epilogue */
+	iters := opts.LoopIters
+	if budget := opts.MaxInsts; budget > fixed && perIter > 0 {
+		if max := int((budget - fixed) / perIter); iters > max {
+			iters = max
+		}
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	prologue = append(prologue,
+		fmt.Sprintf("\tli $s0, %d", iters),
+		"loop:")
+
+	epilogue := []string{
+		"\taddiu $s0, $s0, -1",
+		"\tbgtz $s0, loop",
+		"\tli $v0, 1",
+		"\tmove $a0, $s6",
+		"\tsyscall",
+		"\tli $v0, 10",
+		"\tsyscall",
+	}
+
+	return &Program{
+		Seed:     opts.Seed,
+		Opts:     opts,
+		Prologue: prologue,
+		Body:     s.body,
+		Epilogue: epilogue,
+		Counts:   s.counts,
+		Iters:    iters,
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ProgramSeed derives the seed of the idx-th program of a soak keyed by
+// base — a pure function, so checkpoint/resume only needs the cursor.
+func ProgramSeed(base uint64, idx int) uint64 {
+	return mix64(mix64(base) ^ uint64(idx)*0xbf58476d1ce4e5b9)
+}

@@ -1,0 +1,156 @@
+package gen_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pok/internal/asm"
+	"pok/internal/emu"
+	"pok/internal/gen"
+	"pok/internal/isa"
+)
+
+// TestGeneratedProgramsValid is the generator's validity property test:
+// across 1000 programs spanning many seeds and several feature mixes,
+// every program must (a) assemble cleanly, (b) terminate under the
+// generator's own dynamic-instruction estimate (which must itself stay
+// under the configured budget), and (c) regenerate byte-identically
+// from the same seed.
+func TestGeneratedProgramsValid(t *testing.T) {
+	mixes := []struct {
+		name string
+		mix  gen.Mix
+	}{
+		{"default", gen.Mix{}},
+		{"carry-heavy", gen.Mix{CarryChain: 10, ALU: 1}},
+		{"alias-heavy", gen.Mix{AliasPair: 10, Mem: 3}},
+		{"branch-heavy", gen.Mix{BranchSlice: 10, ALU: 1}},
+		{"way-heavy", gen.Mix{WayConflict: 10, Mem: 1}},
+		{"muldiv-shift", gen.Mix{MulDiv: 5, Shift: 5, ALU: 1}},
+	}
+	const perMix = 1000 / 6
+
+	total := 0
+	for _, m := range mixes {
+		for i := 0; i < perMix+1 && total < 1000; i++ {
+			total++
+			opts := gen.Options{
+				Seed:      gen.ProgramSeed(uint64(1000+i), i),
+				Fragments: 8 + i%24,
+				LoopIters: 1 + i%4,
+				MaxInsts:  6000,
+				Mix:       m.mix,
+			}
+			p := gen.New(opts)
+
+			// (c) deterministic regeneration, byte for byte.
+			if again := gen.New(opts).Source(); again != p.Source() {
+				t.Fatalf("%s seed %#x: regeneration differs", m.name, opts.Seed)
+			}
+
+			// (a) assembles cleanly.
+			prog, err := asm.Assemble(p.Source())
+			if err != nil {
+				t.Fatalf("%s seed %#x: does not assemble: %v\n%s",
+					m.name, opts.Seed, err, p.Source())
+			}
+
+			// (b) terminates within the estimate, which respects the
+			// budget.
+			est := p.DynamicEstimate()
+			if est > opts.MaxInsts {
+				t.Fatalf("%s seed %#x: estimate %d exceeds budget %d",
+					m.name, opts.Seed, est, opts.MaxInsts)
+			}
+			e := emu.New(prog)
+			if _, err := e.Run(est+16, nil); err != nil {
+				if errors.Is(err, emu.ErrHalted) {
+					continue
+				}
+				t.Fatalf("%s seed %#x: execution error: %v", m.name, opts.Seed, err)
+			}
+			if !e.Halted() {
+				t.Fatalf("%s seed %#x: did not terminate within %d insts",
+					m.name, opts.Seed, est+16)
+			}
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("only exercised %d programs, want 1000", total)
+	}
+}
+
+// TestDynamicEstimateIsUpperBound executes a sample of programs and
+// checks the actual committed instruction count never exceeds the
+// generator's estimate (the property the soak's budget clamping and the
+// emulator run bound above rely on).
+func TestDynamicEstimateIsUpperBound(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		opts := gen.Options{Seed: uint64(i), MaxInsts: 8000}
+		p := gen.New(opts)
+		prog, err := asm.Assemble(p.Source())
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		e := emu.New(prog)
+		n, err := e.Run(0, nil)
+		if err != nil && !errors.Is(err, emu.ErrHalted) {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if est := p.DynamicEstimate(); n > est {
+			t.Fatalf("seed %d: executed %d insts, estimate was %d", i, n, est)
+		}
+	}
+}
+
+// TestProgramSeedStability pins the seed-derivation function: a
+// checkpointed soak resumes by cursor alone, which is only sound if
+// ProgramSeed never changes across releases.
+func TestProgramSeedStability(t *testing.T) {
+	got := gen.ProgramSeed(1, 0)
+	if got != gen.ProgramSeed(1, 0) {
+		t.Fatal("ProgramSeed is not a pure function")
+	}
+	if gen.ProgramSeed(1, 0) == gen.ProgramSeed(1, 1) ||
+		gen.ProgramSeed(1, 0) == gen.ProgramSeed(2, 0) {
+		t.Fatal("ProgramSeed collides on adjacent inputs")
+	}
+}
+
+// TestSeedWords: the fuzzer corpus stream must be deterministic and
+// every emitted word must decode to a real instruction (a corpus of
+// undecodable words would only exercise the fuzzers' error paths).
+func TestSeedWords(t *testing.T) {
+	a := gen.SeedWords(9, 200)
+	b := gen.SeedWords(9, 200)
+	if len(a) != 200 || !reflect.DeepEqual(a, b) {
+		t.Fatal("SeedWords is not a pure function of its seed")
+	}
+	for _, w := range a {
+		if _, err := isa.Decode(w); err != nil {
+			t.Fatalf("seed word 0x%08x does not decode: %v", w, err)
+		}
+	}
+}
+
+// TestFeatureMixBias checks the weights actually steer the fragment
+// distribution: a carry-heavy mix must emit more carry-chain fragments
+// than anything else.
+func TestFeatureMixBias(t *testing.T) {
+	p := gen.New(gen.Options{
+		Seed:      7,
+		Fragments: 64,
+		Mix:       gen.Mix{CarryChain: 20, ALU: 1},
+	})
+	if p.Counts["carry_chain"] <= p.Counts["alu"] {
+		t.Fatalf("carry-heavy mix produced %v", p.Counts)
+	}
+	sum := 0
+	for _, n := range p.Counts {
+		sum += n
+	}
+	if sum != 64 {
+		t.Fatalf("fragment counts sum to %d, want 64", sum)
+	}
+}

@@ -1,0 +1,46 @@
+package gen_test
+
+// Checked-in repro bundles (testdata/repros/*) are minimized programs
+// the soak harness produced from deliberately seeded faults. Replaying
+// them here turns every past finding into a permanent regression test:
+// each bundle must still reproduce its recorded failure signature
+// (kind + field) when run through the lockstep checker today.
+//
+// To add a bundle: run pok-soak, copy OutDir/repros/<name> into
+// testdata/repros/ under a descriptive directory name.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pok/internal/soak"
+)
+
+func TestReproBundlesStillReproduce(t *testing.T) {
+	root := filepath.Join("testdata", "repros")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no repro bundles checked in")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			dir := filepath.Join(root, e.Name())
+			b, res, err := soak.ReplayBundle(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b.Reproduces(res) {
+				t.Fatalf("bundle %s classified %+v, want kind=%q field=%q",
+					e.Name(), res.Outcome, b.Kind, b.Field)
+			}
+		})
+	}
+}

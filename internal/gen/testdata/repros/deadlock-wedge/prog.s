@@ -1,0 +1,23 @@
+.data
+arena: .space 65536
+.text
+main:
+	la $s1, arena
+	li $s6, 0
+	li $a1, 1414140603
+	li $s5, -1671696550
+	li $a2, 2120778089
+	li $a3, -1656435010
+	li $a1, 1224093023
+	li $t7, 938807298
+	li $s0, 8
+loop:
+	li $t9, 16777215
+	li $t9, 169
+	addiu $s0, $s0, -1
+	bgtz $s0, loop
+	li $v0, 1
+	move $a0, $s6
+	syscall
+	li $v0, 10
+	syscall

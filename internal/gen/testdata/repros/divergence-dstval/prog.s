@@ -1,0 +1,23 @@
+.data
+arena: .space 65536
+.text
+main:
+	la $s1, arena
+	li $s6, 0
+	li $t7, -952327490
+	li $a2, -440244083
+	li $t0, -873363439
+	li $a3, -1517943703
+	li $s3, -1473756561
+	li $t5, -523826522
+	li $s0, 8
+loop:
+	slt $t0, $t8, $s5
+	ori $t9, $a1, 17509
+	addiu $s0, $s0, -1
+	bgtz $s0, loop
+	li $v0, 1
+	move $a0, $s6
+	syscall
+	li $v0, 10
+	syscall

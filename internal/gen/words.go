@@ -1,0 +1,63 @@
+package gen
+
+import "pok/internal/isa"
+
+// SeedWords returns n encoded instruction words drawn from the same
+// mechanism-biased distribution the program generator uses — carry
+// boundary constants, partial-address offsets, equal-low-slice operand
+// setups — for seeding instruction-level fuzzers (emu.FuzzEmuStep).
+// The stream is a pure function of seed.
+func SeedWords(seed uint64, n int) []uint32 {
+	r := rng{s: mix64(seed)}
+	reg := func() isa.Reg { return isa.Reg(8 + r.intn(18)) } // $t0..$t9, $s0..$s7
+	imm16 := func() int32 { return int32(int16(r.next())) }
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		var in isa.Inst
+		switch r.intn(12) {
+		case 0: // slice-boundary arithmetic (§3/§4 carry chains)
+			in = isa.Inst{Op: isa.OpADDU, Rd: reg(), Rs: reg(), Rt: reg()}
+		case 1:
+			in = isa.Inst{Op: isa.OpSLTU, Rd: reg(), Rs: reg(), Rt: reg()}
+		case 2: // boundary immediates straddling the 16-bit slice cut
+			ops := []isa.Op{isa.OpADDIU, isa.OpSLTIU, isa.OpORI, isa.OpXORI, isa.OpANDI}
+			imms := []int32{-1, 0x7fff, -0x8000, 1, -2}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rt: reg(), Rs: reg(),
+				Imm: imms[r.intn(len(imms))]}
+		case 3: // partial-address loads (§5.1: low-16 window offsets)
+			ops := []isa.Op{isa.OpLW, isa.OpLBU, isa.OpLHU, isa.OpLB, isa.OpLH}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rt: reg(), Rs: reg(), Imm: imm16()}
+		case 4: // stores
+			ops := []isa.Op{isa.OpSW, isa.OpSB, isa.OpSH}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rt: reg(), Rs: reg(), Imm: imm16()}
+		case 5: // branches (§5.3: early resolution on partial compares)
+			ops := []isa.Op{isa.OpBEQ, isa.OpBNE}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rs: reg(), Rt: reg(),
+				Imm: int32(r.intn(8)) - 2}
+		case 6:
+			ops := []isa.Op{isa.OpBGTZ, isa.OpBLEZ, isa.OpBGEZ, isa.OpBLTZ}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rs: reg(), Imm: int32(r.intn(8)) - 2}
+		case 7: // hi/lo traffic
+			ops := []isa.Op{isa.OpMULT, isa.OpMULTU, isa.OpDIV, isa.OpDIVU}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rs: reg(), Rt: reg()}
+		case 8:
+			ops := []isa.Op{isa.OpMFLO, isa.OpMFHI}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rd: reg()}
+		case 9: // shifts across the slice boundary
+			ops := []isa.Op{isa.OpSLL, isa.OpSRL, isa.OpSRA}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rd: reg(), Rt: reg(),
+				Shamt: uint8(r.intn(32))}
+		case 10:
+			ops := []isa.Op{isa.OpSLLV, isa.OpSRLV, isa.OpSRAV}
+			in = isa.Inst{Op: ops[r.intn(len(ops))], Rd: reg(), Rt: reg(), Rs: reg()}
+		default: // upper-slice immediates
+			in = isa.Inst{Op: isa.OpLUI, Rt: reg(), Imm: int32(r.u16())}
+		}
+		w, err := isa.Encode(in)
+		if err != nil {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

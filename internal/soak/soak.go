@@ -1,0 +1,436 @@
+// Package soak drives the random-program differential soak: generated
+// PISA programs (internal/gen) run through emulator-vs-core lockstep
+// verification (internal/check) across a machine-config × scheduler ×
+// fault-injection-seed matrix, with per-run wall-clock watchdogs and
+// panic recovery — a generator or core panic is a *finding* attributed
+// to its seed, not a crash. Any divergence, invariant violation,
+// deadlock, panic or timeout is delta-debugged down to a minimal body
+// (internal/check/reduce) and written out as a self-contained repro
+// bundle. A checkpoint file makes multi-hour soaks resumable.
+//
+// cmd/pok-soak is the CLI.
+package soak
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"pok/internal/check"
+	"pok/internal/check/inject"
+	"pok/internal/check/reduce"
+	"pok/internal/core"
+	"pok/internal/gen"
+	"pok/internal/workload"
+)
+
+// Options configures one soak campaign.
+type Options struct {
+	// BaseSeed keys the whole campaign: program i is generated from
+	// gen.ProgramSeed(BaseSeed, i).
+	BaseSeed uint64
+	// Programs is the number of programs to generate (0 with Duration
+	// set = until the time box expires).
+	Programs int
+	// Duration time-boxes the soak (0 = no box). When both Programs
+	// and Duration are set, whichever limit hits first ends the run.
+	Duration time.Duration
+	// Configs names the machine configs to differentially execute
+	// (default: simple4, slice2, slice4).
+	Configs []string
+	// Schedulers selects "event", "legacy" or both (default both).
+	Schedulers []string
+	// InjectSeeds is the number of fault-injection campaigns per
+	// (program, config, scheduler) cell beyond the clean run (default
+	// 0: clean only).
+	InjectSeeds int
+	// Inject carries the base injection rates; its Seed is overridden
+	// per campaign. The zero value with InjectSeeds > 0 gets default
+	// rates (see defaultInject).
+	Inject inject.Options
+	// Hook, when non-nil, seeds a deliberate fault (the inject
+	// corrupt/wedge test hooks) into every clean cell — the end-to-end
+	// proof that the soak catches a failure, the reducer shrinks it,
+	// and the bundle replays it.
+	Hook *inject.Options
+	// MaxInsts bounds each checked run (0 = run to completion; every
+	// generated program terminates by construction).
+	MaxInsts uint64
+	// Watchdog bounds each run's wall clock (default 30s).
+	Watchdog time.Duration
+	// Retries re-attempts a timed-out run before recording the finding
+	// (default 1 retry; timeouts on loaded CI machines are otherwise
+	// indistinguishable from livelocks).
+	Retries int
+	// NoReduce skips delta-debugging of findings.
+	NoReduce bool
+	// ReduceMaxTests caps candidate evaluations per reduction
+	// (default 400).
+	ReduceMaxTests int
+	// MaxFindings stops the soak early once this many findings are
+	// recorded (default 20; a broken build would otherwise reduce
+	// thousands of identical failures).
+	MaxFindings int
+	// OutDir receives repro bundles under OutDir/repros (default
+	// "soak-out"; empty string with WriteBundles false writes nothing).
+	OutDir string
+	// Checkpoint is the checkpoint file path ("" = no checkpointing).
+	Checkpoint string
+	// CheckpointEvery snapshots after this many programs (default 25).
+	CheckpointEvery int
+	// Gen shapes the generated programs; Seed is overridden per
+	// program.
+	Gen gen.Options
+	// RegisterWorkloads registers each generated program as an ad-hoc
+	// workload (workload.RegisterAdHoc) so downstream tools can address
+	// it by name ("gen-p<index>").
+	RegisterWorkloads bool
+	// Log receives one progress line per program (nil = quiet).
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Configs) == 0 {
+		o.Configs = []string{"simple4", "slice2", "slice4"}
+	}
+	if len(o.Schedulers) == 0 {
+		o.Schedulers = []string{"event", "legacy"}
+	}
+	if o.Watchdog == 0 {
+		o.Watchdog = 30 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 1
+	}
+	if o.ReduceMaxTests == 0 {
+		o.ReduceMaxTests = 400
+	}
+	if o.MaxFindings == 0 {
+		o.MaxFindings = 20
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 25
+	}
+	if o.OutDir == "" {
+		o.OutDir = "soak-out"
+	}
+	if o.InjectSeeds > 0 && o.Inject == (inject.Options{}) {
+		o.Inject = defaultInject()
+	}
+	return o
+}
+
+// defaultInject mirrors pok-check's default recoverable-fault rates.
+func defaultInject() inject.Options {
+	return inject.Options{
+		SliceFlipRate: 0.02,
+		WayMissRate:   0.10,
+		ConflictRate:  0.05,
+		StormEvery:    20_000,
+		StormLen:      8,
+	}
+}
+
+// ConfigByName resolves a soak config name to a machine configuration.
+func ConfigByName(name string) (core.Config, error) {
+	switch name {
+	case "base", "ideal":
+		return core.BaseConfig(), nil
+	case "simple2":
+		return core.SimplePipelined(2), nil
+	case "simple4":
+		return core.SimplePipelined(4), nil
+	case "slice2", "bitslice2":
+		return core.BitSliced(2), nil
+	case "slice4", "bitslice4":
+		return core.BitSliced(4), nil
+	}
+	return core.Config{}, fmt.Errorf("soak: unknown config %q (base, simple2, simple4, slice2, slice4)", name)
+}
+
+// Finding is one failure observed by the soak, attributed to the exact
+// (program seed, config, scheduler, injection seed) cell that produced
+// it. Field order and content are wall-clock-free so a findings report
+// is byte-identical across reruns of the same campaign.
+type Finding struct {
+	Program    int    `json:"program"`
+	Seed       uint64 `json:"seed"`
+	Config     string `json:"config"`
+	Scheduler  string `json:"scheduler"`
+	InjectSeed uint64 `json:"inject_seed,omitempty"`
+	Kind       string `json:"kind"`
+	Field      string `json:"field,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	// ReducedInsts is the instruction count of the minimized body
+	// (-1: reduction skipped or not attempted).
+	ReducedInsts int `json:"reduced_insts"`
+	// ReduceTests is how many candidate runs the reducer spent.
+	ReduceTests int `json:"reduce_tests,omitempty"`
+	// Bundle is the repro-bundle directory, relative to OutDir.
+	Bundle string `json:"bundle,omitempty"`
+}
+
+// Report is the machine-readable outcome of one soak campaign.
+type Report struct {
+	BaseSeed    uint64    `json:"base_seed"`
+	Programs    int       `json:"programs"`
+	Configs     []string  `json:"configs"`
+	Schedulers  []string  `json:"schedulers"`
+	InjectSeeds int       `json:"inject_seeds"`
+	Runs        int       `json:"runs"`
+	Findings    []Finding `json:"findings"`
+	// Resumed reports whether this campaign continued from a
+	// checkpoint (informational; does not affect coverage).
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Run executes the soak campaign. When resume is true and opts.Checkpoint
+// exists, the campaign continues from the checkpointed cursor with the
+// checkpointed findings; otherwise it starts fresh. The returned error
+// covers setup problems only — failures found by the soak are Findings.
+func Run(opts Options, resume bool) (*Report, error) {
+	opts = opts.withDefaults()
+
+	cfgs := make([]core.Config, len(opts.Configs))
+	for i, name := range opts.Configs {
+		c, err := ConfigByName(name)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = c
+	}
+	for _, s := range opts.Schedulers {
+		if s != "event" && s != "legacy" {
+			return nil, fmt.Errorf("soak: unknown scheduler %q (event, legacy)", s)
+		}
+	}
+
+	rep := &Report{
+		BaseSeed:    opts.BaseSeed,
+		Configs:     opts.Configs,
+		Schedulers:  opts.Schedulers,
+		InjectSeeds: opts.InjectSeeds,
+	}
+	start := 0
+	if resume && opts.Checkpoint != "" {
+		cp, err := LoadCheckpoint(opts.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("soak: resume: %w", err)
+		}
+		if sig := optionsSig(opts); cp.Sig != sig {
+			return nil, fmt.Errorf("soak: checkpoint %s was written by a different campaign (sig %s, want %s)",
+				opts.Checkpoint, cp.Sig, sig)
+		}
+		start = cp.NextProgram
+		rep.Runs = cp.Runs
+		rep.Findings = cp.Findings
+		rep.Resumed = true
+		logf(opts.Log, "resuming at program %d with %d findings\n", start, len(rep.Findings))
+	}
+
+	deadline := time.Time{}
+	if opts.Duration > 0 {
+		deadline = time.Now().Add(opts.Duration)
+	}
+
+	idx := start
+	for {
+		if opts.Programs > 0 && idx >= opts.Programs {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if opts.Programs <= 0 && deadline.IsZero() {
+			return nil, fmt.Errorf("soak: need Programs or Duration")
+		}
+		if len(rep.Findings) >= opts.MaxFindings {
+			logf(opts.Log, "stopping early: %d findings\n", len(rep.Findings))
+			break
+		}
+
+		seed := gen.ProgramSeed(opts.BaseSeed, idx)
+		prog, panicText := generate(opts.Gen, seed)
+		if prog == nil {
+			rep.Findings = append(rep.Findings, Finding{
+				Program: idx, Seed: seed, Kind: "panic",
+				Detail: "generator: " + firstLine(panicText), ReducedInsts: -1,
+			})
+			idx++
+			continue
+		}
+		if opts.RegisterWorkloads {
+			w := workload.NewAdHoc(fmt.Sprintf("gen-p%d", idx),
+				fmt.Sprintf("generated program (seed %#x)", seed), prog.Source())
+			_ = workload.RegisterAdHoc(w) // duplicate on resume is fine
+		}
+
+		found := 0
+		for ci, cfg := range cfgs {
+			for _, sched := range opts.Schedulers {
+				for k := 0; k <= opts.InjectSeeds; k++ {
+					var injSeed uint64
+					var injOpts *inject.Options
+					if k > 0 {
+						injSeed = mixInject(seed, uint64(k))
+						campaign := opts.Inject
+						campaign.Seed = injSeed
+						injOpts = &campaign
+					} else if opts.Hook != nil {
+						hook := *opts.Hook
+						injOpts = &hook
+					}
+					f := runCell(opts, prog, idx, opts.Configs[ci], cfg, sched, injSeed, injOpts)
+					rep.Runs++
+					if f != nil {
+						rep.Findings = append(rep.Findings, *f)
+						found++
+					}
+				}
+			}
+		}
+		logf(opts.Log, "p%04d seed=%#016x body=%d iters=%d findings=%d\n",
+			idx, seed, gen.InstCount(prog.Body), prog.Iters, found)
+		idx++
+		if opts.Checkpoint != "" && (idx-start)%opts.CheckpointEvery == 0 {
+			if err := saveProgress(opts, idx, rep); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rep.Programs = idx
+	if opts.Checkpoint != "" {
+		if err := saveProgress(opts, idx, rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// generate builds program seed under panic recovery: a generator panic
+// is a finding, not a crash.
+func generate(base gen.Options, seed uint64) (p *gen.Program, panicText string) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = nil
+			panicText = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	o := base
+	o.Seed = seed
+	return gen.New(o), ""
+}
+
+func mixInject(seed, k uint64) uint64 {
+	return gen.ProgramSeed(seed^0x5bd1e995, int(k))
+}
+
+// runCell executes one (program, config, scheduler, inject) cell with
+// retries, classifies the outcome, and — on failure — reduces it and
+// writes a repro bundle. It returns nil on a clean run.
+func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
+	cfg core.Config, sched string, injSeed uint64, injOpts *inject.Options) *Finding {
+	cfg.LegacyScheduler = sched == "legacy"
+	chkOpts := check.Options{
+		Benchmark: fmt.Sprintf("gen-p%d", idx),
+		MaxInsts:  opts.MaxInsts,
+	}
+	// A fresh injector per attempt: the injector carries per-run
+	// delivery state, so reusing one across runs would skew replays.
+	newRunner := func() reduce.Runner {
+		o := chkOpts
+		if injOpts != nil {
+			o.Injector = inject.New(*injOpts)
+		}
+		return reduce.CheckRunner(cfg, o, opts.Watchdog)
+	}
+	src := prog.Source()
+
+	var res reduce.RunResult
+	for attempt := 0; ; attempt++ {
+		res = newRunner()(src)
+		if res.Outcome.Kind != "timeout" || attempt >= opts.Retries {
+			break
+		}
+	}
+	if !res.Outcome.Failing() {
+		return nil
+	}
+
+	f := &Finding{
+		Program:      idx,
+		Seed:         prog.Seed,
+		Config:       cfgName,
+		Scheduler:    sched,
+		InjectSeed:   injSeed,
+		Kind:         res.Outcome.Kind,
+		Field:        res.Outcome.Field,
+		Detail:       findingDetail(res),
+		ReducedInsts: -1,
+	}
+
+	minBody := prog.Body
+	if !opts.NoReduce {
+		candRunner := func(s string) reduce.RunResult { return newRunner()(s) }
+		r := reduce.Program(prog.Prologue, prog.Body, prog.Epilogue,
+			res.Outcome, gen.Render, candRunner, opts.ReduceMaxTests)
+		minBody = r.Body
+		f.ReducedInsts = gen.InstCount(minBody)
+		f.ReduceTests = r.Tests
+	}
+
+	if opts.OutDir != "" {
+		bundle, err := WriteBundle(opts.OutDir, f, prog, minBody, injOpts, opts.MaxInsts, res)
+		if err != nil {
+			f.Detail += "; bundle write failed: " + err.Error()
+		} else {
+			f.Bundle = bundle
+		}
+	}
+	return f
+}
+
+func findingDetail(res reduce.RunResult) string {
+	switch {
+	case res.Report != nil && res.Report.Divergence != nil:
+		d := res.Report.Divergence
+		return fmt.Sprintf("seq %d pc %s `%s`: %s: want %s got %s",
+			d.Seq, d.PC, d.Disasm, d.Field, d.Want, d.Got)
+	case res.Report != nil && res.Report.Invariant != nil:
+		iv := res.Report.Invariant
+		return fmt.Sprintf("cycle %d seq %d: %s", iv.Cycle, iv.Seq, iv.Detail)
+	case res.Report != nil && res.Report.Deadlock != nil:
+		dl := res.Report.Deadlock
+		return fmt.Sprintf("no commit for %d cycles at cycle %d (%d committed)",
+			dl.Budget, dl.Cycle, dl.Committed)
+	case res.Report != nil && res.Report.Error != "":
+		return firstLine(res.Report.Error)
+	default:
+		return firstLine(res.Err)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// bundleDirName names a finding's repro bundle deterministically.
+func bundleDirName(f *Finding) string {
+	name := fmt.Sprintf("p%04d-%s-%s", f.Program, f.Config, f.Scheduler)
+	if f.InjectSeed != 0 {
+		name += fmt.Sprintf("-inj%x", f.InjectSeed)
+	}
+	return filepath.Join("repros", name)
+}

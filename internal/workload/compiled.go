@@ -3,6 +3,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"pok/internal/cc"
 	"pok/internal/emu"
@@ -52,7 +53,8 @@ func GetCompiled(name string) (*CompiledWorkload, error) {
 	}
 	w, ok := compiledRegistry[name]
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown compiled benchmark %q", name)
+		return nil, fmt.Errorf("workload: %w %q (available compiled: %s)",
+			ErrUnknownWorkload, name, strings.Join(CompiledNames(), ", "))
 	}
 	return w, nil
 }

@@ -16,10 +16,16 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"pok/internal/asm"
 	"pok/internal/emu"
 )
+
+// ErrUnknownWorkload identifies a lookup of a benchmark name that is
+// not registered (in either the assembly or the compiled suite); test
+// for it with errors.Is.
+var ErrUnknownWorkload = errors.New("unknown workload")
 
 // Workload is one benchmark program generator.
 type Workload struct {
@@ -95,24 +101,71 @@ func Names() []string {
 
 // Get returns the named workload. A registration error (duplicate names
 // at init) is surfaced here, on first use, rather than crashing init.
+// An unknown name returns a wrapped ErrUnknownWorkload whose message
+// lists every available benchmark.
 func Get(name string) (*Workload, error) {
 	if regErr != nil {
 		return nil, regErr
 	}
 	w, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+		return nil, fmt.Errorf("workload: %w %q (available: %s)",
+			ErrUnknownWorkload, name, strings.Join(Names(), ", "))
 	}
 	return w, nil
 }
 
-// MustGet returns the named workload or panics (for static tables).
+// MustGet returns the named workload or panics (for static tables). The
+// panic message lists the available workload names, so a typo in a
+// static table is diagnosable from the crash alone.
 func MustGet(name string) *Workload {
 	w, err := Get(name)
 	if err != nil {
 		panic(err)
 	}
 	return w
+}
+
+// NewAdHoc wraps a fixed assembly source as a Workload — the shape the
+// soak harness uses to treat generated programs as first-class
+// benchmarks. The reference output is computed by the functional
+// emulator (bounded at adHocRefBudget instructions), so Source/
+// Reference keep the same contract as the hand-written kernels.
+func NewAdHoc(name, description, source string) *Workload {
+	return &Workload{
+		Name:         name,
+		Paper:        "generated",
+		Description:  description,
+		DefaultScale: 1,
+		source:       func(int) string { return source },
+		reference: func(int) string {
+			prog, err := asm.Assemble(source)
+			if err != nil {
+				return ""
+			}
+			e := emu.New(prog)
+			_, _ = e.Run(adHocRefBudget, nil)
+			return e.Output()
+		},
+	}
+}
+
+// adHocRefBudget bounds the reference execution of ad-hoc workloads
+// (generated programs terminate well under this by construction).
+const adHocRefBudget = 10_000_000
+
+// RegisterAdHoc adds w to the registry so Get, MustGet and Names find
+// it. Unlike package-init registration, a duplicate name is returned as
+// an error to the caller.
+func RegisterAdHoc(w *Workload) error {
+	if w == nil || w.Name == "" {
+		return errors.New("workload: ad-hoc registration needs a name")
+	}
+	if _, dup := registry[w.Name]; dup {
+		return fmt.Errorf("workload: duplicate %s", w.Name)
+	}
+	registry[w.Name] = w
+	return nil
 }
 
 // Source returns the assembly source at the given scale (outer iteration

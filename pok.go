@@ -30,10 +30,13 @@ import (
 	"pok/internal/cc"
 	"pok/internal/check"
 	"pok/internal/check/inject"
+	"pok/internal/check/reduce"
 	"pok/internal/core"
 	"pok/internal/emu"
 	"pok/internal/exp"
+	"pok/internal/gen"
 	"pok/internal/profile"
+	"pok/internal/soak"
 	"pok/internal/telemetry"
 	"pok/internal/workload"
 )
@@ -306,6 +309,49 @@ var (
 	NewInjector = inject.New
 	// ErrDeadlock identifies a tripped deadlock watchdog via errors.Is.
 	ErrDeadlock = core.ErrDeadlock
+)
+
+// Soak testing: the seeded random-program generator, the ddmin
+// delta-debugging reducer and the differential soak harness of
+// internal/gen, internal/check/reduce and internal/soak (CLI:
+// cmd/pok-soak). See DESIGN.md, "Soak testing & reduction".
+type (
+	// GenOptions seeds and shapes one generated program.
+	GenOptions = gen.Options
+	// GenMix weights the generator's fragment kinds.
+	GenMix = gen.Mix
+	// GenProgram is one generated (prologue, body, epilogue) program.
+	GenProgram = gen.Program
+	// SoakOptions configures one soak campaign.
+	SoakOptions = soak.Options
+	// SoakReport is the machine-readable outcome of a soak campaign.
+	SoakReport = soak.Report
+	// SoakFinding is one failure the soak attributed to its seed cell.
+	SoakFinding = soak.Finding
+	// SoakCheckpoint is the resumable frontier of a soak campaign.
+	SoakCheckpoint = soak.Checkpoint
+	// ReproBundle is a self-contained minimized failure reproducer.
+	ReproBundle = soak.Bundle
+	// ReduceOutcome classifies one candidate run during reduction.
+	ReduceOutcome = reduce.Outcome
+)
+
+var (
+	// Generate builds the deterministic random program selected by its
+	// options.
+	Generate = gen.New
+	// GenProgramSeed derives the seed of the idx-th program of a soak.
+	GenProgramSeed = gen.ProgramSeed
+	// Soak runs a differential soak campaign (resume=true continues
+	// from the options' checkpoint file).
+	Soak = soak.Run
+	// ReplayBundle re-runs a repro bundle under the lockstep checker.
+	ReplayBundle = soak.ReplayBundle
+	// DDMin minimizes a failing line sequence (ddmin delta debugging).
+	DDMin = reduce.DDMin
+	// ErrUnknownWorkload identifies a benchmark-name lookup miss via
+	// errors.Is; the error message lists the available names.
+	ErrUnknownWorkload = workload.ErrUnknownWorkload
 )
 
 // ProfileBenchmark returns the dynamic instruction mix of the named
