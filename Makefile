@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench ci check fuzz-smoke soak soak-smoke eval eval-quick examples clean
+.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke eval eval-quick examples clean
 
 all: build test
 
@@ -19,6 +19,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Quick race-detector pass: short mode trims the heavyweight
+# differential sweeps so this finishes in a couple of minutes, giving
+# fast feedback on data races before the full `make ci` race run.
+test-race:
+	$(GO) test -race -short ./...
 
 # vet exits non-zero when gofmt would rewrite any file, instead of
 # merely listing offenders; `make ci` (and the GitHub workflow) run it.
@@ -67,11 +73,12 @@ soak:
 
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks, then a quick-budget pok-bench pass that
-# refreshes the repo-root BENCH_PR4.json regression record (the CI
-# smoke gate compares against the newest committed BENCH_*.json).
+# refreshes the repo-root BENCH_PR6.json regression record (the CI
+# smoke gate compares against the newest committed BENCH_*.json, so
+# the emulator-throughput `emu` experiment is gated too).
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/pok-bench -json-file BENCH_PR4.json -insts 20000
+	$(GO) run ./cmd/pok-bench -json-file BENCH_PR6.json -insts 20000
 
 # Regenerate the paper's full evaluation into results/.
 eval:

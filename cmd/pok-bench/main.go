@@ -7,6 +7,7 @@
 //	pok-bench                 # full evaluation at the default budget
 //	pok-bench -insts 100000   # quicker pass
 //	pok-bench -out results/   # also write per-experiment files
+//	pok-bench -emu            # standalone emulator throughput only
 //	pok-bench -json           # machine-readable BENCH_<date>.json regression record
 //	pok-bench -telemetry      # per-config telemetry summaries (telemetry_<cfg>.json)
 //	pok-bench -compare old.json new.json   # regression gate: exit 1 on >25% slowdown
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
@@ -29,6 +31,7 @@ import (
 
 func main() {
 	insts := flag.Uint64("insts", 0, "instruction budget per benchmark per run (0 = default)")
+	emuOnly := flag.Bool("emu", false, "run only the standalone emulator-throughput experiment")
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (narrow-width, predictor, window)")
 	outDir := flag.String("out", "", "directory to write per-experiment result files")
 	benches := flag.String("bench", "", "comma-separated benchmarks (default: all)")
@@ -96,7 +99,82 @@ func main() {
 		records = append(records, r)
 	}
 
+	// finish writes the optional JSON record and heap profile and prints
+	// the total wall time; shared by the full run and the -emu shortcut.
+	finish := func(total time.Duration) {
+		if *jsonOut || *jsonFile != "" {
+			report := pok.BenchReport{
+				Date:        time.Now().Format("2006-01-02"),
+				GoVersion:   runtime.Version(),
+				NumCPU:      runtime.NumCPU(),
+				Gomaxprocs:  runtime.GOMAXPROCS(0),
+				CPUModel:    cpuModel(),
+				GitSHA:      gitSHA(),
+				InstsBudget: *insts,
+				Parallel:    *parallel,
+				TotalWallMS: total.Milliseconds(),
+				Experiments: records,
+			}
+			blob, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			path := *jsonFile
+			if path == "" {
+				dir := *outDir
+				if dir == "" {
+					dir = "."
+				} else if err := os.MkdirAll(dir, 0o755); err != nil {
+					fatal(err)
+				}
+				path = filepath.Join(dir, "BENCH_"+report.Date+".json")
+			}
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}
+
+		fmt.Printf("total wall time: %s\n", total.Round(time.Millisecond))
+	}
+
 	start := time.Now()
+
+	// Functional-emulator throughput first: it is the substrate every
+	// other experiment (fast-forward, oracle, soak) runs on, and a
+	// standalone record catches fast-path regressions independently of
+	// timing-core noise.
+	emuStart := time.Now()
+	emuRows, err := pok.EmuBench(opt)
+	if err != nil {
+		fatal(err)
+	}
+	emuRec := pok.BenchExperiment{
+		Experiment: "emu",
+		WallMillis: time.Since(emuStart).Milliseconds(),
+	}
+	if len(emuRows) > 0 {
+		emuRec.EmuInstsPerSec = emuRows[0].InstsPerSec // headline: bare mode
+	}
+	records = append(records, emuRec)
+	emit("emu", pok.RenderEmuBench(emuRows))
+
+	if *emuOnly {
+		finish(time.Since(start))
+		return
+	}
 
 	t1Start := time.Now()
 	t1, err := pok.Table1(opt)
@@ -252,51 +330,7 @@ func main() {
 		record("telemetry", telStart, 0, 0)
 	}
 
-	total := time.Since(start)
-
-	if *jsonOut || *jsonFile != "" {
-		report := pok.BenchReport{
-			Date:        time.Now().Format("2006-01-02"),
-			GoVersion:   runtime.Version(),
-			NumCPU:      runtime.NumCPU(),
-			InstsBudget: *insts,
-			Parallel:    *parallel,
-			TotalWallMS: total.Milliseconds(),
-			Experiments: records,
-		}
-		blob, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		path := *jsonFile
-		if path == "" {
-			dir := *outDir
-			if dir == "" {
-				dir = "."
-			} else if err := os.MkdirAll(dir, 0o755); err != nil {
-				fatal(err)
-			}
-			path = filepath.Join(dir, "BENCH_"+report.Date+".json")
-		}
-		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s\n", path)
-	}
-
-	if *memProfile != "" {
-		f, err := os.Create(*memProfile)
-		if err != nil {
-			fatal(err)
-		}
-		runtime.GC() // materialize the final live set
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-	}
-
-	fmt.Printf("total wall time: %s\n", total.Round(time.Millisecond))
+	finish(time.Since(start))
 }
 
 // runCompare is the CI regression gate: it diffs two -json records and
@@ -359,6 +393,32 @@ func runTelemetry(opt pok.Options, outDir string, emit func(name, content string
 	}
 	emit("telemetry", report.String())
 	return nil
+}
+
+// cpuModel reads the CPU model string from /proc/cpuinfo (Linux); the
+// report field stays empty on other platforms or on any read error.
+func cpuModel() string {
+	blob, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok &&
+			strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// gitSHA records the source revision the benchmark ran on; empty when
+// git (or the repository) is unavailable.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func fatal(err error) {

@@ -121,9 +121,12 @@ type BTB struct {
 
 // NewBTB builds a BTB with the given set count and associativity.
 func NewBTB(nSets, assoc int) *BTB {
+	// One flat backing array for every set (a per-set make() costs one
+	// GC-tracked object per set on every predictor construction).
+	backing := make([]btbEntry, nSets*assoc)
 	sets := make([][]btbEntry, nSets)
 	for i := range sets {
-		sets[i] = make([]btbEntry, assoc)
+		sets[i] = backing[i*assoc : (i+1)*assoc : (i+1)*assoc]
 	}
 	return &BTB{sets: sets, mask: uint32(nSets - 1)}
 }

@@ -68,9 +68,14 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	// One flat backing array for every set: a per-set make() cost
+	// thousands of tiny GC-tracked objects per simulator construction
+	// (visible in pok-bench's all-in wall time), and the contiguous
+	// layout keeps neighbouring sets on shared cache lines.
+	backing := make([]line, nSets*cfg.Assoc)
 	sets := make([][]line, nSets)
 	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
 	return &Cache{
 		cfg:        cfg,

@@ -77,18 +77,11 @@ func (s *Sim) entryDone(e *entry) bool {
 	if !e.dispatched || e.wp {
 		return false
 	}
-	for i := 0; i < e.nSlices; i++ {
-		st := &e.slices[i]
-		if !st.started {
-			return false
-		}
-		end := st.startC + 1
-		if e.nSlices == 1 {
-			end = st.startC + int64(e.fullLat)
-		}
-		if end > s.now {
-			return false
-		}
+	// SoA fast path: startedMask fills as slices issue and execEnd tracks
+	// the latest per-slice completion, so the old per-slice walk reduces
+	// to one mask compare and one time compare.
+	if e.startedMask != e.fullMask || e.execEnd > s.now {
+		return false
 	}
 	if e.isLoad && e.memActualDone > s.now {
 		return false
@@ -120,18 +113,9 @@ func (s *Sim) entryDone(e *entry) bool {
 // CPI-stack consumer wants their shrinkage visible, not masked by the
 // coincident execute.
 func (s *Sim) commitDone(e *entry) (doneC int64, dep int64) {
-	// Execution end: last slice result, or the full-width latency.
-	var end int64
-	for i := 0; i < e.nSlices; i++ {
-		st := &e.slices[i]
-		t := st.startC + 1
-		if e.nSlices == 1 {
-			t = st.startC + int64(e.fullLat)
-		}
-		if t > end {
-			end = t
-		}
-	}
+	// Execution end: last slice result, or the full-width latency
+	// (execEnd, maintained at the issue sites).
+	end := e.execEnd
 	dep = telemetry.CommitDepSlice
 	if e.replayedSelf {
 		dep = telemetry.CommitDepReplay

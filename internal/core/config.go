@@ -114,8 +114,17 @@ type Config struct {
 	// scheduler. The two are cycle-exact equivalents (enforced by
 	// TestEventSchedulerMatchesLegacy); the flag exists as a one-release
 	// escape hatch and to keep the differential test honest, and will be
-	// removed once the event-driven path has baked.
+	// removed once the event-driven path has baked. It also disables
+	// quiet-cycle skipping, so the legacy run iterates every cycle the
+	// event-driven run may jump over.
 	LegacyScheduler bool
+
+	// LegacyEmulator feeds the timing model from the original
+	// switch-dispatch interpreter instead of the direct-threaded fast
+	// path. Both produce bit-identical DynInst streams (enforced by the
+	// internal/emu differential tests and TestEmulatorMatrixMatches), so
+	// the flag exists purely as the reference half of that matrix.
+	LegacyEmulator bool
 
 	// UseBimodal replaces the gshare direction predictor with a bimodal
 	// table of equal size (a predictor ablation; the paper uses gshare).

@@ -92,12 +92,17 @@ func (s *Sim) dispatch() {
 		}
 
 		if e.isLoad || e.isStore {
-			q := &lsq.Entry{
+			// The LSQ entry lives inside the (pooled) window entry: it is
+			// always removed from the queue at commit or squash, before the
+			// entry can recycle, so embedding saves a heap allocation per
+			// memory op.
+			e.lsqData = lsq.Entry{
 				Seq:     e.seq,
 				IsStore: e.isStore,
 				Addr:    e.d.EffAddr,
 				Size:    e.d.Inst.Op.MemSize(),
 			}
+			q := &e.lsqData
 			_ = s.lsq.Insert(q)
 			e.lsqEnt = q
 			e.lsqInserted = true

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pok/internal/asm"
+	"pok/internal/emu"
+	"pok/internal/workload"
+)
+
+// The emulator half of the differential matrix: the direct-threaded
+// fast-path interpreter and the original switch-dispatch interpreter
+// must be interchangeable underneath either timing scheduler. Every cell
+// of {legacy, fast} emulator × {legacy, event} scheduler runs the same
+// program and the four Results are compared wholesale — any divergence
+// in the DynInst stream the emulator feeds the timing model would show
+// up as a differing counter.
+
+// matrixCell identifies one emulator/scheduler combination.
+type matrixCell struct {
+	legacyEmu   bool
+	legacySched bool
+}
+
+func (c matrixCell) String() string {
+	e, s := "fast-emu", "event-sched"
+	if c.legacyEmu {
+		e = "legacy-emu"
+	}
+	if c.legacySched {
+		s = "legacy-sched"
+	}
+	return e + "/" + s
+}
+
+var matrixCells = []matrixCell{
+	{false, false}, {false, true}, {true, false}, {true, true},
+}
+
+// runMatrix executes every cell on a freshly built program and fails
+// unless all four agree — on the Result when the runs succeed, or on
+// the error text when the program wedges the machine (a deliberately
+// pathological repro bundle must wedge it identically in every cell).
+func runMatrix(t *testing.T, name string, mk func() (*emu.Program, error),
+	ff uint64, cfg Config, maxInsts uint64) {
+	t.Helper()
+	var refRes *Result
+	var refErr error
+	for i, cell := range matrixCells {
+		prog, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.LegacyEmulator = cell.legacyEmu
+		c.LegacyScheduler = cell.legacySched
+		r, err := RunWarm(prog, c, ff, maxInsts)
+		if i == 0 {
+			refRes, refErr = r, err
+			continue
+		}
+		switch {
+		case (err == nil) != (refErr == nil):
+			t.Fatalf("%s: %v errored (%v) but %v did not (%v)",
+				name, cell, err, matrixCells[0], refErr)
+		case err != nil:
+			if err.Error() != refErr.Error() {
+				t.Fatalf("%s: error mismatch\n%v: %v\n%v: %v",
+					name, matrixCells[0], refErr, cell, err)
+			}
+		case *r != *refRes:
+			t.Errorf("%s: %v diverges from %v\nref:\n%s\ngot:\n%s",
+				name, cell, matrixCells[0], refRes.Summary(), r.Summary())
+		}
+	}
+}
+
+// TestEmulatorMatrixMatches sweeps every registered workload through the
+// full emulator × scheduler matrix on the base and slice-by-2 machines,
+// then replays both checked-in repro bundles through the same matrix.
+// Short mode trims the budget so the race-detector smoke job stays fast.
+func TestEmulatorMatrixMatches(t *testing.T) {
+	insts := uint64(40_000)
+	if testing.Short() {
+		insts = 10_000
+	}
+	for _, bench := range workload.Names() {
+		w := workload.MustGet(bench)
+		for _, cfg := range []Config{BaseConfig(), BitSliced(2)} {
+			cfg := cfg
+			t.Run(fmt.Sprintf("%s/%s", bench, cfg.Name), func(t *testing.T) {
+				t.Parallel()
+				runMatrix(t, bench, func() (*emu.Program, error) {
+					return w.Program(w.DefaultScale)
+				}, w.FastForward, cfg, insts)
+			})
+		}
+	}
+
+	root := filepath.Join("..", "gen", "testdata", "repros")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		t.Run("repro/"+e.Name(), func(t *testing.T) {
+			t.Parallel()
+			src, err := os.ReadFile(filepath.Join(dir, "prog.s"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runMatrix(t, e.Name(), func() (*emu.Program, error) {
+				return asm.Assemble(string(src))
+			}, 0, BitSliced(2), insts)
+		})
+	}
+}

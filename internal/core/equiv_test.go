@@ -46,8 +46,13 @@ func runBoth(t *testing.T, name string, w *workload.Workload, cfg Config, maxIns
 
 // TestEventSchedulerMatchesLegacy sweeps every Table 1 workload under the
 // slice-by-2 and slice-by-4 bit-sliced machines at 100k instructions.
+// Short mode trims the budget so the race-detector smoke job stays fast;
+// the full sweep still runs on every plain `go test`.
 func TestEventSchedulerMatchesLegacy(t *testing.T) {
-	const insts = 100_000
+	insts := uint64(100_000)
+	if testing.Short() {
+		insts = 20_000
+	}
 	for _, bench := range workload.Names() {
 		w := workload.MustGet(bench)
 		for _, slices := range []int{2, 4} {

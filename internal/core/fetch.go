@@ -11,10 +11,12 @@ import (
 // Fetch
 // ---------------------------------------------------------------------------
 
-// nextTraceInst peeks the next correct-path instruction.
+// nextTraceInst peeks the next correct-path instruction. The record is
+// stepped into a reused value field: fetch copies it into the entry
+// before the next step can overwrite it.
 func (s *Sim) nextTraceInst() (*emu.DynInst, error) {
-	if s.pendingInst != nil {
-		return s.pendingInst, nil
+	if s.pendingOK {
+		return &s.pendingD, nil
 	}
 	if s.traceDone {
 		return nil, nil
@@ -23,16 +25,15 @@ func (s *Sim) nextTraceInst() (*emu.DynInst, error) {
 		s.traceDone = true
 		return nil, nil
 	}
-	d, err := s.em.Step()
-	if err != nil {
+	if err := s.em.StepInto(&s.pendingD); err != nil {
 		if errors.Is(err, emu.ErrHalted) {
 			s.traceDone = true
 			return nil, nil
 		}
 		return nil, err
 	}
-	s.pendingInst = &d
-	return s.pendingInst, nil
+	s.pendingOK = true
+	return &s.pendingD, nil
 }
 
 func (s *Sim) fetch() error {
@@ -91,7 +92,7 @@ func (s *Sim) fetch() error {
 		e.d, e.seq, e.fetchC, e.wp = *d, s.seqCtr, s.now, onWrongPath
 		s.seqCtr++
 		if !onWrongPath {
-			s.pendingInst = nil
+			s.pendingOK = false
 			s.fetchedCnt++
 		} else {
 			s.res.WrongPathInsts++
@@ -169,12 +170,11 @@ func (s *Sim) nextWrongPathInst() *emu.DynInst {
 	if s.wpStopped {
 		return nil
 	}
-	d, err := s.wpFork.Step()
-	if err != nil {
+	if err := s.wpFork.StepInto(&s.wpD); err != nil {
 		s.wpStopped = true
 		return nil
 	}
-	return &d
+	return &s.wpD
 }
 
 // squashWrongPath removes every wrong-path instruction from the machine
@@ -326,6 +326,7 @@ func (s *Sim) initEntry(e *entry) {
 		e.nSlices = 1
 		e.fullLat = 1
 	}
+	e.fullMask = uint8(1)<<e.nSlices - 1
 }
 
 // sliceable reports whether the op's execution decomposes into slice-ops

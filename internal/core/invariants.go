@@ -96,7 +96,7 @@ func (s *Sim) checkInvariants() error {
 			if !st.started || sl == 0 {
 				continue
 			}
-			_, carry := e.d.Inst.Op.InputSlicesFor(sl, e.nSlices)
+			_, _, carry := e.d.Inst.Op.InputSliceRange(sl, e.nSlices)
 			if carry || !s.cfg.OoOSlices {
 				prev := &e.slices[sl-1]
 				if !prev.started {

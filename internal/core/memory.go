@@ -128,6 +128,9 @@ func (s *Sim) finalizePendingLoad(e *entry) bool {
 // tryIssueLoad attempts to send a load to the memory system this cycle.
 func (s *Sim) tryIssueLoad(e *entry) {
 	if s.portsUsed >= s.cfg.CachePorts {
+		// Port starvation is cycle-local: the retry next cycle may win
+		// arbitration, so the next cycle must actually be simulated.
+		s.memStarved = true
 		return
 	}
 	q := e.lsqEnt

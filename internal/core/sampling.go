@@ -114,13 +114,13 @@ func (s *Sim) runWindow(sampleLen uint64) (programDone bool, err error) {
 		if s.now-lastCommit > safety {
 			return false, fmt.Errorf("core: sampled window stalled at cycle %d", s.now)
 		}
-		s.now++
+		s.now = s.nextCycle(lastCommit, safety)
 	}
 	s.now++ // account the drain cycle, as Run does
 	s.res.Cycles = s.now
 	// Prepare for a functional skip: drop any peeked instruction so the
 	// emulator's position is exact, and clear the fetch-line state.
-	s.pendingInst = nil
+	s.pendingOK = false
 	s.haveLine = false
 	return s.em.Halted(), nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"pok/internal/isa"
 	"pok/internal/telemetry"
 )
@@ -8,9 +10,9 @@ import (
 // Event-driven scheduler.
 //
 // Instead of rescanning the whole window every cycle, slice-op candidates
-// are pushed into a time-indexed wakeup wheel (a binary min-heap on their
-// computed depsAvail) when the event that completes their dependence set
-// occurs:
+// are pushed into a time-indexed wakeup wheel (a bucketed timing wheel
+// keyed on their computed depsAvail) when the event that completes their
+// dependence set occurs:
 //
 //   - dispatch seeds every slice whose inputs are already determined;
 //   - a producer's slice execution (or a load establishing its completion
@@ -40,46 +42,146 @@ type cand struct {
 	sl   int32
 }
 
-// pushWheel inserts a candidate into the wakeup wheel.
-func (s *Sim) pushWheel(c cand) {
-	w := append(s.wheel, c)
-	i := len(w) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if w[p].wake <= w[i].wake {
-			break
-		}
-		w[p], w[i] = w[i], w[p]
-		i = p
-	}
-	s.wheel = w
+// The wheel is a power-of-two ring of per-cycle buckets plus an
+// occupancy bitmap. A binary min-heap held the candidates in earlier
+// revisions, but each sift swap of the pointer-carrying cand struct paid
+// a GC write barrier, and the heap's O(log n) reshuffling dominated the
+// scheduler profile; bucket appends are straight-line stores and the
+// per-cycle drain touches only the bucket for the current cycle.
+const (
+	// wheelHorizon bounds how far ahead a bucketed wakeup may lie. It
+	// comfortably exceeds the longest single-event latency the machine
+	// can schedule (an L1+L2 miss to memory plus a TLB walk); rarer,
+	// farther wakes spill to the overflow list.
+	wheelHorizon = 512
+	wheelMask    = wheelHorizon - 1
+	wheelWords   = wheelHorizon / 64
+)
+
+// wakeWheel is the bucketed timing wheel. Buckets cover the cycles
+// [base, base+wheelHorizon); all candidates in one live bucket share the
+// same wake cycle (the window is exactly one horizon wide, so bucket
+// indices cannot alias). base is the earliest cycle whose bucket has not
+// been consumed: the cycle being simulated while its stages run, and the
+// next cycle once schedule() has drained.
+type wakeWheel struct {
+	bucket   [wheelHorizon][]cand
+	occ      [wheelWords]uint64 // bitmap of non-empty buckets
+	base     int64
+	count    int    // candidates across all buckets (excluding overflow)
+	overflow []cand // wakes at or beyond base+wheelHorizon
+	ovMin    int64  // earliest overflow wake, inf when overflow is empty
 }
 
-// popWheel removes and returns the earliest-waking candidate.
-func (s *Sim) popWheel() cand {
-	w := s.wheel
-	top := w[0]
-	n := len(w) - 1
-	w[0] = w[n]
-	w[n] = cand{}
-	w = w[:n]
-	i := 0
-	for {
-		l, r, m := 2*i+1, 2*i+2, i
-		if l < n && w[l].wake < w[m].wake {
-			m = l
+// min returns the earliest pending wake cycle, or inf when the wheel is
+// empty. The quiet-cycle skipper uses it to bound its jump.
+func (w *wakeWheel) min() int64 {
+	t := w.bucketMin()
+	if w.ovMin < t {
+		t = w.ovMin
+	}
+	return t
+}
+
+// bucketMin scans the occupancy bitmap circularly from base and returns
+// the earliest bucketed wake cycle, or inf.
+func (w *wakeWheel) bucketMin() int64 {
+	if w.count == 0 {
+		return inf
+	}
+	start := int(w.base) & wheelMask
+	wi := start >> 6
+	m := w.occ[wi] &^ (1<<uint(start&63) - 1) // ignore bits before base
+	for k := 0; k <= wheelWords; k++ {
+		if m != 0 {
+			b := wi<<6 + bits.TrailingZeros64(m)
+			return w.base + int64((b-start)&wheelMask)
 		}
-		if r < n && w[r].wake < w[m].wake {
-			m = r
+		wi = (wi + 1) % wheelWords
+		m = w.occ[wi]
+	}
+	return inf // unreachable while count > 0
+}
+
+// pushWheel inserts a candidate into the wakeup wheel. Wakes in the past
+// (a replay whose operand arrived while the candidate was parked) are
+// clamped to base so they surface at the next drain, exactly when the
+// min-heap predecessor would have re-delivered them.
+func (s *Sim) pushWheel(c cand) {
+	w := &s.wh
+	t := c.wake
+	if t < w.base {
+		t = w.base
+	}
+	if t >= w.base+wheelHorizon {
+		w.overflow = append(w.overflow, c)
+		if c.wake < w.ovMin {
+			w.ovMin = c.wake
 		}
-		if m == i {
+		return
+	}
+	b := int(t) & wheelMask
+	w.bucket[b] = append(w.bucket[b], c)
+	w.occ[b>>6] |= 1 << uint(b&63)
+	w.count++
+}
+
+// admit moves a drained candidate into the ready set unless it became
+// stale (squash recycling, a duplicate wakeup, or issue in the meantime).
+func (s *Sim) admit(c cand) {
+	e := c.e
+	if c.gen != e.gen || e.committed || e.squashed {
+		return
+	}
+	st := &e.slices[c.sl]
+	if st.started || st.inReady {
+		return
+	}
+	st.inReady = true
+	s.ready = append(s.ready, c)
+	s.readyDirty = true
+}
+
+// drainWheel moves every candidate due at or before s.now into the ready
+// set and advances base past the consumed cycles.
+func (s *Sim) drainWheel() {
+	w := &s.wh
+	for w.count > 0 {
+		t := w.bucketMin()
+		if t > s.now {
 			break
 		}
-		w[i], w[m] = w[m], w[i]
-		i = m
+		b := int(t) & wheelMask
+		bk := w.bucket[b]
+		w.count -= len(bk)
+		for _, c := range bk {
+			s.admit(c)
+		}
+		w.bucket[b] = bk[:0]
+		w.occ[b>>6] &^= 1 << uint(b&63)
 	}
-	s.wheel = w
-	return top
+	if w.ovMin <= s.now {
+		ov := w.overflow
+		n := 0
+		newMin := int64(inf)
+		for _, c := range ov {
+			if c.wake <= s.now {
+				s.admit(c)
+				continue
+			}
+			if c.wake < newMin {
+				newMin = c.wake
+			}
+			ov[n] = c
+			n++
+		}
+		for i := n; i < len(ov); i++ {
+			ov[i] = cand{}
+		}
+		w.overflow = ov[:n]
+		w.ovMin = newMin
+	}
+	w.base = s.now + 1
 }
 
 // enqueueCand computes the speculative wakeup time of slice sl of e and
@@ -121,20 +223,7 @@ func (s *Sim) wakeConsumers(p *entry) {
 // as the legacy scan. Resource-starved candidates stay ready for the
 // next cycle; replayed ones are re-enqueued at their retryC.
 func (s *Sim) schedule() {
-	for len(s.wheel) > 0 && s.wheel[0].wake <= s.now {
-		c := s.popWheel()
-		e := c.e
-		if c.gen != e.gen || e.committed || e.squashed {
-			continue
-		}
-		st := &e.slices[c.sl]
-		if st.started || st.inReady {
-			continue // issued meanwhile, or a duplicate wakeup
-		}
-		st.inReady = true
-		s.ready = append(s.ready, c)
-		s.readyDirty = true
-	}
+	s.drainWheel()
 	if s.readyDirty {
 		sortReady(s.ready)
 		s.readyDirty = false
@@ -219,8 +308,7 @@ func (s *Sim) tryIssueSlice(e *entry, sl int) bool {
 		s.enqueueCand(e, sl)
 		return true
 	}
-	st.started = true
-	st.startC = s.now
+	markSliceIssued(e, sl, s.now)
 	e.invalidateDeps()
 	if s.tracing {
 		s.trace("exec     #%d slice %d", e.seq, sl)
@@ -310,8 +398,7 @@ func (s *Sim) tryIssueFull(e *entry) bool {
 		s.enqueueCand(e, 0)
 		return true
 	}
-	st.started = true
-	st.startC = s.now
+	markSliceIssued(e, 0, s.now)
 	e.execDone = true
 	s.iqCount--
 	e.invalidateDeps()

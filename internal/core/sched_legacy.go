@@ -64,8 +64,7 @@ func (s *Sim) scheduleLegacy() {
 				all = false
 				continue
 			}
-			st.started = true
-			st.startC = s.now
+			markSliceIssued(e, sl, s.now)
 			if s.tracing {
 				s.trace("exec     #%d slice %d", e.seq, sl)
 			}
@@ -144,8 +143,7 @@ func (s *Sim) scheduleFullLegacy(e *entry) {
 		}
 		return
 	}
-	st.started = true
-	st.startC = s.now
+	markSliceIssued(e, 0, s.now)
 	e.execDone = true
 	if s.tracing {
 		s.trace("exec     #%d full (lat %d)", e.seq, e.fullLat)

@@ -81,7 +81,7 @@ func (s *Sim) depsAvail(e *entry, sl int, announce bool) int64 {
 		}
 		return t
 	}
-	inSlices, carry := op.InputSlicesFor(sl, e.nSlices)
+	lo, hi, carry := op.InputSliceRange(sl, e.nSlices)
 	for i := 0; i < e.d.NSrc; i++ {
 		// A store's data operand is not consumed by the address-generation
 		// slices; it is handled by the LSQ.
@@ -95,7 +95,7 @@ func (s *Sim) depsAvail(e *entry, sl int, announce bool) int64 {
 			}
 			continue
 		}
-		for _, k := range inSlices {
+		for k := lo; k < hi; k++ {
 			if a := s.srcAvail(e, i, k, announce); a > t {
 				t = a
 			}
@@ -182,7 +182,7 @@ func (s *Sim) criticalProducer(e *entry, sl int) int64 {
 		}
 		return bestSeq
 	}
-	inSlices, carry := op.InputSlicesFor(sl, e.nSlices)
+	lo, hi, carry := op.InputSliceRange(sl, e.nSlices)
 	for i := 0; i < e.d.NSrc; i++ {
 		if i == e.dataSrc {
 			continue // a store's data operand is not consumed by agen
@@ -192,7 +192,7 @@ func (s *Sim) criticalProducer(e *entry, sl int) int64 {
 			continue
 		}
 		mx := int64(-1)
-		for _, k := range inSlices {
+		for k := lo; k < hi; k++ {
 			if a := s.srcAvail(e, i, k, false); a > mx {
 				mx = a
 			}
@@ -294,23 +294,31 @@ func (s *Sim) maybeResolveBranch(e *entry, sl int, availC int64) {
 	}
 }
 
-func allSlicesStarted(e *entry) bool {
-	for i := 0; i < e.nSlices; i++ {
-		if !e.slices[i].started {
-			return false
-		}
+// markSliceIssued records the execution start of slice sl in both the
+// per-slice struct and the entry's SoA mirrors (startedMask, execEnd), so
+// the per-cycle consumers below stay one-compare operations.
+func markSliceIssued(e *entry, sl int, now int64) {
+	st := &e.slices[sl]
+	st.started = true
+	st.startC = now
+	e.startedMask |= uint8(1) << uint(sl)
+	end := now + 1
+	if e.nSlices == 1 {
+		end = now + int64(e.fullLat)
 	}
-	return true
+	if end > e.execEnd {
+		e.execEnd = end
+	}
 }
 
+func allSlicesStarted(e *entry) bool {
+	return e.startedMask == e.fullMask
+}
+
+// lastSliceAvail is valid once allSlicesStarted: execEnd accumulated the
+// maximum per-slice availability as the slices issued.
 func lastSliceAvail(e *entry) int64 {
-	var t int64
-	for i := 0; i < e.nSlices; i++ {
-		if a := e.slices[i].avail(); a > t {
-			t = a
-		}
-	}
-	return t
+	return e.execEnd
 }
 
 func (s *Sim) resolveBranchAt(e *entry, c int64, early bool) {

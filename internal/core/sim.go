@@ -53,6 +53,17 @@ type entry struct {
 	slices   [8]sliceState
 	execDone bool // all slice-ops started (scheduling fast path)
 
+	// SoA-style hot mirrors of the slices array, maintained at the issue
+	// sites so the per-cycle consumers (entryDone, agenTimes, branch
+	// resolution) test a mask and compare one integer instead of walking
+	// the slice structs: startedMask has bit sl set once slice sl issued,
+	// fullMask is (1<<nSlices)-1, and execEnd is the running maximum of
+	// the per-slice result-available times (startC+1, or startC+fullLat
+	// for full-width ops) — equal to lastSliceAvail once the mask fills.
+	startedMask uint8
+	fullMask    uint8
+	execEnd     int64
+
 	// fullOp state for full-width operations (nSlices == 1 and class not
 	// a simple ALU op): started/start tracked in slices[0], latency here.
 	fullLat int
@@ -127,10 +138,13 @@ type entry struct {
 	retireTag uint64
 	consumers []consRef
 
-	// lsqEnt caches the LSQ entry inserted for this instruction at
-	// dispatch, so the per-cycle store/load bookkeeping does not pay a
-	// map lookup (valid only while lsqInserted; dropped on recycle).
-	lsqEnt *lsq.Entry
+	// lsqEnt points at lsqData while the op is in the LSQ, so the
+	// per-cycle store/load bookkeeping pays neither a lookup nor (since
+	// the storage is embedded in the pooled entry) a heap allocation.
+	// The queue drops its reference at commit or squash, before the
+	// entry can recycle, so the embedding never aliases a stale op.
+	lsqEnt  *lsq.Entry
+	lsqData lsq.Entry
 
 	// Memoized depsAvail per (slice, announce), invalidated only on
 	// producer events — this removes the duplicated speculative/actual
@@ -217,11 +231,11 @@ type Sim struct {
 	injOn      bool // cfg.Inject != nil; gates fault-injection hooks
 	inj        Injector
 	tel        telemetry.Collector
-	wheel      []cand   // binary min-heap on cand.wake
-	ready      []cand   // due candidates, kept sorted by (seq, slice)
-	readyDirty bool     // ready gained unsorted arrivals this cycle
-	memWatch   []*entry // loads/stores still needing memory-stage attention
-	iqCount    int      // window entries with !execDone (issue-queue slots)
+	wh         wakeWheel // bucketed timing wheel of slice-op wakeups
+	ready      []cand    // due candidates, kept sorted by (seq, slice)
+	readyDirty bool      // ready gained unsorted arrivals this cycle
+	memWatch   []*entry  // loads/stores still needing memory-stage attention
+	iqCount    int       // window entries with !execDone (issue-queue slots)
 
 	// Entry pool: freeList holds recycled entries; retireQ holds
 	// committed/squashed entries whose recycling is deferred until no
@@ -237,11 +251,16 @@ type Sim struct {
 	lastFetchLine  uint32
 	haveLine       bool
 
-	pendingInst *emu.DynInst
-	traceDone   bool
-	fetchedCnt  uint64
-	maxInsts    uint64
-	seqCtr      uint64
+	// pendingD/pendingOK hold the peeked correct-path instruction by
+	// value: the old *DynInst field heap-allocated one record per fetched
+	// instruction. wpD is the same for wrong-path supply.
+	pendingD   emu.DynInst
+	pendingOK  bool
+	wpD        emu.DynInst
+	traceDone  bool
+	fetchedCnt uint64
+	maxInsts   uint64
+	seqCtr     uint64
 
 	// Wrong-path fetch state.
 	wpFork    *emu.Emulator
@@ -256,6 +275,14 @@ type Sim struct {
 	divFree   int64
 	fpmdFree  int64
 	portsUsed int
+
+	// Quiet-cycle skipping (see skip.go). skipOK caches the gate: the
+	// event-driven scheduler without tracing/telemetry/invariant/injection
+	// observers may jump over provably-quiet cycles. memStarved records
+	// that a load lost cache-port arbitration this cycle and will retry
+	// next cycle, which makes the next cycle non-quiet.
+	skipOK     bool
+	memStarved bool
 
 	res Result
 }
@@ -277,7 +304,7 @@ func NewSim(prog *emu.Program, cfg Config, maxInsts uint64) (*Sim, error) {
 	if cfg.UseDTLB {
 		dtlb = cache.DefaultDTLB()
 	}
-	return &Sim{
+	s := &Sim{
 		cfg:        cfg,
 		em:         emu.New(prog),
 		pred:       pred,
@@ -296,7 +323,24 @@ func NewSim(prog *emu.Program, cfg Config, maxInsts uint64) (*Sim, error) {
 		divFree:    -1,
 		fpmdFree:   -1,
 		res:        Result{Config: cfg.Name},
-	}, nil
+	}
+	s.em.SetLegacy(cfg.LegacyEmulator)
+	s.wh.ovMin = inf
+	if !s.legacy {
+		// Pre-back every wheel bucket with a small slice of one shared
+		// array: as simulated time wraps the ring, each bucket would
+		// otherwise pay its own first-append allocations.
+		backing := make([]cand, wheelHorizon*4)
+		for i := range s.wh.bucket {
+			s.wh.bucket[i] = backing[i*4 : i*4 : (i+1)*4]
+		}
+	}
+	// Quiet-cycle skipping requires the event-driven scheduler (the legacy
+	// scan is the per-cycle reference) and no per-cycle observers: tracing,
+	// telemetry sampling and the invariant checker all want to see every
+	// cycle, and fault injection may retime decisions cycle by cycle.
+	s.skipOK = !s.legacy && !s.tracing && !s.collecting && !s.invOn && !s.injOn
+	return s, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -404,7 +448,7 @@ func (s *Sim) Run() (*Result, error) {
 				Dump:      s.dumpWindow(16),
 			}
 		}
-		s.now++
+		s.now = s.nextCycle(lastCommit, budget)
 	}
 	s.res.Cycles = s.now + 1
 	if s.res.Cycles > 0 {
@@ -460,6 +504,16 @@ func (s *Sim) cycle() (int, error) {
 	s.aluUsed = [8]int{}
 	s.issueUsed = [8]int{}
 	s.mulUsed, s.fpUsed, s.portsUsed = 0, 0, 0
+	s.memStarved = false
+	if !s.legacy {
+		// Re-anchor the wheel at the cycle being simulated: wakeups pushed
+		// by this cycle's earlier stages (the memory stage completing a
+		// load) with wake <= now must land in the bucket schedule() is
+		// about to drain. After a quiet-cycle skip, every bucket between
+		// the old base and now is provably empty (the skip never jumps
+		// past the wheel's earliest wake).
+		s.wh.base = s.now
+	}
 
 	n, err := s.commit()
 	if err != nil {

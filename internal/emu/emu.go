@@ -78,7 +78,26 @@ type Emulator struct {
 	out    strings.Builder
 	inputs []int32 // queue consumed by the read_int syscall
 
+	// decodeCache backs the legacy interpreter only; the fast path uses
+	// the dense uop window below.
 	decodeCache map[uint32]isa.Inst
+
+	// Direct-threaded fast-path state (see uop.go). utab is the dense
+	// predecode window starting at ubase; ufall/uerr the bounded
+	// fallback cache for out-of-window PCs; npc and trap carry the next
+	// PC and any fault out of a handler; uscratch is the no-cache decode
+	// buffer once ufall is full.
+	ubase    uint32
+	utab     []uop
+	ufall    map[uint32]*uop
+	uerr     map[uint32]error
+	npc      uint32
+	trap     error
+	uscratch uop
+
+	// legacy selects the original switch-dispatch interpreter (kept for
+	// differential testing of the direct-threaded fast path).
+	legacy bool
 
 	// MaxOutput bounds the captured program output (default 1MB).
 	MaxOutput int
@@ -100,8 +119,19 @@ func New(prog *Program) *Emulator {
 	}
 	e.regs[isa.RegSP] = DefaultStackTop
 	e.regs[isa.RegGP] = DefaultDataBase
+	e.initFast(prog)
 	return e
 }
+
+// SetLegacy switches between the direct-threaded fast path (default)
+// and the original switch-dispatch interpreter. Both produce identical
+// DynInst streams; the legacy path exists as the differential-testing
+// reference. Call before execution starts.
+func (e *Emulator) SetLegacy(on bool) { e.legacy = on }
+
+// Legacy reports whether the original switch-dispatch interpreter is
+// selected.
+func (e *Emulator) Legacy() bool { return e.legacy }
 
 // Fork returns a speculative copy of the emulator starting at pc: the
 // registers are duplicated and memory writes go to a private
@@ -116,8 +146,12 @@ func (e *Emulator) Fork(pc uint32) *Emulator {
 		brk:         e.brk,
 		icount:      e.icount,
 		decodeCache: make(map[uint32]isa.Inst),
+		legacy:      e.legacy,
 		MaxOutput:   1 << 16,
 	}
+	// No dense predecode window: like the legacy per-fork decode map,
+	// the fork decodes lazily (through its overlay) via the fallback
+	// cache, so speculative stores to instruction words are honoured.
 	return f
 }
 
@@ -169,6 +203,15 @@ func branchTarget(pc uint32, imm int32) uint32 {
 
 // Step executes one instruction and returns its dynamic record.
 func (e *Emulator) Step() (DynInst, error) {
+	var d DynInst
+	err := e.StepInto(&d)
+	return d, err
+}
+
+// stepLegacy is the original switch-dispatch interpreter, kept as the
+// differential-testing reference for the direct-threaded fast path in
+// uop.go (see Config.LegacyEmulator / SetLegacy).
+func (e *Emulator) stepLegacy() (DynInst, error) {
 	if e.halted {
 		return DynInst{}, ErrHalted
 	}
@@ -470,6 +513,23 @@ func (e *Emulator) print(s string) {
 // visit is non-nil. It returns the number of instructions executed.
 func (e *Emulator) Run(maxInsts uint64, visit func(*DynInst)) (uint64, error) {
 	start := e.icount
+	if visit == nil {
+		// Fast-forward path: reuse one record so the loop stays
+		// allocation-free (no caller can observe the discarded records).
+		var d DynInst
+		for !e.halted {
+			if maxInsts > 0 && e.icount-start >= maxInsts {
+				break
+			}
+			if err := e.StepInto(&d); err != nil {
+				if errors.Is(err, ErrHalted) {
+					break
+				}
+				return e.icount - start, err
+			}
+		}
+		return e.icount - start, nil
+	}
 	for !e.halted {
 		if maxInsts > 0 && e.icount-start >= maxInsts {
 			break
@@ -481,9 +541,7 @@ func (e *Emulator) Run(maxInsts uint64, visit func(*DynInst)) (uint64, error) {
 			}
 			return e.icount - start, err
 		}
-		if visit != nil {
-			visit(&d)
-		}
+		visit(&d)
 	}
 	return e.icount - start, nil
 }

@@ -25,13 +25,22 @@ type BenchExperiment struct {
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
 	// MeanIPC averages the headline IPC over the experiment's rows.
 	MeanIPC float64 `json:"mean_ipc,omitempty"`
+	// EmuInstsPerSec is the standalone functional-emulator throughput
+	// (the `emu` experiment's bare-mode rate); 0 elsewhere.
+	EmuInstsPerSec float64 `json:"emu_insts_per_sec,omitempty"`
 }
 
-// BenchReport is the whole -json record for one pok-bench run.
+// BenchReport is the whole -json record for one pok-bench run. The
+// provenance fields (GOMAXPROCS, CPU model, git SHA) identify the
+// machine and source state a committed baseline was measured on, so a
+// -compare mismatch can be traced to hardware instead of code.
 type BenchReport struct {
 	Date        string            `json:"date"`
 	GoVersion   string            `json:"go_version"`
 	NumCPU      int               `json:"num_cpu"`
+	Gomaxprocs  int               `json:"gomaxprocs,omitempty"`
+	CPUModel    string            `json:"cpu_model,omitempty"`
+	GitSHA      string            `json:"git_sha,omitempty"`
 	InstsBudget uint64            `json:"insts_budget"`
 	Parallel    int               `json:"parallel"`
 	TotalWallMS int64             `json:"total_wall_ms"`

@@ -24,6 +24,9 @@ type BenchDelta struct {
 	// CPSRatio is new/old simulated cycles per second (<1 = slower);
 	// 0 when either side lacks throughput data.
 	CPSRatio float64
+	// EmuRatio is new/old emulated instructions per second (<1 =
+	// slower); 0 when either side lacks emulator-throughput data.
+	EmuRatio float64
 	// Regressed marks deltas beyond the tolerance.
 	Regressed bool
 	// Note explains missing counterparts or skipped checks.
@@ -34,6 +37,11 @@ type BenchDelta struct {
 type BenchComparison struct {
 	Tolerance float64
 	Deltas    []BenchDelta
+	// Warnings flag provenance mismatches (different CPU count, CPU
+	// model) that make wall-clock ratios unreliable. They never trip
+	// the gate: a baseline recorded on different hardware should be
+	// re-baselined, not block CI.
+	Warnings []string
 }
 
 // Regressed reports whether any experiment tripped the gate.
@@ -56,6 +64,16 @@ func CompareBenchReports(old, new *BenchReport, tolerance float64) *BenchCompari
 		tolerance = DefaultRegressionTolerance
 	}
 	cmp := &BenchComparison{Tolerance: tolerance}
+	if old.NumCPU != 0 && new.NumCPU != 0 && old.NumCPU != new.NumCPU {
+		cmp.Warnings = append(cmp.Warnings, fmt.Sprintf(
+			"num_cpu differs (old %d, new %d): timings are not comparable, consider re-baselining",
+			old.NumCPU, new.NumCPU))
+	}
+	if old.CPUModel != "" && new.CPUModel != "" && old.CPUModel != new.CPUModel {
+		cmp.Warnings = append(cmp.Warnings, fmt.Sprintf(
+			"cpu_model differs (old %q, new %q): timings are not comparable, consider re-baselining",
+			old.CPUModel, new.CPUModel))
+	}
 	newByName := map[string]BenchExperiment{}
 	for _, e := range new.Experiments {
 		newByName[e.Experiment] = e
@@ -92,6 +110,12 @@ func CompareBenchReports(old, new *BenchReport, tolerance float64) *BenchCompari
 				d.Regressed = true
 			}
 		}
+		if o.EmuInstsPerSec > 0 && n.EmuInstsPerSec > 0 {
+			d.EmuRatio = n.EmuInstsPerSec / o.EmuInstsPerSec
+			if d.EmuRatio < 1-tolerance {
+				d.Regressed = true
+			}
+		}
 		cmp.Deltas = append(cmp.Deltas, d)
 	}
 	for _, n := range new.Experiments {
@@ -110,14 +134,17 @@ func CompareBenchReports(old, new *BenchReport, tolerance float64) *BenchCompari
 func (c *BenchComparison) Render() string {
 	t := stats.NewTable(
 		fmt.Sprintf("Benchmark regression gate (tolerance %.0f%%)", 100*c.Tolerance),
-		"experiment", "old ms", "new ms", "wall ratio", "cps ratio", "status")
+		"experiment", "old ms", "new ms", "wall ratio", "cps ratio", "emu ratio", "status")
 	for _, d := range c.Deltas {
-		wall, cps := "-", "-"
+		wall, cps, emu := "-", "-", "-"
 		if d.WallRatio > 0 {
 			wall = fmt.Sprintf("%.2fx", d.WallRatio)
 		}
 		if d.CPSRatio > 0 {
 			cps = fmt.Sprintf("%.2fx", d.CPSRatio)
+		}
+		if d.EmuRatio > 0 {
+			emu = fmt.Sprintf("%.2fx", d.EmuRatio)
 		}
 		status := "ok"
 		switch {
@@ -128,10 +155,13 @@ func (c *BenchComparison) Render() string {
 		}
 		t.AddRow(d.Experiment,
 			fmt.Sprintf("%d", d.OldWallMS), fmt.Sprintf("%d", d.NewWallMS),
-			wall, cps, status)
+			wall, cps, emu, status)
 	}
 	var b strings.Builder
 	b.WriteString(t.Render())
+	for _, w := range c.Warnings {
+		fmt.Fprintf(&b, "WARNING: %s\n", w)
+	}
 	if c.Regressed() {
 		b.WriteString("RESULT: regression detected\n")
 	} else {

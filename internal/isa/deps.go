@@ -89,41 +89,45 @@ func (o Op) NeedsSignBit() bool {
 	return false
 }
 
-// InputSlicesFor returns which input slices (of the op's register sources)
-// are required to produce output slice out, for a datapath split into
-// nSlices slices. The boolean serialCarry result indicates an additional
-// dependence on the op's own previous output slice (the carry chain).
-func (o Op) InputSlicesFor(out, nSlices int) (in []int, serialCarry bool) {
+// InputSliceRange returns which input slices (of the op's register
+// sources) are required to produce output slice out, for a datapath split
+// into nSlices slices. Every slice profile needs a contiguous range, so
+// the requirement is returned as the half-open interval [lo, hi) — an
+// empty requirement has lo == hi. The boolean serialCarry result indicates
+// an additional dependence on the op's own previous output slice (the
+// carry chain). This is the allocation-free form the timing model's
+// per-issue dependence checks use.
+func (o Op) InputSliceRange(out, nSlices int) (lo, hi int, serialCarry bool) {
 	switch o.SliceProfile() {
 	case SliceLogic:
-		return []int{out}, false
+		return out, out + 1, false
 	case SliceCarry:
-		return []int{out}, out > 0
+		return out, out + 1, out > 0
 	case SliceCompareLow:
 		if out == 0 {
-			in = make([]int, nSlices)
-			for i := range in {
-				in[i] = i
-			}
-			return in, false
+			return 0, nSlices, false
 		}
-		return nil, false // upper slices are constant zero
+		return 0, 0, false // upper slices are constant zero
 	case SliceShiftLeft:
-		in = make([]int, out+1)
-		for i := 0; i <= out; i++ {
-			in[i] = i
-		}
-		return in, false
+		return 0, out + 1, false
 	case SliceShiftRight:
-		for i := out; i < nSlices; i++ {
-			in = append(in, i)
-		}
-		return in, false
+		return out, nSlices, false
 	default: // SliceSerialMul, SliceFullWidth
-		in = make([]int, nSlices)
-		for i := range in {
-			in[i] = i
-		}
-		return in, false
+		return 0, nSlices, false
 	}
+}
+
+// InputSlicesFor returns InputSliceRange materialized as a slice of
+// indices (convenient in tests and offline tools; the timing model's hot
+// paths use the range form directly).
+func (o Op) InputSlicesFor(out, nSlices int) (in []int, serialCarry bool) {
+	lo, hi, carry := o.InputSliceRange(out, nSlices)
+	if lo == hi {
+		return nil, carry
+	}
+	in = make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		in = append(in, i)
+	}
+	return in, carry
 }

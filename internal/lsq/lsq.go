@@ -29,9 +29,6 @@ func (e *Entry) AddrKnown() bool { return e.KnownBits >= 32 }
 type Queue struct {
 	cap     int
 	entries []*Entry
-	// bySeq indexes entries by sequence number so the timing model's
-	// per-cycle Find calls are O(1) instead of a linear scan of the queue.
-	bySeq map[uint64]*Entry
 	// scratch is reused by Disambiguate to collect prior stores without
 	// allocating on every call.
 	scratch []*Entry
@@ -39,7 +36,7 @@ type Queue struct {
 
 // New creates a queue with the given capacity (the paper uses 32).
 func New(capacity int) *Queue {
-	return &Queue{cap: capacity, bySeq: make(map[uint64]*Entry, capacity)}
+	return &Queue{cap: capacity}
 }
 
 // Len returns the current occupancy.
@@ -61,27 +58,46 @@ func (q *Queue) Insert(e *Entry) error {
 			e.Seq, q.entries[n-1].Seq)
 	}
 	q.entries = append(q.entries, e)
-	q.bySeq[e.Seq] = e
 	return nil
 }
 
 // Remove deletes the entry with the given sequence number (at commit).
 func (q *Queue) Remove(seq uint64) {
-	if _, ok := q.bySeq[seq]; !ok {
+	i := q.index(seq)
+	if i < 0 {
 		return
 	}
-	delete(q.bySeq, seq)
-	for i, e := range q.entries {
-		if e.Seq == seq {
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			return
+	copy(q.entries[i:], q.entries[i+1:])
+	n := len(q.entries) - 1
+	q.entries[n] = nil
+	q.entries = q.entries[:n]
+}
+
+// index locates seq in the seq-ordered entries by binary search, or -1.
+// The queue is small (the paper's machine holds 32 entries), so this
+// outperforms the hash map it replaced on every per-cycle lookup.
+func (q *Queue) index(seq uint64) int {
+	lo, hi := 0, len(q.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q.entries[mid].Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	if lo < len(q.entries) && q.entries[lo].Seq == seq {
+		return lo
+	}
+	return -1
 }
 
 // Find returns the entry with the given sequence number, if present.
 func (q *Queue) Find(seq uint64) *Entry {
-	return q.bySeq[seq]
+	if i := q.index(seq); i >= 0 {
+		return q.entries[i]
+	}
+	return nil
 }
 
 // PriorStores returns the stores older than seq, oldest first.

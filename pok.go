@@ -137,6 +137,8 @@ func SimulateBenchmark(name string, cfg Config, maxInsts uint64) (*Result, error
 var (
 	Table1         = exp.Table1
 	RenderTable1   = exp.RenderTable1
+	EmuBench       = exp.EmuBench
+	RenderEmuBench = exp.RenderEmuBench
 	Figure2        = exp.Figure2
 	RenderFigure2  = exp.RenderFigure2
 	Figure4        = exp.Figure4
