@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke eval eval-quick examples clean
+.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke fleet-smoke eval eval-quick examples clean
 
 all: build test
 
@@ -71,6 +71,13 @@ soak:
 	$(GO) run ./cmd/pok-soak -duration 90s -seeds 3 -inject-seeds 1 \
 		-out soak-out
 
+# Distributed-fleet smoke (cmd/pok-serve): coordinator + two workers,
+# a short seeded-fault soak submitted over HTTP, one worker killed
+# mid-run. Passes only if the job completes via lease-expiry requeue
+# AND the merged findings are byte-identical to a single-process run.
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
+
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks, then a quick-budget pok-bench pass that
 # refreshes the repo-root BENCH_PR6.json regression record (the CI
@@ -96,4 +103,4 @@ examples:
 	$(GO) run ./examples/minic
 
 clean:
-	rm -rf results test_output.txt bench_output.txt soak-out
+	rm -rf results test_output.txt bench_output.txt soak-out fleet-out

@@ -11,10 +11,12 @@
 //	pok-bench -json           # machine-readable BENCH_<date>.json regression record
 //	pok-bench -telemetry      # per-config telemetry summaries (telemetry_<cfg>.json)
 //	pok-bench -compare old.json new.json   # regression gate: exit 1 on >25% slowdown
+//	pok-bench -submit http://host:8080     # run the sweep as a pok-serve fleet job
 //	pok-bench -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"pok"
+	"pok/internal/serve"
 )
 
 func main() {
@@ -43,7 +46,13 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0, "regression tolerance for -compare as a fraction (0 = default 0.25)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after all experiments) to this file")
+	submit := flag.String("submit", "", "submit the benchmark sweep to this pok-serve coordinator URL instead of running in-process")
 	flag.Parse()
+
+	if *submit != "" {
+		runSubmit(*submit, *benches, *insts)
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -331,6 +340,67 @@ func main() {
 	}
 
 	finish(time.Since(start))
+}
+
+// runSubmit runs the headline IPC sweep (every benchmark × headline
+// config) as a pok-serve fleet job: one cell per benchmark, merged
+// rows printed as a benchmark × config IPC table.
+func runSubmit(url, benches string, insts uint64) {
+	spec := serve.JobSpec{Kind: "bench", Bench: &serve.BenchSpec{
+		MaxInsts: insts,
+	}}
+	if benches != "" {
+		spec.Bench.Benchmarks = strings.Split(benches, ",")
+	} else {
+		spec.Bench.Benchmarks = pok.Benchmarks()
+	}
+	client := serve.NewClient(url)
+	id, err := client.Submit(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pok-bench: submitted %s (%d benchmarks) to %s\n",
+		id, len(spec.Bench.Benchmarks), url)
+	res, err := client.Wait(context.Background(), id, 0)
+	if err != nil {
+		fatal(err)
+	}
+	// Rows arrive grouped per benchmark cell in submit order; pivot to
+	// one line per benchmark with a column per config.
+	var configs []string
+	ipc := map[string]map[string]float64{}
+	for _, row := range res.Bench {
+		if ipc[row.Benchmark] == nil {
+			ipc[row.Benchmark] = map[string]float64{}
+		}
+		ipc[row.Benchmark][row.Config] = row.IPC
+		seen := false
+		for _, c := range configs {
+			if c == row.Config {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			configs = append(configs, row.Config)
+		}
+	}
+	fmt.Printf("%-10s", "benchmark")
+	for _, c := range configs {
+		fmt.Printf(" %10s", c)
+	}
+	fmt.Println()
+	for _, b := range spec.Bench.Benchmarks {
+		byCfg, ok := ipc[b]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-10s", b)
+		for _, c := range configs {
+			fmt.Printf(" %10.4f", byCfg[c])
+		}
+		fmt.Println()
+	}
 }
 
 // runCompare is the CI regression gate: it diffs two -json records and

@@ -1,0 +1,159 @@
+// pok-serve is the distributed-simulation fleet CLI: one binary runs
+// the coordinator (HTTP job API + live dashboard), the workers, and
+// the submit/status client modes.
+//
+// Usage:
+//
+//	pok-serve -listen 127.0.0.1:8080 -lease 10s      # coordinator + dashboard
+//	pok-serve -worker -coordinator http://host:8080  # attach a worker
+//	pok-serve -submit job.json -coordinator http://host:8080 -wait
+//	pok-serve -status -coordinator http://host:8080  # one-shot fleet snapshot
+//
+// Jobs are JSON JobSpecs (see internal/serve); existing campaigns
+// submit themselves with `pok-soak -submit` / `pok-bench -submit`
+// without a spec file. The dashboard at / renders the job wavefront,
+// per-worker throughput and the deduped findings feed, and is
+// self-contained — `curl http://host:8080/ -o dashboard.html` archives
+// a snapshot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pok/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", "", "coordinator mode: address to serve the HTTP API + dashboard on (e.g. 127.0.0.1:8080)")
+	lease := flag.Duration("lease", 10*time.Second, "coordinator: lease TTL before a silent worker's cell is requeued")
+	worker := flag.Bool("worker", false, "worker mode: pull and execute cells")
+	coordinator := flag.String("coordinator", "", "coordinator URL for -worker/-submit/-status")
+	name := flag.String("name", "", "worker name (default worker-<pid>)")
+	out := flag.String("out", "fleet-worker-out", "worker: output directory for repro bundles")
+	poll := flag.Duration("poll", 500*time.Millisecond, "worker: idle-queue poll interval / submit: status poll interval")
+	maxCells := flag.Int("max-cells", 0, "worker: exit after this many cells (0 = run forever)")
+	submit := flag.String("submit", "", "submit mode: path to a JobSpec JSON file (- for stdin)")
+	wait := flag.Bool("wait", true, "submit: wait for the job and print its result")
+	status := flag.Bool("status", false, "status mode: print the fleet snapshot and exit")
+	quiet := flag.Bool("q", false, "suppress per-cell progress lines")
+	flag.Parse()
+
+	switch {
+	case *listen != "":
+		runCoordinator(*listen, *lease)
+	case *worker:
+		runWorker(*coordinator, *name, *out, *poll, *maxCells, *quiet)
+	case *submit != "":
+		runSubmit(*coordinator, *submit, *wait, *poll)
+	case *status:
+		runStatus(*coordinator)
+	default:
+		fatal(fmt.Errorf("pick a mode: -listen (coordinator), -worker, -submit or -status"))
+	}
+}
+
+func runCoordinator(addr string, lease time.Duration) {
+	coord := serve.NewCoordinator(lease)
+	srv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	fmt.Fprintf(os.Stderr, "pok-serve: coordinator on http://%s (lease %s)\n", addr, lease)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func runWorker(coordinator, name, out string, poll time.Duration, maxCells int, quiet bool) {
+	if coordinator == "" {
+		fatal(fmt.Errorf("-worker needs -coordinator URL"))
+	}
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fatal(err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	w := &serve.Worker{
+		Client:   serve.NewClient(coordinator),
+		Name:     name,
+		OutDir:   out,
+		Poll:     poll,
+		MaxCells: maxCells,
+	}
+	if !quiet {
+		w.Log = os.Stderr
+	}
+	if err := w.Run(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+func runSubmit(coordinator, specPath string, wait bool, poll time.Duration) {
+	if coordinator == "" {
+		fatal(fmt.Errorf("-submit needs -coordinator URL"))
+	}
+	var blob []byte
+	var err error
+	if specPath == "-" {
+		blob, err = os.ReadFile("/dev/stdin")
+	} else {
+		blob, err = os.ReadFile(specPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var spec serve.JobSpec
+	if err := json.Unmarshal(blob, &spec); err != nil {
+		fatal(fmt.Errorf("spec %s: %w", specPath, err))
+	}
+	client := serve.NewClient(coordinator)
+	id, err := client.Submit(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted %s\n", id)
+	if !wait {
+		return
+	}
+	res, err := client.Wait(context.Background(), id, poll)
+	if err != nil {
+		fatal(err)
+	}
+	outBlob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(outBlob))
+	if res.Soak != nil && len(res.Soak.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func runStatus(coordinator string) {
+	if coordinator == "" {
+		fatal(fmt.Errorf("-status needs -coordinator URL"))
+	}
+	st, err := serve.NewClient(coordinator).Status()
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(blob))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pok-serve:", err)
+	os.Exit(1)
+}

@@ -13,11 +13,19 @@
 //	pok-soak -duration 90s -seeds 3                 # time-boxed, 3 base seeds
 //	pok-soak -programs 200 -resume                  # continue after a kill
 //	pok-soak -programs 50 -corrupt 5                # seeded fault: prove the pipeline
+//	pok-soak -programs 500 -submit http://host:8080 # same campaign, on the fleet
+//
+// With -submit the campaign runs as a pok-serve fleet job instead of
+// in-process: it is sharded across the attached workers and the merged
+// findings report is byte-identical to the single-process run (the
+// per-program seed is a pure function of the base seed and index).
+// Requires -programs (fleet cells are count-sharded, not time-boxed).
 //
 // Exit status is non-zero iff any finding was recorded.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +36,8 @@ import (
 
 	"pok/internal/check/inject"
 	"pok/internal/gen"
+	"pok/internal/serve"
+	"pok/internal/sig"
 	"pok/internal/soak"
 )
 
@@ -58,11 +68,16 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 25, "programs between checkpoint snapshots")
 	resume := flag.Bool("resume", false, "resume from the checkpoint file")
 	register := flag.Bool("register-workloads", false, "register generated programs as ad-hoc workloads")
+	submit := flag.String("submit", "", "submit the campaign to this pok-serve coordinator URL instead of running in-process")
+	cellPrograms := flag.Int("cell-programs", 0, "-submit: programs per fleet cell (0 = programs/8)")
 	quiet := flag.Bool("q", false, "suppress per-program progress lines")
 	flag.Parse()
 
 	if *programs <= 0 && *duration <= 0 {
 		fatal(fmt.Errorf("need -programs or -duration"))
+	}
+	if *submit != "" && *programs <= 0 {
+		fatal(fmt.Errorf("-submit needs -programs (fleet cells are count-sharded, not time-boxed)"))
 	}
 	var schedulers []string
 	switch *sched {
@@ -137,7 +152,13 @@ func main() {
 		if !*quiet {
 			opts.Log = os.Stderr
 		}
-		rep, err := soak.Run(opts, *resume)
+		var rep *soak.Report
+		var err error
+		if *submit != "" {
+			rep, err = submitCampaign(*submit, opts, *cellPrograms)
+		} else {
+			rep, err = soak.Run(opts, *resume)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -152,6 +173,17 @@ func main() {
 				f.Program, f.Config, f.Scheduler, f.Kind, f.Field,
 				f.ReducedInsts, f.Bundle)
 		}
+		if deduped := rep.Deduped(); len(deduped) > 0 {
+			dpath := filepath.Join(*outDir, fmt.Sprintf("deduped-%d.json", base))
+			if err := writeJSON(dpath, deduped); err != nil {
+				fatal(err)
+			}
+			var d sig.Deduper
+			for _, f := range rep.Findings {
+				d.Add(f.Signature())
+			}
+			fmt.Printf("  %s\n", strings.ReplaceAll(d.Summary(), "\n", "\n  "))
+		}
 		totalFindings += len(rep.Findings)
 	}
 	if totalFindings > 0 {
@@ -159,6 +191,42 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("pok-soak: clean")
+}
+
+// submitCampaign runs the campaign as a pok-serve fleet job: same
+// options, sharded across the attached workers, merged findings
+// byte-identical to the in-process run (as long as no MaxFindings
+// early stop triggers — fleet jobs apply that cap per cell).
+func submitCampaign(url string, opts soak.Options, cellPrograms int) (*soak.Report, error) {
+	spec := serve.JobSpec{Kind: "soak", Soak: &serve.SoakSpec{
+		BaseSeed:       opts.BaseSeed,
+		Programs:       opts.Programs,
+		Configs:        opts.Configs,
+		Schedulers:     opts.Schedulers,
+		InjectSeeds:    opts.InjectSeeds,
+		Inject:         opts.Inject,
+		Hook:           opts.Hook,
+		MaxInsts:       opts.MaxInsts,
+		Watchdog:       opts.Watchdog,
+		Retries:        opts.Retries,
+		NoReduce:       opts.NoReduce,
+		ReduceMaxTests: opts.ReduceMaxTests,
+		MaxFindings:    opts.MaxFindings,
+		Gen:            opts.Gen,
+		CellPrograms:   cellPrograms,
+	}}
+	client := serve.NewClient(url)
+	id, err := client.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "pok-soak: submitted %s (seed %d, %d programs) to %s\n",
+		id, opts.BaseSeed, opts.Programs, url)
+	res, err := client.Wait(context.Background(), id, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Soak, nil
 }
 
 func writeJSON(path string, v any) error {

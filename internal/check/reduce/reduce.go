@@ -16,30 +16,17 @@ import (
 	"pok/internal/asm"
 	"pok/internal/check"
 	"pok/internal/core"
+	"pok/internal/sig"
 )
 
-// Outcome classifies one run of a (candidate) program. Kind "" means
-// the run was clean; otherwise it matches check.Report.FailKind plus
-// the soak-level kinds "panic" and "timeout". Field refines the match:
-// the diverging commit field, or the violated invariant rule.
-type Outcome struct {
-	Kind  string `json:"kind"`
-	Field string `json:"field,omitempty"`
-}
-
-// Failing reports whether the outcome is a failure of any kind.
-func (o Outcome) Failing() bool { return o.Kind != "" }
-
-// Matches reports whether o reproduces ref: kinds must agree, and when
-// ref has a field (divergence field / invariant rule) it must agree
-// too — a reduction that turns a dstval divergence into a pc divergence
-// is a different bug and must not be accepted as "the same" repro.
-func (o Outcome) Matches(ref Outcome) bool {
-	if o.Kind != ref.Kind {
-		return false
-	}
-	return ref.Field == "" || o.Field == ref.Field
-}
+// Outcome classifies one run of a (candidate) program. It is the
+// shared failure signature of internal/sig — kind "" means the run was
+// clean; otherwise it matches check.Report.FailKind plus the
+// soak-level kinds "panic" and "timeout", with Field refining the
+// match (the diverging commit field, or the violated invariant rule).
+// The alias keeps the reducer's matcher and the soak/fleet dedupe
+// literally the same code: Outcome.Matches IS sig.Signature.Matches.
+type Outcome = sig.Signature
 
 // RunResult is the full observation of one candidate run.
 type RunResult struct {
@@ -54,20 +41,8 @@ type RunResult struct {
 // Runner executes one candidate program source and classifies it.
 type Runner func(src string) RunResult
 
-// Classify maps a check.Report to its failure signature.
-func Classify(rep *check.Report) Outcome {
-	if rep == nil || rep.OK {
-		return Outcome{}
-	}
-	out := Outcome{Kind: rep.FailKind}
-	switch {
-	case rep.Divergence != nil:
-		out.Field = rep.Divergence.Field
-	case rep.Invariant != nil:
-		out.Field = rep.Invariant.Rule
-	}
-	return out
-}
+// Classify maps a check.Report to its failure signature (sig.Classify).
+func Classify(rep *check.Report) Outcome { return sig.Classify(rep) }
 
 // CheckRunner builds a Runner that assembles src and executes it under
 // check.RunChecked with cfg/opts. A panic anywhere in assembly or

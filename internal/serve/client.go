@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a coordinator's HTTP API. It is used by workers, by
+// the pok-soak / pok-bench -submit modes and by the fleet tests.
+type Client struct {
+	// Base is the coordinator URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (nil = a 30s-timeout default).
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the coordinator at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// call POSTs (or GETs when in == nil and method == GET) JSON and
+// decodes the JSON reply into out (out == nil discards it). A 204
+// reply returns errNoContent.
+func (c *Client) call(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		blob, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return errNoContent
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+var errNoContent = fmt.Errorf("no content")
+
+// Submit submits a job and returns its id.
+func (c *Client) Submit(spec JobSpec) (string, error) {
+	var reply struct {
+		ID string `json:"id"`
+	}
+	if err := c.call("POST", "/api/jobs", spec, &reply); err != nil {
+		return "", err
+	}
+	return reply.ID, nil
+}
+
+// Job fetches one job's live status.
+func (c *Client) Job(id string) (*JobStatus, error) {
+	var js JobStatus
+	if err := c.call("GET", "/api/jobs/"+id, nil, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Result fetches a completed job's merged result (an error while the
+// job is still running or after it failed).
+func (c *Client) Result(id string) (*JobResult, error) {
+	var res JobResult
+	if err := c.call("GET", "/api/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Wait polls the job until it completes or fails, then returns the
+// merged result (poll <= 0 defaults to 500ms).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*JobResult, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		js, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		switch js.State {
+		case "done":
+			return c.Result(id)
+		case "failed":
+			return nil, fmt.Errorf("serve: job %s failed: %s", id, js.Failed)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Lease asks for work; a nil Assignment (no error) means none is
+// available.
+func (c *Client) Lease(worker string) (*Assignment, error) {
+	var a Assignment
+	err := c.call("POST", "/api/lease", map[string]string{"worker": worker}, &a)
+	if err == errNoContent {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Heartbeat reports progress on a lease.
+func (c *Client) Heartbeat(hb Heartbeat) (*HeartbeatReply, error) {
+	var reply HeartbeatReply
+	if err := c.call("POST", "/api/heartbeat", hb, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Complete finishes a lease.
+func (c *Client) Complete(res CellResult) error {
+	return c.call("POST", "/api/complete", res, nil)
+}
+
+// Fail reports a hard error on a lease.
+func (c *Client) Fail(lease, worker, msg string) error {
+	return c.call("POST", "/api/fail",
+		FailRequest{Lease: lease, Worker: worker, Error: msg}, nil)
+}
+
+// Status fetches the fleet snapshot.
+func (c *Client) Status() (*Status, error) {
+	var st Status
+	if err := c.call("GET", "/api/status", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

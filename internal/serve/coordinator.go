@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pok/internal/sig"
+	"pok/internal/soak"
+)
+
+// Coordinator owns the fleet state: submitted jobs, the pending-cell
+// queue, active leases and per-worker accounting. All methods are
+// safe for concurrent use; lease expiry is applied lazily at the top
+// of every call (reap), so no background janitor is required as long
+// as anything — an idle worker polling, a dashboard refresh — touches
+// the coordinator.
+type Coordinator struct {
+	mu         sync.Mutex
+	leaseTTL   time.Duration
+	retryLimit int
+	now        func() time.Time // injectable clock for tests
+
+	jobs      map[string]*job
+	order     []string // job ids in submission order
+	queue     []*cell  // pending cells, FIFO
+	leases    map[string]*cell
+	workers   map[string]*workerInfo
+	nextJob   int
+	nextLease int
+}
+
+// NewCoordinator builds a coordinator with the given lease TTL
+// (0 = 10s). A worker that misses heartbeats for a full TTL is
+// presumed dead and its cell is requeued from the last reported
+// cursor.
+func NewCoordinator(leaseTTL time.Duration) *Coordinator {
+	if leaseTTL <= 0 {
+		leaseTTL = 10 * time.Second
+	}
+	return &Coordinator{
+		leaseTTL:   leaseTTL,
+		retryLimit: 3,
+		now:        time.Now,
+		jobs:       make(map[string]*job),
+		leases:     make(map[string]*cell),
+		workers:    make(map[string]*workerInfo),
+	}
+}
+
+// LeaseTTL reports the coordinator's lease duration (workers size
+// their keepalive interval from the copy in each Assignment).
+func (c *Coordinator) LeaseTTL() time.Duration { return c.leaseTTL }
+
+type cellState int
+
+const (
+	cellPending cellState = iota
+	cellLeased
+	cellDone
+)
+
+func (s cellState) String() string {
+	switch s {
+	case cellPending:
+		return "pending"
+	case cellLeased:
+		return "leased"
+	default:
+		return "done"
+	}
+}
+
+// cell is one shard of a job: a [start, end) soak program range, or a
+// single benchmark of a bench sweep. cursor is the committed resume
+// frontier — programs in [origin start, cursor) are covered by
+// baseFindings/baseRuns (folded in from expired or failed leases);
+// the live* fields mirror the current lease's last heartbeat.
+type cell struct {
+	job       *job
+	id        int
+	kind      string
+	start     int // original range start (wavefront / merge order)
+	end       int // exclusive; shrinks when the tail is stolen
+	benchmark string
+
+	state        cellState
+	cursor       int
+	baseFindings []soak.Finding
+	baseRuns     int
+	liveCursor   int
+	liveFindings []soak.Finding
+	liveRuns     int
+	fails        int
+
+	// final outcome
+	findings []soak.Finding
+	runs     int
+	rows     []BenchRow
+
+	lease  string
+	worker string
+	expiry time.Time
+}
+
+type job struct {
+	id        string
+	spec      JobSpec
+	cells     []*cell
+	submitted time.Time
+	failed    string
+}
+
+func (j *job) done() bool {
+	for _, c := range j.cells {
+		if c.state != cellDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *job) state() string {
+	switch {
+	case j.failed != "":
+		return "failed"
+	case j.done():
+		return "done"
+	default:
+		for _, c := range j.cells {
+			if c.state != cellPending {
+				return "running"
+			}
+		}
+		return "queued"
+	}
+}
+
+type workerInfo struct {
+	name      string
+	firstSeen time.Time
+	lastSeen  time.Time
+	programs  int
+	findings  int
+	cells     int
+}
+
+// Submit validates, normalizes and shards a job, returning its id.
+func (c *Coordinator) Submit(spec JobSpec) (string, error) {
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextJob++
+	j := &job{
+		id:        fmt.Sprintf("job-%d", c.nextJob),
+		spec:      spec,
+		submitted: c.now().UTC(),
+	}
+	switch spec.Kind {
+	case "soak":
+		size := spec.Soak.cellSize()
+		for lo := 0; lo < spec.Soak.Programs; lo += size {
+			hi := min(lo+size, spec.Soak.Programs)
+			j.cells = append(j.cells, &cell{
+				job: j, id: len(j.cells), kind: "soak",
+				start: lo, end: hi, cursor: lo, liveCursor: lo,
+			})
+		}
+	case "bench":
+		for i, b := range spec.Bench.Benchmarks {
+			j.cells = append(j.cells, &cell{
+				job: j, id: i, kind: "bench",
+				start: i, end: i + 1, cursor: i, liveCursor: i,
+				benchmark: b,
+			})
+		}
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.queue = append(c.queue, j.cells...)
+	return j.id, nil
+}
+
+// Lease hands the next pending cell to worker, stealing the tail of a
+// running soak cell when the queue is empty. It returns nil when there
+// is no work.
+func (c *Coordinator) Lease(worker string) *Assignment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	w := c.touch(worker)
+
+	var cl *cell
+	for len(c.queue) > 0 {
+		cand := c.queue[0]
+		c.queue = c.queue[1:]
+		if cand.state == cellPending && cand.job.failed == "" {
+			cl = cand
+			break
+		}
+	}
+	if cl == nil {
+		cl = c.steal()
+	}
+	if cl == nil {
+		return nil
+	}
+
+	c.nextLease++
+	cl.state = cellLeased
+	cl.lease = fmt.Sprintf("lease-%d", c.nextLease)
+	cl.worker = worker
+	cl.expiry = c.now().Add(c.leaseTTL)
+	cl.liveCursor = cl.cursor
+	cl.liveFindings = nil
+	cl.liveRuns = 0
+	c.leases[cl.lease] = cl
+	w.cells++
+
+	return &Assignment{
+		Lease:     cl.lease,
+		Job:       cl.job.id,
+		Cell:      cl.id,
+		Kind:      cl.kind,
+		Start:     cl.cursor,
+		End:       cl.end,
+		Benchmark: cl.benchmark,
+		LeaseTTL:  c.leaseTTL,
+		Spec:      cl.job.spec,
+	}
+}
+
+// steal splits the running soak cell with the most remaining programs.
+// The split point mid is at least two programs past the victim's last
+// reported cursor: the victim heartbeats after every program, so it
+// learns end=mid while it is at most one program past that cursor and
+// stops before mid — no overlap, no gap.
+func (c *Coordinator) steal() *cell {
+	var victim *cell
+	best := 0
+	for _, cl := range c.leases {
+		if cl.kind != "soak" || cl.job.failed != "" {
+			continue
+		}
+		if remaining := cl.end - cl.liveCursor; remaining >= 4 && remaining > best {
+			victim, best = cl, remaining
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	mid := victim.liveCursor + best/2
+	stolen := &cell{
+		job: victim.job, id: len(victim.job.cells), kind: "soak",
+		start: mid, end: victim.end, cursor: mid, liveCursor: mid,
+	}
+	victim.end = mid
+	victim.job.cells = append(victim.job.cells, stolen)
+	return stolen
+}
+
+// Heartbeat extends a lease and records the worker's progress. The
+// reply carries the cell's current end bound — which may have shrunk
+// since the last heartbeat if the tail was stolen — and Cancel when
+// the lease is no longer valid (expired and requeued, or the job
+// failed), telling the worker to abandon the cell.
+func (c *Coordinator) Heartbeat(hb Heartbeat) HeartbeatReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	w := c.touch(hb.Worker)
+	cl, ok := c.leases[hb.Lease]
+	if !ok || cl.job.failed != "" {
+		return HeartbeatReply{Cancel: true}
+	}
+	if hb.Cursor > cl.liveCursor {
+		w.programs += hb.Cursor - cl.liveCursor
+	}
+	w.findings += len(hb.Findings) - len(cl.liveFindings)
+	cl.liveCursor = hb.Cursor
+	cl.liveFindings = hb.Findings
+	cl.liveRuns = hb.Runs
+	cl.expiry = c.now().Add(c.leaseTTL)
+	return HeartbeatReply{End: cl.end}
+}
+
+// Complete finishes a leased cell. Completion against an expired or
+// reassigned lease is rejected: the cell's range may have been
+// requeued and partially re-covered, so accepting the stale result
+// could double-count programs.
+func (c *Coordinator) Complete(res CellResult) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	w := c.touch(res.Worker)
+	cl, ok := c.leases[res.Lease]
+	if !ok {
+		return fmt.Errorf("serve: unknown or expired lease %q", res.Lease)
+	}
+	if res.Cursor > cl.liveCursor {
+		w.programs += res.Cursor - cl.liveCursor
+	}
+	w.findings += len(res.Findings) - len(cl.liveFindings)
+	delete(c.leases, res.Lease)
+	cl.state = cellDone
+	cl.findings = append(cl.baseFindings, res.Findings...)
+	cl.runs = cl.baseRuns + res.Runs
+	cl.rows = res.Rows
+	cl.cursor = cl.end
+	cl.lease, cl.worker = "", ""
+	cl.liveFindings, cl.liveRuns = nil, 0
+	return nil
+}
+
+// Fail reports a hard worker-side error (not a finding — findings are
+// results). The cell is requeued from its last reported cursor; after
+// retryLimit failures the whole job is marked failed and its pending
+// cells are dropped.
+func (c *Coordinator) Fail(lease, worker, msg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	c.touch(worker)
+	cl, ok := c.leases[lease]
+	if !ok {
+		return
+	}
+	delete(c.leases, lease)
+	c.requeueLocked(cl)
+	cl.fails++
+	if cl.fails > c.retryLimit {
+		cl.job.failed = fmt.Sprintf("cell %d failed %d times: %s", cl.id, cl.fails, msg)
+	}
+}
+
+// reap requeues every cell whose lease expired, folding the last
+// heartbeat's partial results into the cell's committed base so the
+// next worker resumes exactly at the dead worker's cursor.
+func (c *Coordinator) reap() {
+	now := c.now()
+	for id, cl := range c.leases {
+		if now.After(cl.expiry) {
+			delete(c.leases, id)
+			c.requeueLocked(cl)
+			cl.fails++
+			if cl.fails > c.retryLimit {
+				cl.job.failed = fmt.Sprintf("cell %d: lease expired %d times", cl.id, cl.fails)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) requeueLocked(cl *cell) {
+	cl.baseFindings = append(cl.baseFindings, cl.liveFindings...)
+	cl.baseRuns += cl.liveRuns
+	cl.cursor = max(cl.cursor, cl.liveCursor)
+	cl.liveFindings, cl.liveRuns = nil, 0
+	cl.liveCursor = cl.cursor
+	cl.state = cellPending
+	cl.lease, cl.worker = "", ""
+	c.queue = append(c.queue, cl)
+}
+
+func (c *Coordinator) touch(name string) *workerInfo {
+	if name == "" {
+		name = "anonymous"
+	}
+	w, ok := c.workers[name]
+	if !ok {
+		w = &workerInfo{name: name, firstSeen: c.now()}
+		c.workers[name] = w
+	}
+	w.lastSeen = c.now()
+	return w
+}
+
+// Result assembles a completed job's merged outcome. Soak findings
+// merge in cell start order; because cells partition [0, Programs)
+// and each cell's findings are already in program order, the merged
+// list is exactly the single-process campaign's list.
+func (c *Coordinator) Result(id string) (*JobResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown job %q", id)
+	}
+	if j.failed != "" {
+		return nil, fmt.Errorf("serve: job %s failed: %s", id, j.failed)
+	}
+	if !j.done() {
+		return nil, fmt.Errorf("serve: job %s is not finished", id)
+	}
+	cells := append([]*cell(nil), j.cells...)
+	sort.Slice(cells, func(a, b int) bool { return cells[a].start < cells[b].start })
+	switch j.spec.Kind {
+	case "soak":
+		s := j.spec.Soak
+		rep := &soak.Report{
+			BaseSeed:    s.BaseSeed,
+			Programs:    s.Programs,
+			Configs:     s.Configs,
+			Schedulers:  s.Schedulers,
+			InjectSeeds: s.InjectSeeds,
+		}
+		for _, cl := range cells {
+			rep.Runs += cl.runs
+			rep.Findings = append(rep.Findings, cl.findings...)
+		}
+		return &JobResult{Soak: rep}, nil
+	default:
+		var rows []BenchRow
+		for _, cl := range cells {
+			rows = append(rows, cl.rows...)
+		}
+		return &JobResult{Bench: rows}, nil
+	}
+}
+
+// Status snapshots the whole fleet for the dashboard and the status
+// endpoint.
+func (c *Coordinator) Status() *Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	now := c.now()
+	st := &Status{LeaseTTLMillis: c.leaseTTL.Milliseconds()}
+	for _, cl := range c.queue {
+		if cl.state == cellPending && cl.job.failed == "" {
+			st.QueueDepth++
+		}
+	}
+	names := make([]string, 0, len(c.workers))
+	for n := range c.workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := c.workers[n]
+		ws := WorkerStatus{
+			Name:       w.name,
+			IdleMillis: now.Sub(w.lastSeen).Milliseconds(),
+			Programs:   w.programs,
+			Findings:   w.findings,
+			Cells:      w.cells,
+		}
+		if alive := w.lastSeen.Sub(w.firstSeen); alive > 0 {
+			ws.ProgramsPerSec = float64(w.programs) / alive.Seconds()
+		}
+		st.Workers = append(st.Workers, ws)
+	}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		js := JobStatus{ID: j.id, Kind: j.spec.Kind, State: j.state(), Failed: j.failed}
+		var dedupe sig.Deduper
+		cells := append([]*cell(nil), j.cells...)
+		sort.Slice(cells, func(a, b int) bool { return cells[a].start < cells[b].start })
+		for _, cl := range cells {
+			cursor := max(cl.cursor, cl.liveCursor)
+			cs := CellStatus{
+				ID: cl.id, Start: cl.start, End: cl.end, Cursor: cursor,
+				State: cl.state.String(), Worker: cl.worker,
+			}
+			known := cl.findings
+			if cl.state != cellDone {
+				known = append(append([]soak.Finding(nil), cl.baseFindings...), cl.liveFindings...)
+			}
+			cs.Findings = len(known)
+			for _, f := range known {
+				dedupe.Add(f.Signature())
+				if len(js.Feed) < feedLimit {
+					js.Feed = append(js.Feed, f)
+				}
+			}
+			js.Findings += len(known)
+			if cl.state == cellDone {
+				js.Runs += cl.runs
+			} else {
+				js.Runs += cl.baseRuns + cl.liveRuns
+			}
+			js.Programs += cl.end - cl.start
+			js.Done += cursor - cl.start
+			js.Cells = append(js.Cells, cs)
+		}
+		js.Deduped = dedupe.Classes()
+		st.Jobs = append(st.Jobs, js)
+	}
+	return st
+}
+
+// feedLimit bounds the findings feed per job in status snapshots.
+const feedLimit = 50

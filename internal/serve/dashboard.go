@@ -1,0 +1,114 @@
+package serve
+
+// dashboardHTML is the self-contained live dashboard served at "/":
+// no external assets, just a fetch loop over /api/status rendering the
+// job wavefront (one block per cell, colored by state), per-worker
+// throughput and the deduped findings feed. A saved copy of the page
+// (curl / > dashboard.html) remains a readable snapshot — CI archives
+// one per fleet run.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>pok-serve fleet</title>
+<style>
+  :root { color-scheme: light dark; }
+  body { font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: .2rem .7rem .2rem 0; border-bottom: 1px solid #8884; }
+  .wave { display: flex; flex-wrap: wrap; gap: 2px; margin: .4rem 0; }
+  .cell { height: 18px; min-width: 14px; border-radius: 3px; position: relative;
+          background: #8883; overflow: hidden; }
+  .cell .fill { position: absolute; inset: 0; width: 0; background: #4a90d9; }
+  .cell.done .fill { width: 100%; background: #3cb371; }
+  .cell.finding { outline: 2px solid #d9534f; outline-offset: -2px; }
+  .muted { opacity: .65; } .bad { color: #d9534f; } .ok { color: #3cb371; }
+  #err { color: #d9534f; }
+</style>
+</head>
+<body>
+<h1>pok-serve fleet <span id="meta" class="muted"></span></h1>
+<div id="err"></div>
+<h2>Workers</h2>
+<div id="workers" class="muted">none yet</div>
+<h2>Jobs</h2>
+<div id="jobs" class="muted">none yet</div>
+<script>
+function esc(s) { return String(s).replace(/[&<>"]/g,
+  ch => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[ch])); }
+
+function renderWorkers(ws) {
+  if (!ws || !ws.length) return '<span class="muted">none yet</span>';
+  let h = '<table><tr><th>worker</th><th>cells</th><th>programs</th>' +
+          '<th>prog/s</th><th>findings</th><th>last seen</th></tr>';
+  for (const w of ws) {
+    h += '<tr><td>' + esc(w.name) + '</td><td>' + w.cells + '</td><td>' +
+         w.programs + '</td><td>' + w.programs_per_sec.toFixed(2) + '</td><td>' +
+         (w.findings ? '<span class="bad">' + w.findings + '</span>' : '0') +
+         '</td><td class="muted">' + (w.idle_ms / 1000).toFixed(1) + 's ago</td></tr>';
+  }
+  return h + '</table>';
+}
+
+function renderJob(j) {
+  let h = '<h3>' + esc(j.id) + ' <span class="muted">' + esc(j.kind) + '</span> ' +
+          (j.state === 'done' ? '<span class="ok">done</span>' :
+           j.state === 'failed' ? '<span class="bad">failed: ' + esc(j.failed || '') + '</span>' :
+           esc(j.state)) +
+          ' <span class="muted">' + j.done + '/' + j.programs + ' programs, ' +
+          j.runs + ' runs, ' + j.findings + ' findings</span></h3>';
+  h += '<div class="wave">';
+  for (const c of (j.cells || [])) {
+    const span = Math.max(1, c.end - c.start);
+    const pct = Math.min(100, 100 * (c.cursor - c.start) / span);
+    h += '<div class="cell ' + esc(c.state) + (c.findings ? ' finding' : '') +
+         '" style="flex-grow:' + span + '" title="cell ' + c.id + ' [' + c.start +
+         ',' + c.end + ') ' + esc(c.state) +
+         (c.worker ? ' @' + esc(c.worker) : '') + '"><div class="fill" style="width:' +
+         pct + '%"></div></div>';
+  }
+  h += '</div>';
+  if (j.deduped && j.deduped.length) {
+    h += '<table><tr><th>signature</th><th>count</th></tr>';
+    for (const d of j.deduped) {
+      h += '<tr><td class="bad">' + esc(d.sig.kind) +
+           (d.sig.field ? '/' + esc(d.sig.field) : '') + '</td><td>' + d.count + '</td></tr>';
+    }
+    h += '</table>';
+  }
+  if (j.feed && j.feed.length) {
+    h += '<details><summary>' + j.feed.length + ' findings</summary><table>' +
+         '<tr><th>prog</th><th>cfg</th><th>sched</th><th>kind</th><th>detail</th></tr>';
+    for (const f of j.feed) {
+      h += '<tr><td>p' + f.program + '</td><td>' + esc(f.config) + '</td><td>' +
+           esc(f.scheduler) + '</td><td class="bad">' + esc(f.kind) +
+           (f.field ? '/' + esc(f.field) : '') + '</td><td class="muted">' +
+           esc(f.detail || '') + '</td></tr>';
+    }
+    h += '</table></details>';
+  }
+  return h;
+}
+
+async function tick() {
+  try {
+    const st = await (await fetch('/api/status')).json();
+    document.getElementById('err').textContent = '';
+    document.getElementById('meta').textContent =
+      'queue ' + st.queue_depth + ' · lease ' + st.lease_ttl_ms + 'ms';
+    document.getElementById('workers').innerHTML = renderWorkers(st.workers);
+    document.getElementById('jobs').innerHTML =
+      (st.jobs && st.jobs.length) ? st.jobs.map(renderJob).join('')
+                                  : '<span class="muted">none yet</span>';
+  } catch (e) {
+    document.getElementById('err').textContent = 'status fetch failed: ' + e;
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"pok/internal/sig"
+	"pok/internal/soak"
+)
+
+// Assignment is one leased cell: everything a stateless worker needs
+// to execute it — the job spec, the [Start, End) program range (soak)
+// or benchmark (bench), and the lease TTL it must heartbeat within.
+type Assignment struct {
+	Lease     string        `json:"lease"`
+	Job       string        `json:"job"`
+	Cell      int           `json:"cell"`
+	Kind      string        `json:"kind"`
+	Start     int           `json:"start"`
+	End       int           `json:"end"`
+	Benchmark string        `json:"benchmark,omitempty"`
+	LeaseTTL  time.Duration `json:"lease_ttl"`
+	Spec      JobSpec       `json:"spec"`
+}
+
+// Heartbeat is a worker's progress report: Cursor is the next program
+// index not yet run, Findings/Runs are cumulative for this lease.
+type Heartbeat struct {
+	Lease    string         `json:"lease"`
+	Worker   string         `json:"worker"`
+	Cursor   int            `json:"cursor"`
+	Runs     int            `json:"runs"`
+	Findings []soak.Finding `json:"findings,omitempty"`
+}
+
+// HeartbeatReply acknowledges a heartbeat. End is the cell's current
+// exclusive end bound (it shrinks when the tail is stolen); Cancel
+// tells the worker its lease is gone and the cell must be abandoned.
+type HeartbeatReply struct {
+	End    int  `json:"end"`
+	Cancel bool `json:"cancel,omitempty"`
+}
+
+// CellResult completes a lease: Findings/Runs cover exactly the
+// programs this lease ran ([lease start, Cursor)), Rows carries bench
+// results.
+type CellResult struct {
+	Lease    string         `json:"lease"`
+	Worker   string         `json:"worker"`
+	Cursor   int            `json:"cursor"`
+	Runs     int            `json:"runs"`
+	Findings []soak.Finding `json:"findings,omitempty"`
+	Rows     []BenchRow     `json:"rows,omitempty"`
+}
+
+// FailRequest reports a hard worker-side error on a leased cell.
+type FailRequest struct {
+	Lease  string `json:"lease"`
+	Worker string `json:"worker"`
+	Error  string `json:"error"`
+}
+
+// Status is the fleet snapshot served at /api/status and rendered by
+// the dashboard.
+type Status struct {
+	LeaseTTLMillis int64          `json:"lease_ttl_ms"`
+	QueueDepth     int            `json:"queue_depth"`
+	Workers        []WorkerStatus `json:"workers,omitempty"`
+	Jobs           []JobStatus    `json:"jobs,omitempty"`
+}
+
+// WorkerStatus is one worker's fleet-side accounting.
+type WorkerStatus struct {
+	Name           string  `json:"name"`
+	IdleMillis     int64   `json:"idle_ms"`
+	Programs       int     `json:"programs"`
+	ProgramsPerSec float64 `json:"programs_per_sec"`
+	Findings       int     `json:"findings"`
+	Cells          int     `json:"cells"`
+}
+
+// JobStatus is one job's live view: the cell wavefront, merged
+// progress counters, the deduped finding classes and a bounded
+// findings feed.
+type JobStatus struct {
+	ID       string         `json:"id"`
+	Kind     string         `json:"kind"`
+	State    string         `json:"state"`
+	Failed   string         `json:"failed,omitempty"`
+	Programs int            `json:"programs"`
+	Done     int            `json:"done"`
+	Runs     int            `json:"runs"`
+	Findings int            `json:"findings"`
+	Cells    []CellStatus   `json:"cells,omitempty"`
+	Deduped  []sig.Class    `json:"deduped,omitempty"`
+	Feed     []soak.Finding `json:"feed,omitempty"`
+}
+
+// CellStatus is one cell of the job wavefront.
+type CellStatus struct {
+	ID       int    `json:"id"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	Cursor   int    `json:"cursor"`
+	State    string `json:"state"`
+	Worker   string `json:"worker,omitempty"`
+	Findings int    `json:"findings"`
+}
+
+// Handler returns the coordinator's HTTP API plus the dashboard:
+//
+//	POST /api/jobs            submit a JobSpec           -> {"id": ...}
+//	GET  /api/jobs/{id}       job status                 -> JobStatus
+//	GET  /api/jobs/{id}/result merged result (when done) -> JobResult
+//	POST /api/lease           {"worker": ...}            -> Assignment | 204
+//	POST /api/heartbeat       Heartbeat                  -> HeartbeatReply
+//	POST /api/complete        CellResult                 -> {"ok": true}
+//	POST /api/fail            FailRequest                -> {"ok": true}
+//	GET  /api/status          fleet snapshot             -> Status
+//	GET  /                    self-contained HTML dashboard
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /api/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if !readJSON(w, r, &spec) {
+			return
+		}
+		id, err := c.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /api/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		st := c.Status()
+		for _, j := range st.Jobs {
+			if j.ID == id {
+				writeJSON(w, j)
+				return
+			}
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+	})
+
+	mux.HandleFunc("GET /api/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		res, err := c.Result(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, res)
+	})
+
+	mux.HandleFunc("POST /api/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker string `json:"worker"`
+		}
+		if !readJSON(w, r, &req) {
+			return
+		}
+		a := c.Lease(req.Worker)
+		if a == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, a)
+	})
+
+	mux.HandleFunc("POST /api/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var hb Heartbeat
+		if !readJSON(w, r, &hb) {
+			return
+		}
+		writeJSON(w, c.Heartbeat(hb))
+	})
+
+	mux.HandleFunc("POST /api/complete", func(w http.ResponseWriter, r *http.Request) {
+		var res CellResult
+		if !readJSON(w, r, &res) {
+			return
+		}
+		if err := c.Complete(res); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("POST /api/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req FailRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		c.Fail(req.Lease, req.Worker, req.Error)
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, dashboardHTML)
+	})
+
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pok/internal/core"
+	"pok/internal/soak"
+	"pok/internal/workload"
+)
+
+// Worker is one fleet worker process: it pulls cells from the
+// coordinator, executes them in-process through the soak harness (or
+// the timing core for bench cells), heartbeats after every program —
+// the heartbeat cursor is the same resumable frontier a soak
+// checkpoint records, so the coordinator can resume a dead worker's
+// cell exactly — and keeps long reductions alive with a background
+// keepalive ticker.
+type Worker struct {
+	// Client reaches the coordinator.
+	Client *Client
+	// Name identifies the worker in leases and on the dashboard.
+	Name string
+	// OutDir receives repro bundles (default "fleet-worker-out").
+	OutDir string
+	// Poll is the idle-queue poll interval (default 500ms).
+	Poll time.Duration
+	// MaxCells exits the loop after this many completed or abandoned
+	// cells (0 = run until the context ends).
+	MaxCells int
+	// Log receives one line per cell (nil = quiet).
+	Log io.Writer
+}
+
+// Run pulls and executes cells until ctx is cancelled (or MaxCells is
+// reached). It returns nil on a clean shutdown.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	cells := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		a, err := w.Client.Lease(w.Name)
+		if err != nil || a == nil {
+			// Coordinator unreachable or queue empty: idle-wait. An
+			// unreachable coordinator is indistinguishable from a slow
+			// one, so the worker just keeps polling.
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		w.logf("cell %s/%d [%d,%d) leased\n", a.Job, a.Cell, a.Start, a.End)
+		w.runCell(ctx, a)
+		cells++
+		if w.MaxCells > 0 && cells >= w.MaxCells {
+			return nil
+		}
+	}
+}
+
+func (w *Worker) runCell(ctx context.Context, a *Assignment) {
+	switch a.Kind {
+	case "soak":
+		w.runSoakCell(ctx, a)
+	case "bench":
+		w.runBenchCell(ctx, a)
+	default:
+		_ = w.Client.Fail(a.Lease, w.Name, fmt.Sprintf("unknown cell kind %q", a.Kind))
+	}
+}
+
+// cellProgress is the shared progress snapshot the per-program hook
+// writes and the keepalive ticker reads.
+type cellProgress struct {
+	mu       sync.Mutex
+	cursor   int
+	runs     int
+	findings []soak.Finding
+}
+
+func (p *cellProgress) set(cursor, runs int, findings []soak.Finding) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cursor = cursor
+	p.runs = runs
+	p.findings = append([]soak.Finding(nil), findings...)
+}
+
+func (p *cellProgress) heartbeat(lease, worker string) Heartbeat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Heartbeat{
+		Lease: lease, Worker: worker,
+		Cursor: p.cursor, Runs: p.runs,
+		Findings: append([]soak.Finding(nil), p.findings...),
+	}
+}
+
+func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) {
+	spec := a.Spec.Soak
+	if spec == nil {
+		_ = w.Client.Fail(a.Lease, w.Name, "soak cell without soak spec")
+		return
+	}
+	outDir := w.OutDir
+	if outDir == "" {
+		outDir = "fleet-worker-out"
+	}
+	opts := spec.Options(outDir)
+	opts.StartProgram = a.Start
+	opts.Programs = a.End
+
+	prog := &cellProgress{cursor: a.Start}
+	var abandoned atomic.Bool
+	end := int64(a.End)
+
+	// Keepalive: a single reduction can run far longer than the lease
+	// TTL, so a background ticker extends the lease between the
+	// per-program heartbeats.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(keepaliveInterval(a.LeaseTTL))
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				reply, err := w.Client.Heartbeat(prog.heartbeat(a.Lease, w.Name))
+				if err == nil {
+					if reply.Cancel {
+						abandoned.Store(true)
+					} else {
+						atomic.StoreInt64(&end, int64(reply.End))
+					}
+				}
+			}
+		}
+	}()
+
+	// The per-program hook: publish the cursor, heartbeat
+	// synchronously, and apply the returned end bound — this is where
+	// a stolen tail takes effect and where a lost lease aborts the
+	// cell before any overlapping work can happen.
+	opts.Progress = func(next int, rep *soak.Report) (int, bool) {
+		prog.set(next, rep.Runs, rep.Findings)
+		if ctx.Err() != nil || abandoned.Load() {
+			abandoned.Store(true)
+			return 0, true
+		}
+		reply, err := w.Client.Heartbeat(prog.heartbeat(a.Lease, w.Name))
+		if err != nil || reply.Cancel {
+			// The lease's fate is unknown (or gone): abandon the cell
+			// and let the coordinator requeue it from the last acked
+			// cursor rather than risk double-covering programs.
+			abandoned.Store(true)
+			return 0, true
+		}
+		atomic.StoreInt64(&end, int64(reply.End))
+		return reply.End, false
+	}
+
+	rep, err := soak.Run(opts, false)
+	close(stop)
+	wg.Wait()
+	switch {
+	case err != nil:
+		_ = w.Client.Fail(a.Lease, w.Name, err.Error())
+		w.logf("cell %s/%d failed: %v\n", a.Job, a.Cell, err)
+	case abandoned.Load():
+		w.logf("cell %s/%d abandoned (lease lost)\n", a.Job, a.Cell)
+	default:
+		final := int(atomic.LoadInt64(&end))
+		cErr := w.Client.Complete(CellResult{
+			Lease: a.Lease, Worker: w.Name,
+			Cursor: final, Runs: rep.Runs, Findings: rep.Findings,
+		})
+		if cErr != nil {
+			w.logf("cell %s/%d complete rejected: %v\n", a.Job, a.Cell, cErr)
+		} else {
+			w.logf("cell %s/%d done: %d runs, %d findings\n",
+				a.Job, a.Cell, rep.Runs, len(rep.Findings))
+		}
+	}
+}
+
+func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) {
+	spec := a.Spec.Bench
+	if spec == nil {
+		_ = w.Client.Fail(a.Lease, w.Name, "bench cell without bench spec")
+		return
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(keepaliveInterval(a.LeaseTTL))
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				_, _ = w.Client.Heartbeat(Heartbeat{
+					Lease: a.Lease, Worker: w.Name, Cursor: a.Start,
+				})
+			}
+		}
+	}()
+	rows, err := runBench(a.Benchmark, spec)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		_ = w.Client.Fail(a.Lease, w.Name, err.Error())
+		return
+	}
+	_ = w.Client.Complete(CellResult{
+		Lease: a.Lease, Worker: w.Name, Cursor: a.End, Rows: rows,
+	})
+	w.logf("cell %s/%d done: %s, %d rows\n", a.Job, a.Cell, a.Benchmark, len(rows))
+}
+
+// runBench simulates one benchmark under every config of the spec with
+// its standard fast-forward (the same path pok.SimulateBenchmark
+// takes).
+func runBench(bench string, spec *BenchSpec) ([]BenchRow, error) {
+	wl, err := workload.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := wl.Program(wl.DefaultScale)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BenchRow, 0, len(spec.Configs))
+	for _, name := range spec.Configs {
+		cfg, err := soak.ConfigByName(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.RunWarm(prog, cfg, wl.FastForward, spec.MaxInsts)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", bench, name, err)
+		}
+		rows = append(rows, BenchRow{
+			Benchmark: bench, Config: name,
+			IPC: r.IPC, Cycles: r.Cycles, Insts: r.Insts,
+		})
+	}
+	return rows, nil
+}
+
+// keepaliveInterval paces the background lease extension at a third of
+// the TTL, floored so a tiny test TTL doesn't spin.
+func keepaliveInterval(ttl time.Duration) time.Duration {
+	return max(ttl/3, 20*time.Millisecond)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "%s: "+format, append([]any{w.Name}, args...)...)
+	}
+}

@@ -1,0 +1,128 @@
+// Package sig defines the failure signature shared by the ddmin
+// reducer (internal/check/reduce), the soak harness (internal/soak) and
+// the fleet coordinator (internal/serve). A signature is the
+// (kind, field) pair that identifies a *class* of failure — "divergence
+// on dstval", "invariant rob-age-order", "deadlock", "panic",
+// "timeout" — independent of which seed, config or scheduler produced
+// it. The reducer uses it to guarantee a minimization never swaps one
+// bug for another; the soak and the fleet use the identical matcher to
+// dedupe findings, so a signature deduped locally and a signature
+// deduped by the coordinator can never disagree.
+package sig
+
+import (
+	"fmt"
+
+	"pok/internal/check"
+)
+
+// Signature classifies one run. Kind "" means the run was clean;
+// otherwise it matches check.Report.FailKind plus the harness-level
+// kinds "panic", "timeout" and "error". Field refines the class: the
+// diverging commit field, or the violated invariant rule.
+type Signature struct {
+	Kind  string `json:"kind"`
+	Field string `json:"field,omitempty"`
+}
+
+// Failing reports whether the signature is a failure of any kind.
+func (s Signature) Failing() bool { return s.Kind != "" }
+
+// Matches reports whether s reproduces ref: kinds must agree, and when
+// ref has a field (divergence field / invariant rule) it must agree
+// too — a reduction or dedupe that conflates a dstval divergence with
+// a pc divergence would be mixing two different bugs.
+func (s Signature) Matches(ref Signature) bool {
+	if s.Kind != ref.Kind {
+		return false
+	}
+	return ref.Field == "" || s.Field == ref.Field
+}
+
+// Key is the canonical dedupe key. Signatures dedupe equal iff their
+// keys are equal.
+func (s Signature) Key() string {
+	if s.Field == "" {
+		return s.Kind
+	}
+	return s.Kind + "/" + s.Field
+}
+
+// String renders the signature for logs ("divergence/dstval").
+func (s Signature) String() string {
+	if !s.Failing() {
+		return "clean"
+	}
+	return s.Key()
+}
+
+// Classify maps a check.Report to its failure signature.
+func Classify(rep *check.Report) Signature {
+	if rep == nil || rep.OK {
+		return Signature{}
+	}
+	out := Signature{Kind: rep.FailKind}
+	switch {
+	case rep.Divergence != nil:
+		out.Field = rep.Divergence.Field
+	case rep.Invariant != nil:
+		out.Field = rep.Invariant.Rule
+	}
+	return out
+}
+
+// Class is one deduped signature class: the signature, how many
+// findings mapped to it, and the index (into the caller's finding
+// order) of the first exemplar.
+type Class struct {
+	Sig   Signature `json:"sig"`
+	Count int       `json:"count"`
+	First int       `json:"first"`
+}
+
+// Deduper groups signatures by Key in first-seen order. The zero value
+// is ready to use.
+type Deduper struct {
+	order []string
+	byKey map[string]*Class
+	n     int
+}
+
+// Add records one signature and reports whether it opened a new class.
+func (d *Deduper) Add(s Signature) bool {
+	if d.byKey == nil {
+		d.byKey = make(map[string]*Class)
+	}
+	idx := d.n
+	d.n++
+	k := s.Key()
+	if c, ok := d.byKey[k]; ok {
+		c.Count++
+		return false
+	}
+	d.byKey[k] = &Class{Sig: s, Count: 1, First: idx}
+	d.order = append(d.order, k)
+	return true
+}
+
+// Classes returns the deduped classes in first-seen order.
+func (d *Deduper) Classes() []Class {
+	out := make([]Class, 0, len(d.order))
+	for _, k := range d.order {
+		out = append(out, *d.byKey[k])
+	}
+	return out
+}
+
+// Len is the number of distinct classes.
+func (d *Deduper) Len() int { return len(d.order) }
+
+// Summary renders "N findings in M distinct signatures" with the class
+// list, for CLI footers.
+func (d *Deduper) Summary() string {
+	s := fmt.Sprintf("%d findings in %d distinct signatures", d.n, d.Len())
+	for _, c := range d.Classes() {
+		s += fmt.Sprintf("\n  %-24s x%d", c.Sig.Key(), c.Count)
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package sig
+
+import (
+	"reflect"
+	"testing"
+
+	"pok/internal/check"
+)
+
+func TestMatches(t *testing.T) {
+	dstval := Signature{Kind: "divergence", Field: "dstval"}
+	pc := Signature{Kind: "divergence", Field: "pc"}
+	anyDiv := Signature{Kind: "divergence"}
+	panicSig := Signature{Kind: "panic"}
+
+	if !dstval.Matches(dstval) {
+		t.Fatal("signature must match itself")
+	}
+	if dstval.Matches(pc) {
+		t.Fatal("dstval divergence must not match pc divergence")
+	}
+	// A ref without a field accepts any field of the same kind.
+	if !pc.Matches(anyDiv) {
+		t.Fatal("field-less ref must accept any field")
+	}
+	// ...but a ref with a field rejects a field-less observation.
+	if anyDiv.Matches(dstval) {
+		t.Fatal("field-less observation must not satisfy a field ref")
+	}
+	if dstval.Matches(panicSig) {
+		t.Fatal("kinds must agree")
+	}
+	if (Signature{}).Failing() || !panicSig.Failing() {
+		t.Fatal("Failing misclassifies")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if got := Classify(nil); got.Failing() {
+		t.Fatalf("Classify(nil) = %v, want clean", got)
+	}
+	if got := Classify(&check.Report{OK: true}); got.Failing() {
+		t.Fatalf("Classify(ok) = %v, want clean", got)
+	}
+	rep := &check.Report{
+		FailKind:   "divergence",
+		Divergence: &check.Divergence{Field: "dstval"},
+	}
+	want := Signature{Kind: "divergence", Field: "dstval"}
+	if got := Classify(rep); got != want {
+		t.Fatalf("Classify = %v, want %v", got, want)
+	}
+	iv := &check.Report{
+		FailKind:  "invariant",
+		Invariant: &check.InvariantReport{Rule: "rob-age-order"},
+	}
+	want = Signature{Kind: "invariant", Field: "rob-age-order"}
+	if got := Classify(iv); got != want {
+		t.Fatalf("Classify(invariant) = %v, want %v", got, want)
+	}
+}
+
+func TestDeduper(t *testing.T) {
+	var d Deduper
+	sigs := []Signature{
+		{Kind: "divergence", Field: "dstval"},
+		{Kind: "deadlock"},
+		{Kind: "divergence", Field: "dstval"},
+		{Kind: "divergence", Field: "pc"},
+		{Kind: "divergence", Field: "dstval"},
+	}
+	news := 0
+	for _, s := range sigs {
+		if d.Add(s) {
+			news++
+		}
+	}
+	if news != 3 || d.Len() != 3 {
+		t.Fatalf("got %d new / %d classes, want 3 / 3", news, d.Len())
+	}
+	want := []Class{
+		{Sig: Signature{Kind: "divergence", Field: "dstval"}, Count: 3, First: 0},
+		{Sig: Signature{Kind: "deadlock"}, Count: 1, First: 1},
+		{Sig: Signature{Kind: "divergence", Field: "pc"}, Count: 1, First: 3},
+	}
+	if got := d.Classes(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Classes = %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,93 @@
+package soak
+
+import (
+	"reflect"
+	"testing"
+
+	"pok/internal/check/inject"
+)
+
+// TestSoakSplitEquivalence is the sharding invariant the fleet
+// coordinator (internal/serve) is built on: running [0,3) in one pass
+// and running [0,2) + [2,3) as separate StartProgram slices must
+// produce identical findings and the same run count, because each
+// program's seed is a pure function of (BaseSeed, index).
+func TestSoakSplitEquivalence(t *testing.T) {
+	hook := &inject.Options{CorruptOn: true, CorruptAt: 20}
+
+	full := small(t)
+	full.Hook = hook
+	full.NoReduce = true
+	fullRep, err := Run(full, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fullRep.Findings) == 0 {
+		t.Fatal("seeded fault produced no findings; the split test is vacuous")
+	}
+
+	lo := small(t)
+	lo.Hook = hook
+	lo.NoReduce = true
+	lo.Programs = 2
+	loRep, err := Run(lo, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hi := small(t)
+	hi.Hook = hook
+	hi.NoReduce = true
+	hi.StartProgram = 2
+	hiRep, err := Run(hi, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged := append(append([]Finding(nil), loRep.Findings...), hiRep.Findings...)
+	if !reflect.DeepEqual(merged, fullRep.Findings) {
+		t.Fatalf("split findings differ from the full run\nfull:   %+v\nmerged: %+v",
+			fullRep.Findings, merged)
+	}
+	if got := loRep.Runs + hiRep.Runs; got != fullRep.Runs {
+		t.Fatalf("split runs %d, full run %d", got, fullRep.Runs)
+	}
+}
+
+// TestSoakProgressShrink: the Progress hook's newEnd return tightens
+// the campaign's end bound mid-run — the mechanism a fleet worker uses
+// when the coordinator steals the tail of its cell.
+func TestSoakProgressShrink(t *testing.T) {
+	opts := small(t)
+	calls := 0
+	opts.Progress = func(next int, rep *Report) (int, bool) {
+		calls++
+		return 1, false // shrink to a single program after the first
+	}
+	rep, err := Run(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != 1 || rep.Runs != 1 {
+		t.Fatalf("shrunk run covered programs=%d runs=%d, want 1/1", rep.Programs, rep.Runs)
+	}
+	if calls != 1 {
+		t.Fatalf("progress hook ran %d times, want 1", calls)
+	}
+}
+
+// TestSoakProgressStop: a stop=true return abandons the campaign
+// immediately (a fleet worker does this when its lease is cancelled).
+func TestSoakProgressStop(t *testing.T) {
+	opts := small(t)
+	opts.Progress = func(next int, rep *Report) (int, bool) {
+		return 0, true
+	}
+	rep, err := Run(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Programs != 1 || rep.Runs != 1 {
+		t.Fatalf("stopped run covered programs=%d runs=%d, want 1/1", rep.Programs, rep.Runs)
+	}
+}

@@ -1,0 +1,21 @@
+package soak
+
+import "pok/internal/sig"
+
+// Signature is the finding's failure class — the same (kind, field)
+// signature the reducer matched during minimization, shared via
+// internal/sig so local dedupe and the fleet coordinator's dedupe are
+// the same code.
+func (f Finding) Signature() sig.Signature {
+	return sig.Signature{Kind: f.Kind, Field: f.Field}
+}
+
+// Deduped groups the report's findings by failure signature in
+// first-seen order.
+func (r *Report) Deduped() []sig.Class {
+	var d sig.Deduper
+	for _, f := range r.Findings {
+		d.Add(f.Signature())
+	}
+	return d.Classes()
+}

@@ -33,8 +33,16 @@ type Options struct {
 	// gen.ProgramSeed(BaseSeed, i).
 	BaseSeed uint64
 	// Programs is the number of programs to generate (0 with Duration
-	// set = until the time box expires).
+	// set = until the time box expires). With StartProgram set it is
+	// the exclusive end index instead — the campaign covers program
+	// indices [StartProgram, Programs).
 	Programs int
+	// StartProgram is the first program index to run (default 0). The
+	// fleet coordinator (internal/serve) shards a campaign into
+	// [start, end) cells with it; because a program's seed is a pure
+	// function of (BaseSeed, index), the union of the cells covers
+	// exactly the programs a single-process run covers.
+	StartProgram int
 	// Duration time-boxes the soak (0 = no box). When both Programs
 	// and Duration are set, whichever limit hits first ends the run.
 	Duration time.Duration
@@ -90,6 +98,15 @@ type Options struct {
 	RegisterWorkloads bool
 	// Log receives one progress line per program (nil = quiet).
 	Log io.Writer
+	// Progress, when non-nil, is called after every completed program
+	// with the next program index and the report so far (findings and
+	// runs are cumulative for this campaign). A returned newEnd in
+	// (0, current end) lowers the campaign's end bound — the fleet
+	// coordinator uses this to steal the tail of a running cell — and
+	// stop=true aborts the campaign after checkpointing. Raising the
+	// bound is ignored. Excluded from the checkpoint signature, like
+	// the other pacing knobs.
+	Progress func(next int, rep *Report) (newEnd int, stop bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -214,17 +231,17 @@ func Run(opts Options, resume bool) (*Report, error) {
 		Schedulers:  opts.Schedulers,
 		InjectSeeds: opts.InjectSeeds,
 	}
-	start := 0
+	start := opts.StartProgram
 	if resume && opts.Checkpoint != "" {
 		cp, err := LoadCheckpoint(opts.Checkpoint)
 		if err != nil {
 			return nil, fmt.Errorf("soak: resume: %w", err)
 		}
-		if sig := optionsSig(opts); cp.Sig != sig {
+		if want := optionsSig(opts); cp.Sig != want {
 			return nil, fmt.Errorf("soak: checkpoint %s was written by a different campaign (sig %s, want %s)",
-				opts.Checkpoint, cp.Sig, sig)
+				opts.Checkpoint, cp.Sig, want)
 		}
-		start = cp.NextProgram
+		start = max(start, cp.NextProgram)
 		rep.Runs = cp.Runs
 		rep.Findings = cp.Findings
 		rep.Resumed = true
@@ -298,6 +315,15 @@ func Run(opts Options, resume bool) (*Report, error) {
 		if opts.Checkpoint != "" && (idx-start)%opts.CheckpointEvery == 0 {
 			if err := saveProgress(opts, idx, rep); err != nil {
 				return nil, err
+			}
+		}
+		if opts.Progress != nil {
+			newEnd, stop := opts.Progress(idx, rep)
+			if newEnd > 0 && (opts.Programs <= 0 || newEnd < opts.Programs) {
+				opts.Programs = newEnd
+			}
+			if stop {
+				break
 			}
 		}
 	}

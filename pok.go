@@ -36,6 +36,8 @@ import (
 	"pok/internal/exp"
 	"pok/internal/gen"
 	"pok/internal/profile"
+	"pok/internal/serve"
+	"pok/internal/sig"
 	"pok/internal/soak"
 	"pok/internal/telemetry"
 	"pok/internal/workload"
@@ -336,6 +338,39 @@ type (
 	ReproBundle = soak.Bundle
 	// ReduceOutcome classifies one candidate run during reduction.
 	ReduceOutcome = reduce.Outcome
+)
+
+// Distributed fleet: the coordinator/worker scaling layer of
+// internal/serve (CLI: cmd/pok-serve; pok-soak and pok-bench submit
+// with -submit). Failure signatures (internal/sig) are the shared
+// dedupe key of the reducer, the soak harness and the fleet. See
+// DESIGN.md, "Distributed simulation".
+type (
+	// FleetJobSpec is a job submitted to a fleet coordinator.
+	FleetJobSpec = serve.JobSpec
+	// FleetSoakSpec is a soak campaign as a fleet job.
+	FleetSoakSpec = serve.SoakSpec
+	// FleetBenchSpec is a benchmark sweep as a fleet job.
+	FleetBenchSpec = serve.BenchSpec
+	// FleetJobResult is a completed fleet job's merged outcome.
+	FleetJobResult = serve.JobResult
+	// FleetCoordinator owns fleet state and serves the HTTP job API.
+	FleetCoordinator = serve.Coordinator
+	// FleetWorker pulls and executes cells from a coordinator.
+	FleetWorker = serve.Worker
+	// FleetClient talks to a coordinator's HTTP API.
+	FleetClient = serve.Client
+	// FailureSignature is the (kind, field) dedupe key of a finding.
+	FailureSignature = sig.Signature
+	// FailureClass is one deduplicated signature with its count.
+	FailureClass = sig.Class
+)
+
+var (
+	// NewFleetCoordinator builds a coordinator with the given lease TTL.
+	NewFleetCoordinator = serve.NewCoordinator
+	// NewFleetClient builds a client for the coordinator at a base URL.
+	NewFleetClient = serve.NewClient
 )
 
 var (

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Fleet smoke: the CI gate for the pok-serve distributed-simulation
+# fleet. It boots a coordinator and two workers, submits a short soak
+# campaign with a seeded corruption (so every program is a finding),
+# kills one worker mid-run, and requires that
+#
+#   (a) the job still completes — the dead worker's cell is requeued
+#       after its lease expires and finished by the survivor, and
+#   (b) the merged findings report is byte-identical to a
+#       single-process run of the same campaign.
+#
+# Artifacts land under $OUT (default fleet-out): the solo and fleet
+# findings JSON, repro bundles, coordinator/worker logs, and a
+# dashboard.html + status.json snapshot of the coordinator UI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-fleet-out}"
+PORT="${PORT:-18923}"
+URL="http://127.0.0.1:$PORT"
+# The seeded corruption (-corrupt 20) makes every program diverge, so
+# the byte-identical diff below compares non-trivial findings.
+SOAK_FLAGS=(-programs 6 -seed 7 -configs slice2 -scheduler event
+            -fragments 6 -loop-iters 2 -gen-insts 2000 -corrupt 20
+            -reduce-tests 64 -q)
+
+rm -rf "$OUT"
+mkdir -p "$OUT/solo" "$OUT/fleet" "$OUT/worker-1" "$OUT/worker-2"
+
+go build -o "$OUT/pok-serve" ./cmd/pok-serve
+go build -o "$OUT/pok-soak" ./cmd/pok-soak
+
+pids=()
+cleanup() {
+  kill "${pids[@]}" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$OUT/pok-serve" -listen "127.0.0.1:$PORT" -lease 3s \
+  >"$OUT/coordinator.log" 2>&1 &
+pids+=($!)
+for _ in $(seq 50); do
+  curl -fsS "$URL/api/status" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$URL/api/status" >/dev/null
+
+"$OUT/pok-serve" -worker -coordinator "$URL" -name worker-1 \
+  -out "$OUT/worker-1" -poll 100ms >"$OUT/worker-1.log" 2>&1 &
+pids+=($!)
+"$OUT/pok-serve" -worker -coordinator "$URL" -name worker-2 \
+  -out "$OUT/worker-2" -poll 100ms >"$OUT/worker-2.log" 2>&1 &
+W2=$!
+pids+=($W2)
+
+# Single-process reference. Exit 1 (findings) is the expected outcome.
+rc=0
+"$OUT/pok-soak" "${SOAK_FLAGS[@]}" -out "$OUT/solo" || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "fleet-smoke: solo run exited $rc, want 1 (findings)" >&2
+  exit 1
+fi
+
+# The identical campaign as a fleet job, one program per cell so the
+# wavefront spreads across both workers.
+"$OUT/pok-soak" "${SOAK_FLAGS[@]}" -out "$OUT/fleet" \
+  -submit "$URL" -cell-programs 1 &
+SUBMIT=$!
+
+# Kill worker 2 once the wavefront is moving: whatever cell it holds
+# must be requeued when its lease expires and finished by worker 1.
+done_count=0
+for _ in $(seq 150); do
+  done_count=$(curl -fsS "$URL/api/status" 2>/dev/null \
+    | grep -o '"done": [0-9]*' | head -1 | grep -o '[0-9]*$' || echo 0)
+  [ "${done_count:-0}" -ge 1 ] && break
+  sleep 0.2
+done
+kill -9 "$W2" 2>/dev/null || true
+echo "fleet-smoke: killed worker-2 at wavefront done=$done_count"
+
+rc=0
+wait "$SUBMIT" || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "fleet-smoke: fleet run exited $rc, want 1 (findings)" >&2
+  sed -n '1,40p' "$OUT/coordinator.log" >&2 || true
+  exit 1
+fi
+
+# Archive the dashboard and the final fleet snapshot.
+curl -fsS "$URL/" -o "$OUT/dashboard.html"
+curl -fsS "$URL/api/status" -o "$OUT/status.json"
+
+for f in findings-7.json deduped-7.json; do
+  if ! diff -u "$OUT/solo/$f" "$OUT/fleet/$f"; then
+    echo "fleet-smoke: $f differs between solo and fleet runs" >&2
+    exit 1
+  fi
+done
+echo "fleet-smoke: PASS — fleet findings byte-identical to the single-process run"
