@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke fleet-smoke eval eval-quick examples clean
+.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke fleet-smoke chaos-smoke eval eval-quick examples clean
 
 all: build test
 
@@ -78,6 +78,15 @@ soak:
 fleet-smoke:
 	bash scripts/fleet_smoke.sh
 
+# Crash-safety smoke (scripts/chaos_smoke.sh): the same campaign with
+# the coordinator journaled, both workers behind a seeded
+# fault-injecting transport, and the coordinator SIGKILLed and
+# restarted from its journal mid-run. Passes only if the restarted
+# coordinator reports journal recovery AND the merged findings stay
+# byte-identical to the single-process run.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
+
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks, then a quick-budget pok-bench pass that
 # refreshes the repo-root BENCH_PR6.json regression record (the CI
@@ -103,4 +112,4 @@ examples:
 	$(GO) run ./examples/minic
 
 clean:
-	rm -rf results test_output.txt bench_output.txt soak-out fleet-out
+	rm -rf results test_output.txt bench_output.txt soak-out fleet-out chaos-out

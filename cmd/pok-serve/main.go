@@ -5,9 +5,19 @@
 // Usage:
 //
 //	pok-serve -listen 127.0.0.1:8080 -lease 10s      # coordinator + dashboard
+//	pok-serve -listen 127.0.0.1:8080 -journal dir    # crash-safe coordinator
 //	pok-serve -worker -coordinator http://host:8080  # attach a worker
 //	pok-serve -submit job.json -coordinator http://host:8080 -wait
 //	pok-serve -status -coordinator http://host:8080  # one-shot fleet snapshot
+//
+// With -journal the coordinator appends every state transition to a
+// write-ahead journal and replays it on startup, so a crashed (even
+// SIGKILLed) coordinator restarts with its jobs, queue and live leases
+// intact — workers reconnect through their existing lease IDs and the
+// campaign resumes where the journal left it. SIGTERM drains
+// gracefully: leasing stops, in-flight leases run to completion (or
+// TTL expiry), a clean-shutdown marker is journaled, and the HTTP
+// server shuts down.
 //
 // Jobs are JSON JobSpecs (see internal/serve); existing campaigns
 // submit themselves with `pok-soak -submit` / `pok-bench -submit`
@@ -20,6 +30,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -34,12 +45,17 @@ import (
 func main() {
 	listen := flag.String("listen", "", "coordinator mode: address to serve the HTTP API + dashboard on (e.g. 127.0.0.1:8080)")
 	lease := flag.Duration("lease", 10*time.Second, "coordinator: lease TTL before a silent worker's cell is requeued")
+	journal := flag.String("journal", "", "coordinator: write-ahead journal directory; replayed on startup to recover state after a crash")
+	drain := flag.Duration("drain", 30*time.Second, "coordinator: max time to wait for in-flight leases on SIGTERM before shutting down anyway")
 	worker := flag.Bool("worker", false, "worker mode: pull and execute cells")
 	coordinator := flag.String("coordinator", "", "coordinator URL for -worker/-submit/-status")
 	name := flag.String("name", "", "worker name (default worker-<pid>)")
 	out := flag.String("out", "fleet-worker-out", "worker: output directory for repro bundles")
 	poll := flag.Duration("poll", 500*time.Millisecond, "worker: idle-queue poll interval / submit: status poll interval")
 	maxCells := flag.Int("max-cells", 0, "worker: exit after this many cells (0 = run forever)")
+	outage := flag.Duration("outage", 2*time.Minute, "worker: how long the coordinator may stay unreachable before the worker gives up and exits nonzero")
+	chaos := flag.String("chaos", "", "worker: fault-injection spec for the coordinator transport, e.g. drop=0.05,dup=0.02,err=0.05,delay=0.1,maxdelay=80ms (testing)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "worker: seed for -chaos fault pattern")
 	submit := flag.String("submit", "", "submit mode: path to a JobSpec JSON file (- for stdin)")
 	wait := flag.Bool("wait", true, "submit: wait for the job and print its result")
 	status := flag.Bool("status", false, "status mode: print the fleet snapshot and exit")
@@ -48,9 +64,10 @@ func main() {
 
 	switch {
 	case *listen != "":
-		runCoordinator(*listen, *lease)
+		runCoordinator(*listen, *lease, *journal, *drain)
 	case *worker:
-		runWorker(*coordinator, *name, *out, *poll, *maxCells, *quiet)
+		runWorker(*coordinator, *name, *out, *poll, *maxCells, *outage,
+			*chaos, *chaosSeed, *quiet)
 	case *submit != "":
 		runSubmit(*coordinator, *submit, *wait, *poll)
 	case *status:
@@ -60,16 +77,65 @@ func main() {
 	}
 }
 
-func runCoordinator(addr string, lease time.Duration) {
+func runCoordinator(addr string, lease time.Duration, journalDir string, drainTimeout time.Duration) {
 	coord := serve.NewCoordinator(lease)
-	srv := &http.Server{Addr: addr, Handler: coord.Handler()}
+	if journalDir != "" {
+		j, err := serve.OpenJournal(journalDir)
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := coord.AttachJournal(j)
+		if err != nil {
+			fatal(err)
+		}
+		if stats.Records > 0 {
+			fmt.Fprintf(os.Stderr,
+				"pok-serve: recovered %d journal records: %d jobs, %d pending cells, %d live leases%s\n",
+				stats.Records, stats.Jobs, stats.PendingCells, stats.LiveLeases,
+				map[bool]string{true: " (clean shutdown)", false: ""}[stats.CleanShutdown])
+		}
+	}
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: coord.Handler(),
+		// Slowloris / stuck-peer hardening: every API body is a small
+		// JSON blob, so generous-but-finite deadlines cost nothing.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       5 * time.Minute,
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "pok-serve: coordinator on http://%s (lease %s)\n", addr, lease)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		// Graceful drain: stop leasing, keep serving status/heartbeats
+		// until in-flight leases complete or TTL-expire, then shut the
+		// HTTP server down.
+		fmt.Fprintf(os.Stderr, "pok-serve: draining (waiting up to %s for in-flight leases)\n", drainTimeout)
+		dctx, dcancel := context.WithTimeout(context.Background(), drainTimeout)
+		if err := coord.Drain(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pok-serve: drain incomplete: %v\n", err)
+		}
+		dcancel()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "pok-serve: shutdown: %v\n", err)
+		}
+		fmt.Fprintln(os.Stderr, "pok-serve: coordinator stopped")
 	}
 }
 
-func runWorker(coordinator, name, out string, poll time.Duration, maxCells int, quiet bool) {
+func runWorker(coordinator, name, out string, poll time.Duration, maxCells int,
+	outage time.Duration, chaosSpec string, chaosSeed uint64, quiet bool) {
 	if coordinator == "" {
 		fatal(fmt.Errorf("-worker needs -coordinator URL"))
 	}
@@ -82,12 +148,26 @@ func runWorker(coordinator, name, out string, poll time.Duration, maxCells int, 
 	ctx, cancel := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	client := serve.NewClient(coordinator)
+	if chaosSpec != "" {
+		ct, err := serve.ParseChaosSpec(chaosSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if ct != nil {
+			ct.Seed = chaosSeed
+			client.HTTP = &http.Client{Transport: ct, Timeout: 30 * time.Second}
+			fmt.Fprintf(os.Stderr, "pok-serve: %s: chaos transport enabled (%s, seed %d)\n",
+				name, chaosSpec, chaosSeed)
+		}
+	}
 	w := &serve.Worker{
-		Client:   serve.NewClient(coordinator),
-		Name:     name,
-		OutDir:   out,
-		Poll:     poll,
-		MaxCells: maxCells,
+		Client:       client,
+		Name:         name,
+		OutDir:       out,
+		Poll:         poll,
+		MaxCells:     maxCells,
+		OutageBudget: outage,
 	}
 	if !quiet {
 		w.Log = os.Stderr

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosTransport is a deterministic network-fault injector: an
+// http.RoundTripper that drops, delays, duplicates, or rejects
+// requests according to a pure hash of (Seed, request count). The same
+// seed replays the same fault pattern — the property the chaos smoke
+// test leans on — with no wall-clock or math/rand state anywhere.
+//
+// Fault semantics, chosen to exercise each idempotency mechanism:
+//
+//   - drop, first half of the probability mass: the request is never
+//     sent (connection refused, from the client's view). Exercises
+//     plain retry.
+//   - drop, second half: the request IS delivered and applied by the
+//     coordinator, but the response is thrown away. Exercises true
+//     idempotency — the retry re-applies submit keys, lease nonces and
+//     completed-lease acknowledgement.
+//   - dup: the request is sent twice back-to-back (transport-level
+//     duplicate); the first response is discarded, the second
+//     returned. Exercises the same dedupe paths without the client
+//     even seeing an error.
+//   - err: a 503 is synthesized without reaching the coordinator (a
+//     dying load balancer). Exercises the typed-status retry path.
+//   - delay: the request is held up to MaxDelay before sending.
+//     Exercises lease-TTL slack and keepalive pacing.
+//
+// A zero ChaosTransport injects nothing and forwards to
+// http.DefaultTransport.
+type ChaosTransport struct {
+	// Base is the real transport (nil = http.DefaultTransport).
+	Base http.RoundTripper
+	// Seed selects the fault pattern.
+	Seed uint64
+	// Drop, Dup, Err, Delay are per-request fault probabilities in
+	// [0, 1]. They are tested independently, in that order, and the
+	// first that fires wins (Delay composes with a clean send only).
+	Drop  float64
+	Dup   float64
+	Err   float64
+	Delay float64
+	// MaxDelay bounds an injected delay (0 = 50ms).
+	MaxDelay time.Duration
+
+	n atomic.Uint64 // request counter; the only mutable state
+}
+
+// chaosDropErr marks a fault-injected transport failure so logs can
+// tell injected faults from real ones.
+type chaosDropErr struct {
+	seq  uint64
+	sent bool
+}
+
+func (e *chaosDropErr) Error() string {
+	if e.sent {
+		return fmt.Sprintf("chaos: response dropped (request %d was delivered)", e.seq)
+	}
+	return fmt.Sprintf("chaos: request %d dropped before send", e.seq)
+}
+
+// roll derives an independent uniform [0,1) decision stream for one
+// request: lane decorrelates the per-request decisions from each
+// other.
+func (t *ChaosTransport) roll(seq, lane uint64) float64 {
+	h := mix64(t.Seed ^ mix64(seq+lane<<32+0x517cc1b727220a95))
+	return float64(h>>11) / (1 << 53)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	seq := t.n.Add(1)
+
+	if d := t.Drop; d > 0 {
+		u := t.roll(seq, 1)
+		switch {
+		case u < d/2:
+			// Never sent.
+			drainRequest(req)
+			return nil, &chaosDropErr{seq: seq}
+		case u < d:
+			// Delivered and applied; reply lost on the way back.
+			resp, err := base.RoundTrip(req)
+			if err != nil {
+				return nil, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil, &chaosDropErr{seq: seq, sent: true}
+		}
+	}
+	if t.Err > 0 && t.roll(seq, 2) < t.Err {
+		drainRequest(req)
+		return synth503(req, seq), nil
+	}
+	if t.Delay > 0 && t.roll(seq, 3) < t.Delay {
+		maxD := t.MaxDelay
+		if maxD <= 0 {
+			maxD = 50 * time.Millisecond
+		}
+		d := time.Duration(t.roll(seq, 4) * float64(maxD))
+		select {
+		case <-req.Context().Done():
+			drainRequest(req)
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+	}
+	if t.Dup > 0 && t.roll(seq, 5) < t.Dup && req.GetBody != nil {
+		// Transport-level duplicate: deliver an extra copy first (its
+		// reply discarded), then the original; the caller only ever
+		// sees the second delivery's reply.
+		extra := req.Clone(req.Context())
+		if body, err := req.GetBody(); err == nil {
+			extra.Body = body
+			if resp, err := base.RoundTrip(extra); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	return base.RoundTrip(req)
+}
+
+// drainRequest honours the RoundTripper contract: the request body is
+// always consumed and closed, even when the request never goes out.
+func drainRequest(req *http.Request) {
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+}
+
+func synth503(req *http.Request, seq uint64) *http.Response {
+	body := fmt.Sprintf(`{"error":"chaos: synthesized 503 for request %d"}`, seq)
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// ParseChaosSpec parses a fault spec like
+//
+//	"drop=0.05,dup=0.02,err=0.05,delay=0.1"
+//
+// into a ChaosTransport (Base left nil). Keys: drop, dup, err, delay
+// (probabilities in [0,1]) and maxdelay (a Go duration, e.g. "80ms").
+// An empty spec returns nil — no chaos.
+func ParseChaosSpec(spec string) (*ChaosTransport, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	t := &ChaosTransport{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: chaos spec %q: want key=value", kv)
+		}
+		if k == "maxdelay" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("serve: chaos spec %q: %w", kv, err)
+			}
+			t.MaxDelay = d
+			continue
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: chaos spec %q: %w", kv, err)
+		}
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("serve: chaos spec %q: probability outside [0,1]", kv)
+		}
+		switch k {
+		case "drop":
+			t.Drop = p
+		case "dup":
+			t.Dup = p
+		case "err":
+			t.Err = p
+		case "delay":
+			t.Delay = p
+		default:
+			return nil, fmt.Errorf("serve: chaos spec: unknown key %q (drop, dup, err, delay, maxdelay)", k)
+		}
+	}
+	return t, nil
+}

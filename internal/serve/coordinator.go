@@ -10,12 +10,29 @@ import (
 	"pok/internal/soak"
 )
 
+// LeaseReadahead is the fleet's overlap-safety bound: a worker may run
+// at most this many programs past the last heartbeat cursor the
+// coordinator acknowledged, and a steal always splits at least
+// LeaseReadahead+1 programs past the victim's last reported cursor.
+// Together the two sides guarantee that a stolen range can never
+// overlap work a victim computed during a heartbeat outage — the
+// victim's true position is at most (acked cursor + readahead), the
+// coordinator's liveCursor is at least the acked cursor (an ack the
+// worker never received still advanced liveCursor), so the split point
+// is strictly beyond anything the victim can have run.
+const LeaseReadahead = 2
+
 // Coordinator owns the fleet state: submitted jobs, the pending-cell
 // queue, active leases and per-worker accounting. All methods are
 // safe for concurrent use; lease expiry is applied lazily at the top
 // of every call (reap), so no background janitor is required as long
 // as anything — an idle worker polling, a dashboard refresh — touches
 // the coordinator.
+//
+// With a journal attached (AttachJournal), every state transition is
+// appended to the write-ahead log before the call returns, so a
+// coordinator killed at any point can be restarted on the same journal
+// and resume the wavefront exactly where it died.
 type Coordinator struct {
 	mu         sync.Mutex
 	leaseTTL   time.Duration
@@ -29,6 +46,18 @@ type Coordinator struct {
 	workers   map[string]*workerInfo
 	nextJob   int
 	nextLease int
+
+	// submitted maps a JobSpec.SubmitKey to its job id so a retried or
+	// transport-duplicated submission cannot create a second job.
+	submitted map[string]string
+	// completed remembers finished lease ids so a retried Complete
+	// whose first reply was lost is acknowledged instead of rejected.
+	completed map[string]bool
+
+	draining   bool
+	journal    *Journal
+	journalErr error
+	replaying  bool
 }
 
 // NewCoordinator builds a coordinator with the given lease TTL
@@ -46,12 +75,22 @@ func NewCoordinator(leaseTTL time.Duration) *Coordinator {
 		jobs:       make(map[string]*job),
 		leases:     make(map[string]*cell),
 		workers:    make(map[string]*workerInfo),
+		submitted:  make(map[string]string),
+		completed:  make(map[string]bool),
 	}
 }
 
 // LeaseTTL reports the coordinator's lease duration (workers size
 // their keepalive interval from the copy in each Assignment).
 func (c *Coordinator) LeaseTTL() time.Duration { return c.leaseTTL }
+
+// SetRetryLimit overrides how many times a cell may fail or expire
+// before its whole job is marked failed (default 3).
+func (c *Coordinator) SetRetryLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retryLimit = n
+}
 
 type cellState int
 
@@ -99,9 +138,11 @@ type cell struct {
 	runs     int
 	rows     []BenchRow
 
-	lease  string
-	worker string
-	expiry time.Time
+	lease      string
+	worker     string
+	nonce      string // worker-chosen lease-request nonce (dedupe)
+	grantStart int    // Assignment.Start handed out with the lease
+	expiry     time.Time
 }
 
 type job struct {
@@ -144,21 +185,14 @@ type workerInfo struct {
 	programs  int
 	findings  int
 	cells     int
+	stats     *WorkerStats // last self-reported stats snapshot
 }
 
-// Submit validates, normalizes and shards a job, returning its id.
-func (c *Coordinator) Submit(spec JobSpec) (string, error) {
-	if err := spec.normalize(); err != nil {
-		return "", err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextJob++
-	j := &job{
-		id:        fmt.Sprintf("job-%d", c.nextJob),
-		spec:      spec,
-		submitted: c.now().UTC(),
-	}
+// buildJobLocked shards a normalized spec into a job. It is shared by
+// Submit and journal replay, so the sharding must be a pure function
+// of the spec.
+func (c *Coordinator) buildJobLocked(id string, spec JobSpec) *job {
+	j := &job{id: id, spec: spec, submitted: c.now().UTC()}
 	switch spec.Kind {
 	case "soak":
 		size := spec.Soak.cellSize()
@@ -178,20 +212,62 @@ func (c *Coordinator) Submit(spec JobSpec) (string, error) {
 			})
 		}
 	}
+	return j
+}
+
+// Submit validates, normalizes and shards a job, returning its id.
+// A spec carrying a SubmitKey the coordinator has seen before returns
+// the existing job's id instead of creating a duplicate — that makes
+// submission safe to retry over a lossy transport.
+func (c *Coordinator) Submit(spec JobSpec) (string, error) {
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if spec.SubmitKey != "" {
+		if id, ok := c.submitted[spec.SubmitKey]; ok {
+			return id, nil
+		}
+	}
+	if c.draining {
+		return "", fmt.Errorf("serve: coordinator is draining; not accepting jobs")
+	}
+	c.nextJob++
+	j := c.buildJobLocked(fmt.Sprintf("job-%d", c.nextJob), spec)
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
 	c.queue = append(c.queue, j.cells...)
+	if spec.SubmitKey != "" {
+		c.submitted[spec.SubmitKey] = j.id
+	}
+	c.journalAppend(journalRecord{T: recSubmit, Job: j.id, Spec: &spec}, true)
 	return j.id, nil
 }
 
 // Lease hands the next pending cell to worker, stealing the tail of a
 // running soak cell when the queue is empty. It returns nil when there
-// is no work.
-func (c *Coordinator) Lease(worker string) *Assignment {
+// is no work (or the coordinator is draining). A non-empty nonce makes
+// the call idempotent: retrying (or a transport duplicating) the same
+// worker+nonce returns the original assignment instead of leaking a
+// second lease that could only expire into a retry strike.
+func (c *Coordinator) Lease(worker, nonce string) *Assignment {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reap()
 	w := c.touch(worker)
+
+	if nonce != "" {
+		for _, cl := range c.leases {
+			if cl.worker == worker && cl.nonce == nonce {
+				cl.expiry = c.now().Add(c.leaseTTL)
+				return c.assignmentLocked(cl)
+			}
+		}
+	}
+	if c.draining {
+		return nil
+	}
 
 	var cl *cell
 	for len(c.queue) > 0 {
@@ -210,22 +286,36 @@ func (c *Coordinator) Lease(worker string) *Assignment {
 	}
 
 	c.nextLease++
+	c.grantLocked(cl, fmt.Sprintf("lease-%d", c.nextLease), worker, nonce)
+	w.cells++
+	c.journalAppend(journalRecord{
+		T: recLease, Lease: cl.lease, Job: cl.job.id, Cell: cl.id,
+		Worker: worker, Nonce: nonce, Cursor: cl.grantStart,
+	}, true)
+	return c.assignmentLocked(cl)
+}
+
+// grantLocked marks a cell leased. Shared by Lease and journal replay.
+func (c *Coordinator) grantLocked(cl *cell, lease, worker, nonce string) {
 	cl.state = cellLeased
-	cl.lease = fmt.Sprintf("lease-%d", c.nextLease)
+	cl.lease = lease
 	cl.worker = worker
+	cl.nonce = nonce
+	cl.grantStart = cl.cursor
 	cl.expiry = c.now().Add(c.leaseTTL)
 	cl.liveCursor = cl.cursor
 	cl.liveFindings = nil
 	cl.liveRuns = 0
-	c.leases[cl.lease] = cl
-	w.cells++
+	c.leases[lease] = cl
+}
 
+func (c *Coordinator) assignmentLocked(cl *cell) *Assignment {
 	return &Assignment{
 		Lease:     cl.lease,
 		Job:       cl.job.id,
 		Cell:      cl.id,
 		Kind:      cl.kind,
-		Start:     cl.cursor,
+		Start:     cl.grantStart,
 		End:       cl.end,
 		Benchmark: cl.benchmark,
 		LeaseTTL:  c.leaseTTL,
@@ -234,10 +324,11 @@ func (c *Coordinator) Lease(worker string) *Assignment {
 }
 
 // steal splits the running soak cell with the most remaining programs.
-// The split point mid is at least two programs past the victim's last
-// reported cursor: the victim heartbeats after every program, so it
-// learns end=mid while it is at most one program past that cursor and
-// stops before mid — no overlap, no gap.
+// The split point mid is at least LeaseReadahead+1 programs past the
+// victim's last reported cursor: the victim never runs more than
+// LeaseReadahead programs past a cursor the coordinator acknowledged
+// (see LeaseReadahead), so even a victim that has been computing
+// through a heartbeat outage stops before mid — no overlap, no gap.
 func (c *Coordinator) steal() *cell {
 	var victim *cell
 	best := 0
@@ -252,11 +343,18 @@ func (c *Coordinator) steal() *cell {
 	if victim == nil {
 		return nil
 	}
-	mid := victim.liveCursor + best/2
+	mid := max(victim.liveCursor+best/2, victim.liveCursor+LeaseReadahead+1)
+	if victim.end-mid < 2 {
+		return nil
+	}
 	stolen := &cell{
 		job: victim.job, id: len(victim.job.cells), kind: "soak",
 		start: mid, end: victim.end, cursor: mid, liveCursor: mid,
 	}
+	c.journalAppend(journalRecord{
+		T: recSteal, Job: victim.job.id, Victim: victim.id,
+		Cell: stolen.id, Mid: mid,
+	}, true)
 	victim.end = mid
 	victim.job.cells = append(victim.job.cells, stolen)
 	return stolen
@@ -272,6 +370,9 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) HeartbeatReply {
 	defer c.mu.Unlock()
 	c.reap()
 	w := c.touch(hb.Worker)
+	if hb.Stats != nil {
+		w.stats = hb.Stats
+	}
 	cl, ok := c.leases[hb.Lease]
 	if !ok || cl.job.failed != "" {
 		return HeartbeatReply{Cancel: true}
@@ -280,17 +381,29 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) HeartbeatReply {
 		w.programs += hb.Cursor - cl.liveCursor
 	}
 	w.findings += len(hb.Findings) - len(cl.liveFindings)
+	advanced := hb.Cursor != cl.liveCursor || hb.Runs != cl.liveRuns ||
+		len(hb.Findings) != len(cl.liveFindings)
 	cl.liveCursor = hb.Cursor
 	cl.liveFindings = hb.Findings
 	cl.liveRuns = hb.Runs
 	cl.expiry = c.now().Add(c.leaseTTL)
+	if advanced {
+		// Cursor records are appended without fsync: losing the tail
+		// of them to a crash only re-runs a few programs.
+		c.journalAppend(journalRecord{
+			T: recHB, Lease: hb.Lease, Worker: hb.Worker,
+			Cursor: hb.Cursor, Runs: hb.Runs, Findings: hb.Findings,
+		}, false)
+	}
 	return HeartbeatReply{End: cl.end}
 }
 
 // Complete finishes a leased cell. Completion against an expired or
-// reassigned lease is rejected: the cell's range may have been
+// reassigned lease is rejected — the cell's range may have been
 // requeued and partially re-covered, so accepting the stale result
-// could double-count programs.
+// could double-count programs — but completing an already-completed
+// lease succeeds idempotently, so a worker whose first reply was lost
+// in transit can retry safely.
 func (c *Coordinator) Complete(res CellResult) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -298,21 +411,70 @@ func (c *Coordinator) Complete(res CellResult) error {
 	w := c.touch(res.Worker)
 	cl, ok := c.leases[res.Lease]
 	if !ok {
+		if c.completed[res.Lease] {
+			return nil
+		}
 		return fmt.Errorf("serve: unknown or expired lease %q", res.Lease)
+	}
+	if res.Cursor > cl.end {
+		// Should be impossible under the readahead bound; reject so a
+		// buggy worker cannot smuggle overlapping coverage into the
+		// merged report.
+		return fmt.Errorf("serve: lease %s completed at cursor %d beyond cell end %d",
+			res.Lease, res.Cursor, cl.end)
 	}
 	if res.Cursor > cl.liveCursor {
 		w.programs += res.Cursor - cl.liveCursor
 	}
 	w.findings += len(res.Findings) - len(cl.liveFindings)
-	delete(c.leases, res.Lease)
-	cl.state = cellDone
-	cl.findings = append(cl.baseFindings, res.Findings...)
-	cl.runs = cl.baseRuns + res.Runs
-	cl.rows = res.Rows
-	cl.cursor = cl.end
-	cl.lease, cl.worker = "", ""
-	cl.liveFindings, cl.liveRuns = nil, 0
+	c.journalAppend(journalRecord{
+		T: recComplete, Lease: res.Lease, Worker: res.Worker,
+		Cursor: res.Cursor, Runs: res.Runs, Findings: res.Findings,
+		Rows: res.Rows,
+	}, true)
+	c.completeLocked(cl, res.Lease, res.Runs, res.Findings, res.Rows)
 	return nil
+}
+
+// completeLocked applies a completion. Shared with journal replay.
+func (c *Coordinator) completeLocked(cl *cell, lease string, runs int, findings []soak.Finding, rows []BenchRow) {
+	delete(c.leases, lease)
+	c.completed[lease] = true
+	cl.state = cellDone
+	cl.findings = append(cl.baseFindings, findings...)
+	cl.runs = cl.baseRuns + runs
+	cl.rows = rows
+	cl.cursor = cl.end
+	cl.lease, cl.worker, cl.nonce = "", "", ""
+	cl.liveFindings, cl.liveRuns = nil, 0
+}
+
+// Release hands a lease back cleanly — a draining worker finished its
+// current program, heartbeat its final cursor and is exiting. The
+// partial results fold into the cell's committed base and the cell
+// requeues at the released cursor without a retry strike.
+func (c *Coordinator) Release(rel ReleaseRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reap()
+	w := c.touch(rel.Worker)
+	cl, ok := c.leases[rel.Lease]
+	if !ok {
+		return
+	}
+	if rel.Cursor > cl.liveCursor {
+		w.programs += rel.Cursor - cl.liveCursor
+	}
+	w.findings += len(rel.Findings) - len(cl.liveFindings)
+	c.journalAppend(journalRecord{
+		T: recRelease, Lease: rel.Lease, Worker: rel.Worker,
+		Cursor: rel.Cursor, Runs: rel.Runs, Findings: rel.Findings,
+	}, true)
+	delete(c.leases, rel.Lease)
+	cl.liveCursor = rel.Cursor
+	cl.liveRuns = rel.Runs
+	cl.liveFindings = rel.Findings
+	c.requeueLocked(cl)
 }
 
 // Fail reports a hard worker-side error (not a finding — findings are
@@ -328,8 +490,15 @@ func (c *Coordinator) Fail(lease, worker, msg string) {
 	if !ok {
 		return
 	}
+	c.journalAppend(journalRecord{T: recFail, Lease: lease, Worker: worker, Msg: msg}, true)
 	delete(c.leases, lease)
 	c.requeueLocked(cl)
+	c.strikeLocked(cl, msg)
+}
+
+// strikeLocked counts one failure/expiry against a cell and fails the
+// whole job past the retry budget.
+func (c *Coordinator) strikeLocked(cl *cell, msg string) {
 	cl.fails++
 	if cl.fails > c.retryLimit {
 		cl.job.failed = fmt.Sprintf("cell %d failed %d times: %s", cl.id, cl.fails, msg)
@@ -343,12 +512,10 @@ func (c *Coordinator) reap() {
 	now := c.now()
 	for id, cl := range c.leases {
 		if now.After(cl.expiry) {
+			c.journalAppend(journalRecord{T: recExpire, Lease: id}, true)
 			delete(c.leases, id)
 			c.requeueLocked(cl)
-			cl.fails++
-			if cl.fails > c.retryLimit {
-				cl.job.failed = fmt.Sprintf("cell %d: lease expired %d times", cl.id, cl.fails)
-			}
+			c.strikeLocked(cl, "lease expired")
 		}
 	}
 }
@@ -360,7 +527,7 @@ func (c *Coordinator) requeueLocked(cl *cell) {
 	cl.liveFindings, cl.liveRuns = nil, 0
 	cl.liveCursor = cl.cursor
 	cl.state = cellPending
-	cl.lease, cl.worker = "", ""
+	cl.lease, cl.worker, cl.nonce = "", "", ""
 	c.queue = append(c.queue, cl)
 }
 
@@ -428,7 +595,16 @@ func (c *Coordinator) Status() *Status {
 	defer c.mu.Unlock()
 	c.reap()
 	now := c.now()
-	st := &Status{LeaseTTLMillis: c.leaseTTL.Milliseconds()}
+	st := &Status{
+		LeaseTTLMillis: c.leaseTTL.Milliseconds(),
+		Draining:       c.draining,
+	}
+	if c.journal != nil {
+		st.Journal = c.journal.Path()
+	}
+	if c.journalErr != nil {
+		st.JournalError = c.journalErr.Error()
+	}
 	for _, cl := range c.queue {
 		if cl.state == cellPending && cl.job.failed == "" {
 			st.QueueDepth++
@@ -447,6 +623,7 @@ func (c *Coordinator) Status() *Status {
 			Programs:   w.programs,
 			Findings:   w.findings,
 			Cells:      w.cells,
+			Stats:      w.stats,
 		}
 		if alive := w.lastSeen.Sub(w.firstSeen); alive > 0 {
 			ws.ProgramsPerSec = float64(w.programs) / alive.Seconds()

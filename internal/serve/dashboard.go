@@ -42,11 +42,15 @@ function esc(s) { return String(s).replace(/[&<>"]/g,
 function renderWorkers(ws) {
   if (!ws || !ws.length) return '<span class="muted">none yet</span>';
   let h = '<table><tr><th>worker</th><th>cells</th><th>programs</th>' +
-          '<th>prog/s</th><th>findings</th><th>last seen</th></tr>';
+          '<th>prog/s</th><th>findings</th><th>retries</th><th>last seen</th></tr>';
   for (const w of ws) {
+    const s = w.stats || {};
+    const flaky = (s.rpc_retries || 0) + (s.heartbeat_errors || 0);
     h += '<tr><td>' + esc(w.name) + '</td><td>' + w.cells + '</td><td>' +
          w.programs + '</td><td>' + w.programs_per_sec.toFixed(2) + '</td><td>' +
          (w.findings ? '<span class="bad">' + w.findings + '</span>' : '0') +
+         '</td><td' + (flaky ? '' : ' class="muted"') + '>' + (s.rpc_retries || 0) +
+         (s.heartbeat_errors ? ' <span class="bad">(' + s.heartbeat_errors + ' hb)</span>' : '') +
          '</td><td class="muted">' + (w.idle_ms / 1000).toFixed(1) + 's ago</td></tr>';
   }
   return h + '</table>';
@@ -95,9 +99,11 @@ function renderJob(j) {
 async function tick() {
   try {
     const st = await (await fetch('/api/status')).json();
-    document.getElementById('err').textContent = '';
+    document.getElementById('err').textContent =
+      st.journal_error ? 'journal error: ' + st.journal_error : '';
     document.getElementById('meta').textContent =
-      'queue ' + st.queue_depth + ' · lease ' + st.lease_ttl_ms + 'ms';
+      'queue ' + st.queue_depth + ' · lease ' + st.lease_ttl_ms + 'ms' +
+      (st.draining ? ' · DRAINING' : '');
     document.getElementById('workers').innerHTML = renderWorkers(st.workers);
     document.getElementById('jobs').innerHTML =
       (st.jobs && st.jobs.length) ? st.jobs.map(renderJob).join('')

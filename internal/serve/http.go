@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -25,14 +26,38 @@ type Assignment struct {
 	Spec      JobSpec       `json:"spec"`
 }
 
+// LeaseRequest asks for work. Nonce, when non-empty, identifies this
+// logical lease attempt: retrying (or a lossy transport duplicating)
+// the same worker+nonce returns the original assignment instead of
+// leasing a second cell that could only expire into a retry strike.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	Nonce  string `json:"nonce,omitempty"`
+}
+
 // Heartbeat is a worker's progress report: Cursor is the next program
 // index not yet run, Findings/Runs are cumulative for this lease.
+// Stats, when present, is the worker's self-reported RPC accounting,
+// surfaced on /api/status.
 type Heartbeat struct {
 	Lease    string         `json:"lease"`
 	Worker   string         `json:"worker"`
 	Cursor   int            `json:"cursor"`
 	Runs     int            `json:"runs"`
 	Findings []soak.Finding `json:"findings,omitempty"`
+	Stats    *WorkerStats   `json:"stats,omitempty"`
+}
+
+// WorkerStats is a worker's self-reported robustness accounting: how
+// often its coordinator RPCs failed and retried, and how its cells
+// ended. Counters are cumulative for the worker process.
+type WorkerStats struct {
+	RPCRetries      int64 `json:"rpc_retries,omitempty"`
+	TransportErrors int64 `json:"transport_errors,omitempty"`
+	StatusErrors    int64 `json:"status_errors,omitempty"`
+	HeartbeatErrors int64 `json:"heartbeat_errors,omitempty"`
+	CellsAbandoned  int64 `json:"cells_abandoned,omitempty"`
+	CellsReleased   int64 `json:"cells_released,omitempty"`
 }
 
 // HeartbeatReply acknowledges a heartbeat. End is the cell's current
@@ -55,6 +80,17 @@ type CellResult struct {
 	Rows     []BenchRow     `json:"rows,omitempty"`
 }
 
+// ReleaseRequest hands a lease back cleanly: a draining worker ran
+// through its current program, and its partial results up to Cursor
+// fold into the cell before it requeues — without a retry strike.
+type ReleaseRequest struct {
+	Lease    string         `json:"lease"`
+	Worker   string         `json:"worker"`
+	Cursor   int            `json:"cursor"`
+	Runs     int            `json:"runs"`
+	Findings []soak.Finding `json:"findings,omitempty"`
+}
+
 // FailRequest reports a hard worker-side error on a leased cell.
 type FailRequest struct {
 	Lease  string `json:"lease"`
@@ -67,18 +103,22 @@ type FailRequest struct {
 type Status struct {
 	LeaseTTLMillis int64          `json:"lease_ttl_ms"`
 	QueueDepth     int            `json:"queue_depth"`
+	Draining       bool           `json:"draining,omitempty"`
+	Journal        string         `json:"journal,omitempty"`
+	JournalError   string         `json:"journal_error,omitempty"`
 	Workers        []WorkerStatus `json:"workers,omitempty"`
 	Jobs           []JobStatus    `json:"jobs,omitempty"`
 }
 
 // WorkerStatus is one worker's fleet-side accounting.
 type WorkerStatus struct {
-	Name           string  `json:"name"`
-	IdleMillis     int64   `json:"idle_ms"`
-	Programs       int     `json:"programs"`
-	ProgramsPerSec float64 `json:"programs_per_sec"`
-	Findings       int     `json:"findings"`
-	Cells          int     `json:"cells"`
+	Name           string       `json:"name"`
+	IdleMillis     int64        `json:"idle_ms"`
+	Programs       int          `json:"programs"`
+	ProgramsPerSec float64      `json:"programs_per_sec"`
+	Findings       int          `json:"findings"`
+	Cells          int          `json:"cells"`
+	Stats          *WorkerStats `json:"stats,omitempty"`
 }
 
 // JobStatus is one job's live view: the cell wavefront, merged
@@ -109,14 +149,20 @@ type CellStatus struct {
 	Findings int    `json:"findings"`
 }
 
+// maxRequestBody caps every /api/* JSON request body. Heartbeats and
+// completions carry findings lists, which stay far below this even on
+// pathological campaigns; anything larger is a client bug or abuse.
+const maxRequestBody = 32 << 20
+
 // Handler returns the coordinator's HTTP API plus the dashboard:
 //
 //	POST /api/jobs            submit a JobSpec           -> {"id": ...}
 //	GET  /api/jobs/{id}       job status                 -> JobStatus
 //	GET  /api/jobs/{id}/result merged result (when done) -> JobResult
-//	POST /api/lease           {"worker": ...}            -> Assignment | 204
+//	POST /api/lease           LeaseRequest               -> Assignment | 204
 //	POST /api/heartbeat       Heartbeat                  -> HeartbeatReply
 //	POST /api/complete        CellResult                 -> {"ok": true}
+//	POST /api/release         ReleaseRequest             -> {"ok": true}
 //	POST /api/fail            FailRequest                -> {"ok": true}
 //	GET  /api/status          fleet snapshot             -> Status
 //	GET  /                    self-contained HTML dashboard
@@ -158,13 +204,11 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("POST /api/lease", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Worker string `json:"worker"`
-		}
+		var req LeaseRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		a := c.Lease(req.Worker)
+		a := c.Lease(req.Worker, req.Nonce)
 		if a == nil {
 			w.WriteHeader(http.StatusNoContent)
 			return
@@ -192,6 +236,15 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, map[string]bool{"ok": true})
 	})
 
+	mux.HandleFunc("POST /api/release", func(w http.ResponseWriter, r *http.Request) {
+		var req ReleaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		c.Release(req)
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
 	mux.HandleFunc("POST /api/fail", func(w http.ResponseWriter, r *http.Request) {
 		var req FailRequest
 		if !readJSON(w, r, &req) {
@@ -214,8 +267,14 @@ func (c *Coordinator) Handler() http.Handler {
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}

@@ -50,6 +50,11 @@ type JobSpec struct {
 	Kind  string     `json:"kind"` // "soak" | "bench"
 	Soak  *SoakSpec  `json:"soak,omitempty"`
 	Bench *BenchSpec `json:"bench,omitempty"`
+	// SubmitKey, when non-empty, makes submission idempotent: the
+	// coordinator remembers the key and a retried (or transport-
+	// duplicated) submission returns the existing job instead of
+	// creating a second one. Client.Submit fills one in automatically.
+	SubmitKey string `json:"submit_key,omitempty"`
 }
 
 // SoakSpec is a differential soak campaign as a fleet job — the

@@ -74,13 +74,13 @@ func TestMergeOrder(t *testing.T) {
 	id := soakJob(t, c, 4, 1)
 	var leases []*Assignment
 	for i := 0; i < 4; i++ {
-		a := c.Lease("w")
+		a := c.Lease("w", "")
 		if a == nil {
 			t.Fatalf("lease %d: no work", i)
 		}
 		leases = append(leases, a)
 	}
-	if a := c.Lease("w"); a != nil {
+	if a := c.Lease("w", ""); a != nil {
 		t.Fatalf("leased more cells than exist: %+v", a)
 	}
 	if _, err := c.Result(id); err == nil {
@@ -123,7 +123,7 @@ func TestLeaseExpiryRequeue(t *testing.T) {
 	c, now := testCoordinator(time.Second)
 	id := soakJob(t, c, 4, 4)
 
-	a := c.Lease("doomed")
+	a := c.Lease("doomed", "")
 	if a == nil || a.Start != 0 || a.End != 4 {
 		t.Fatalf("lease = %+v, want [0,4)", a)
 	}
@@ -137,7 +137,7 @@ func TestLeaseExpiryRequeue(t *testing.T) {
 
 	// Expire the lease: the cell must requeue from cursor 2.
 	*now = now.Add(2 * time.Second)
-	a2 := c.Lease("survivor")
+	a2 := c.Lease("survivor", "")
 	if a2 == nil {
 		t.Fatal("no requeued cell after lease expiry")
 	}
@@ -185,14 +185,14 @@ func TestWorkSteal(t *testing.T) {
 	c, _ := testCoordinator(time.Minute)
 	id := soakJob(t, c, 8, 8)
 
-	a := c.Lease("victim")
+	a := c.Lease("victim", "")
 	if a == nil || a.End != 8 {
 		t.Fatalf("lease = %+v, want [0,8)", a)
 	}
 	c.Heartbeat(Heartbeat{Lease: a.Lease, Worker: "victim", Cursor: 2, Runs: 2})
 
 	// Queue is empty: the second lease must steal [5,8) (mid = 2 + 6/2).
-	b := c.Lease("thief")
+	b := c.Lease("thief", "")
 	if b == nil {
 		t.Fatal("no stolen cell")
 	}
@@ -204,7 +204,7 @@ func TestWorkSteal(t *testing.T) {
 		t.Fatalf("victim heartbeat end = %d, want 5", reply.End)
 	}
 	// The remaining slice [3,5) is too small to steal again.
-	if x := c.Lease("greedy"); x != nil {
+	if x := c.Lease("greedy", ""); x != nil {
 		t.Fatalf("stole a too-small remainder: %+v", x)
 	}
 
@@ -235,7 +235,7 @@ func TestFailRetryLimit(t *testing.T) {
 	c, _ := testCoordinator(time.Minute)
 	id := soakJob(t, c, 2, 2)
 	for i := 0; i < 4; i++ {
-		a := c.Lease("w")
+		a := c.Lease("w", "")
 		if a == nil {
 			t.Fatalf("attempt %d: no lease", i)
 		}
@@ -245,7 +245,7 @@ func TestFailRetryLimit(t *testing.T) {
 	if j.state() != "failed" {
 		t.Fatalf("job state %q after %d fails, want failed", j.state(), 4)
 	}
-	if a := c.Lease("w"); a != nil {
+	if a := c.Lease("w", ""); a != nil {
 		t.Fatalf("leased a cell of a failed job: %+v", a)
 	}
 	if _, err := c.Result(id); err == nil {
@@ -265,7 +265,7 @@ func TestBenchJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		a := c.Lease("w")
+		a := c.Lease("w", "")
 		if a == nil || a.Kind != "bench" {
 			t.Fatalf("lease %d = %+v, want a bench cell", i, a)
 		}

@@ -20,6 +20,15 @@ import (
 // checkpoint records, so the coordinator can resume a dead worker's
 // cell exactly — and keeps long reductions alive with a background
 // keepalive ticker.
+//
+// Coordinator outages are survived, not fatal: a failed heartbeat
+// buffers the cursor and the worker keeps computing up to
+// LeaseReadahead programs past its last acknowledged cursor, then
+// blocks retrying until the coordinator answers. Only an outage
+// longer than OutageBudget (or a permanent RPC rejection) makes the
+// worker abandon its cell and exit with an error. A cancelled context
+// (SIGTERM) drains gracefully: the current program finishes, the
+// final cursor is heartbeat, and the lease is released cleanly.
 type Worker struct {
 	// Client reaches the coordinator.
 	Client *Client
@@ -32,27 +41,82 @@ type Worker struct {
 	// MaxCells exits the loop after this many completed or abandoned
 	// cells (0 = run until the context ends).
 	MaxCells int
+	// OutageBudget is how long the coordinator may stay continuously
+	// unreachable before the worker gives its cell up for lost and
+	// exits nonzero (0 = 2m).
+	OutageBudget time.Duration
 	// Log receives one line per cell (nil = quiet).
 	Log io.Writer
+
+	heartbeatErrs  atomic.Int64
+	cellsAbandoned atomic.Int64
+	cellsReleased  atomic.Int64
+	lastContact    atomic.Int64 // unix nanos of the last successful RPC
+}
+
+// statsSnapshot assembles the worker's self-reported robustness
+// counters (attached to heartbeats, surfaced on /api/status).
+func (w *Worker) statsSnapshot() *WorkerStats {
+	return &WorkerStats{
+		RPCRetries:      w.Client.Stats.Retries.Load(),
+		TransportErrors: w.Client.Stats.TransportErrors.Load(),
+		StatusErrors:    w.Client.Stats.StatusErrors.Load(),
+		HeartbeatErrors: w.heartbeatErrs.Load(),
+		CellsAbandoned:  w.cellsAbandoned.Load(),
+		CellsReleased:   w.cellsReleased.Load(),
+	}
+}
+
+func (w *Worker) outageBudget() time.Duration {
+	if w.OutageBudget > 0 {
+		return w.OutageBudget
+	}
+	return 2 * time.Minute
+}
+
+func (w *Worker) touchContact() {
+	w.lastContact.Store(time.Now().UnixNano())
+}
+
+func (w *Worker) outageExceeded() bool {
+	return time.Since(time.Unix(0, w.lastContact.Load())) > w.outageBudget()
 }
 
 // Run pulls and executes cells until ctx is cancelled (or MaxCells is
-// reached). It returns nil on a clean shutdown.
+// reached). It returns nil on a clean shutdown and an error when the
+// coordinator rejected the worker permanently or stayed unreachable
+// past OutageBudget.
 func (w *Worker) Run(ctx context.Context) error {
 	poll := w.Poll
 	if poll <= 0 {
 		poll = 500 * time.Millisecond
 	}
+	w.touchContact()
 	cells := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
 		}
 		a, err := w.Client.Lease(w.Name)
-		if err != nil || a == nil {
-			// Coordinator unreachable or queue empty: idle-wait. An
-			// unreachable coordinator is indistinguishable from a slow
-			// one, so the worker just keeps polling.
+		if err != nil {
+			if !Retryable(err) {
+				return fmt.Errorf("serve: worker %s: lease: %w", w.Name, err)
+			}
+			if w.outageExceeded() {
+				return fmt.Errorf("serve: worker %s: coordinator unreachable for over %s: %w",
+					w.Name, w.outageBudget(), err)
+			}
+			// Transient outage: idle-wait and try again.
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		w.touchContact()
+		if a == nil {
+			// Queue empty (or coordinator draining): idle-wait.
 			select {
 			case <-ctx.Done():
 				return nil
@@ -61,7 +125,9 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		w.logf("cell %s/%d [%d,%d) leased\n", a.Job, a.Cell, a.Start, a.End)
-		w.runCell(ctx, a)
+		if err := w.runCell(ctx, a); err != nil {
+			return err
+		}
 		cells++
 		if w.MaxCells > 0 && cells >= w.MaxCells {
 			return nil
@@ -69,14 +135,15 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
-func (w *Worker) runCell(ctx context.Context, a *Assignment) {
+func (w *Worker) runCell(ctx context.Context, a *Assignment) error {
 	switch a.Kind {
 	case "soak":
-		w.runSoakCell(ctx, a)
+		return w.runSoakCell(ctx, a)
 	case "bench":
-		w.runBenchCell(ctx, a)
+		return w.runBenchCell(ctx, a)
 	default:
 		_ = w.Client.Fail(a.Lease, w.Name, fmt.Sprintf("unknown cell kind %q", a.Kind))
+		return nil
 	}
 }
 
@@ -107,11 +174,11 @@ func (p *cellProgress) heartbeat(lease, worker string) Heartbeat {
 	}
 }
 
-func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) {
+func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 	spec := a.Spec.Soak
 	if spec == nil {
 		_ = w.Client.Fail(a.Lease, w.Name, "soak cell without soak spec")
-		return
+		return nil
 	}
 	outDir := w.OutDir
 	if outDir == "" {
@@ -122,12 +189,26 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) {
 	opts.Programs = a.End
 
 	prog := &cellProgress{cursor: a.Start}
-	var abandoned atomic.Bool
-	end := int64(a.End)
+	var abandoned, released atomic.Bool
+	var end, acked atomic.Int64
+	end.Store(int64(a.End))
+	acked.Store(int64(a.Start))
+	var permMu sync.Mutex
+	var permErr error
+	setPerm := func(err error) {
+		permMu.Lock()
+		if permErr == nil {
+			permErr = err
+		}
+		permMu.Unlock()
+		abandoned.Store(true)
+	}
 
 	// Keepalive: a single reduction can run far longer than the lease
 	// TTL, so a background ticker extends the lease between the
-	// per-program heartbeats.
+	// per-program heartbeats. It also doubles as the retry loop that
+	// re-establishes contact while the per-program hook is computing
+	// through an outage with a buffered cursor.
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -142,13 +223,21 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				reply, err := w.Client.Heartbeat(prog.heartbeat(a.Lease, w.Name))
-				if err == nil {
-					if reply.Cancel {
-						abandoned.Store(true)
-					} else {
-						atomic.StoreInt64(&end, int64(reply.End))
+				hb := prog.heartbeat(a.Lease, w.Name)
+				hb.Stats = w.statsSnapshot()
+				reply, err := w.Client.Heartbeat(hb)
+				if err != nil {
+					w.heartbeatErrs.Add(1)
+					continue
+				}
+				w.touchContact()
+				if reply.Cancel {
+					abandoned.Store(true)
+				} else {
+					if int64(hb.Cursor) > acked.Load() {
+						acked.Store(int64(hb.Cursor))
 					}
+					end.Store(int64(reply.End))
 				}
 			}
 		}
@@ -156,55 +245,137 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) {
 
 	// The per-program hook: publish the cursor, heartbeat
 	// synchronously, and apply the returned end bound — this is where
-	// a stolen tail takes effect and where a lost lease aborts the
-	// cell before any overlapping work can happen.
+	// a stolen tail takes effect, where a lost lease aborts the cell,
+	// and where a coordinator outage is ridden out. A failed heartbeat
+	// does not abandon the cell: the cursor stays buffered and the
+	// worker keeps computing up to LeaseReadahead programs past the
+	// last acknowledged cursor (the bound that keeps work stealing
+	// overlap-free), then blocks retrying until the coordinator
+	// answers, the outage budget runs out, or the run is cancelled.
 	opts.Progress = func(next int, rep *soak.Report) (int, bool) {
 		prog.set(next, rep.Runs, rep.Findings)
-		if ctx.Err() != nil || abandoned.Load() {
-			abandoned.Store(true)
-			return 0, true
+		for {
+			if abandoned.Load() {
+				return 0, true
+			}
+			if ctx.Err() != nil {
+				// Graceful drain: this program is finished; hand the
+				// lease back with the final cursor and stop.
+				w.releaseCell(a, prog)
+				released.Store(true)
+				return 0, true
+			}
+			hb := prog.heartbeat(a.Lease, w.Name)
+			hb.Stats = w.statsSnapshot()
+			reply, err := w.Client.Heartbeat(hb)
+			if err == nil {
+				w.touchContact()
+				if reply.Cancel {
+					abandoned.Store(true)
+					return 0, true
+				}
+				if int64(hb.Cursor) > acked.Load() {
+					acked.Store(int64(hb.Cursor))
+				}
+				end.Store(int64(reply.End))
+				return reply.End, false
+			}
+			w.heartbeatErrs.Add(1)
+			if !Retryable(err) {
+				setPerm(fmt.Errorf("serve: worker %s: heartbeat rejected: %w", w.Name, err))
+				return 0, true
+			}
+			if w.outageExceeded() {
+				setPerm(fmt.Errorf("serve: worker %s: coordinator unreachable for over %s: %w",
+					w.Name, w.outageBudget(), err))
+				return 0, true
+			}
+			if int64(next) <= acked.Load()+LeaseReadahead {
+				// Within the readahead bound: keep computing against
+				// the last known end; the keepalive ticker keeps
+				// retrying behind us.
+				return int(end.Load()), false
+			}
+			// Readahead exhausted: block here and retry until contact
+			// is re-established.
+			select {
+			case <-ctx.Done():
+			case <-time.After(250 * time.Millisecond):
+			}
 		}
-		reply, err := w.Client.Heartbeat(prog.heartbeat(a.Lease, w.Name))
-		if err != nil || reply.Cancel {
-			// The lease's fate is unknown (or gone): abandon the cell
-			// and let the coordinator requeue it from the last acked
-			// cursor rather than risk double-covering programs.
-			abandoned.Store(true)
-			return 0, true
-		}
-		atomic.StoreInt64(&end, int64(reply.End))
-		return reply.End, false
 	}
 
 	rep, err := soak.Run(opts, false)
 	close(stop)
 	wg.Wait()
+	permMu.Lock()
+	perm := permErr
+	permMu.Unlock()
 	switch {
 	case err != nil:
 		_ = w.Client.Fail(a.Lease, w.Name, err.Error())
 		w.logf("cell %s/%d failed: %v\n", a.Job, a.Cell, err)
+	case released.Load():
+		w.logf("cell %s/%d released at cursor %d (drain)\n", a.Job, a.Cell, rep.Programs)
+	case perm != nil:
+		w.cellsAbandoned.Add(1)
+		w.logf("cell %s/%d abandoned: %v\n", a.Job, a.Cell, perm)
+		return perm
 	case abandoned.Load():
+		w.cellsAbandoned.Add(1)
 		w.logf("cell %s/%d abandoned (lease lost)\n", a.Job, a.Cell)
 	default:
-		final := int(atomic.LoadInt64(&end))
+		final := int(end.Load())
 		cErr := w.Client.Complete(CellResult{
 			Lease: a.Lease, Worker: w.Name,
 			Cursor: final, Runs: rep.Runs, Findings: rep.Findings,
 		})
-		if cErr != nil {
-			w.logf("cell %s/%d complete rejected: %v\n", a.Job, a.Cell, cErr)
-		} else {
+		switch {
+		case cErr == nil:
+			w.touchContact()
 			w.logf("cell %s/%d done: %d runs, %d findings\n",
 				a.Job, a.Cell, rep.Runs, len(rep.Findings))
+		case Retryable(cErr):
+			// The client's own retries are exhausted: the results are
+			// lost with the lease, which will expire and requeue.
+			w.cellsAbandoned.Add(1)
+			w.logf("cell %s/%d complete unreachable, abandoning: %v\n", a.Job, a.Cell, cErr)
+			if w.outageExceeded() {
+				return fmt.Errorf("serve: worker %s: coordinator unreachable for over %s: %w",
+					w.Name, w.outageBudget(), cErr)
+			}
+		default:
+			w.logf("cell %s/%d complete rejected: %v\n", a.Job, a.Cell, cErr)
 		}
 	}
+	return nil
 }
 
-func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) {
+// releaseCell heartbeats the final cursor and hands the lease back —
+// the graceful-drain path for a SIGTERM'd worker.
+func (w *Worker) releaseCell(a *Assignment, prog *cellProgress) {
+	hb := prog.heartbeat(a.Lease, w.Name)
+	hb.Stats = w.statsSnapshot()
+	if _, err := w.Client.Heartbeat(hb); err != nil {
+		w.heartbeatErrs.Add(1)
+		w.logf("cell %s/%d final heartbeat failed: %v\n", a.Job, a.Cell, err)
+	}
+	err := w.Client.Release(ReleaseRequest{
+		Lease: a.Lease, Worker: w.Name,
+		Cursor: hb.Cursor, Runs: hb.Runs, Findings: hb.Findings,
+	})
+	if err != nil {
+		w.logf("cell %s/%d release failed (lease will expire): %v\n", a.Job, a.Cell, err)
+		return
+	}
+	w.cellsReleased.Add(1)
+}
+
+func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) error {
 	spec := a.Spec.Bench
 	if spec == nil {
 		_ = w.Client.Fail(a.Lease, w.Name, "bench cell without bench spec")
-		return
+		return nil
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -220,9 +391,16 @@ func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) {
 			case <-ctx.Done():
 				return
 			case <-t.C:
-				_, _ = w.Client.Heartbeat(Heartbeat{
+				_, err := w.Client.Heartbeat(Heartbeat{
 					Lease: a.Lease, Worker: w.Name, Cursor: a.Start,
+					Stats: w.statsSnapshot(),
 				})
+				if err != nil {
+					w.heartbeatErrs.Add(1)
+					w.logf("cell %s/%d keepalive heartbeat failed: %v\n", a.Job, a.Cell, err)
+					continue
+				}
+				w.touchContact()
 			}
 		}
 	}()
@@ -231,12 +409,13 @@ func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) {
 	wg.Wait()
 	if err != nil {
 		_ = w.Client.Fail(a.Lease, w.Name, err.Error())
-		return
+		return nil
 	}
 	_ = w.Client.Complete(CellResult{
 		Lease: a.Lease, Worker: w.Name, Cursor: a.End, Rows: rows,
 	})
 	w.logf("cell %s/%d done: %s, %d rows\n", a.Job, a.Cell, a.Benchmark, len(rows))
+	return nil
 }
 
 // runBench simulates one benchmark under every config of the spec with

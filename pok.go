@@ -360,6 +360,20 @@ type (
 	FleetWorker = serve.Worker
 	// FleetClient talks to a coordinator's HTTP API.
 	FleetClient = serve.Client
+	// FleetJournal is the coordinator's crash-recovery write-ahead log.
+	FleetJournal = serve.Journal
+	// FleetReplayStats summarizes a journal replay on coordinator start.
+	FleetReplayStats = serve.ReplayStats
+	// FleetWorkerStats is a worker's self-reported RPC/retry counters.
+	FleetWorkerStats = serve.WorkerStats
+	// FleetReleaseRequest hands a lease back on graceful worker drain.
+	FleetReleaseRequest = serve.ReleaseRequest
+	// FleetTransportError wraps a network-level RPC failure (retryable).
+	FleetTransportError = serve.TransportError
+	// FleetStatusError is a non-2xx coordinator reply with its body.
+	FleetStatusError = serve.StatusError
+	// FleetChaosTransport is the seeded fault-injecting RoundTripper.
+	FleetChaosTransport = serve.ChaosTransport
 	// FailureSignature is the (kind, field) dedupe key of a finding.
 	FailureSignature = sig.Signature
 	// FailureClass is one deduplicated signature with its count.
@@ -371,6 +385,12 @@ var (
 	NewFleetCoordinator = serve.NewCoordinator
 	// NewFleetClient builds a client for the coordinator at a base URL.
 	NewFleetClient = serve.NewClient
+	// OpenFleetJournal opens (or creates) a coordinator journal dir.
+	OpenFleetJournal = serve.OpenJournal
+	// ParseFleetChaosSpec parses "drop=..,dup=..,err=..,delay=.." specs.
+	ParseFleetChaosSpec = serve.ParseChaosSpec
+	// FleetRetryable reports whether a client RPC error is transient.
+	FleetRetryable = serve.Retryable
 )
 
 var (

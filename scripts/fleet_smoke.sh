@@ -27,8 +27,10 @@ SOAK_FLAGS=(-programs 6 -seed 7 -configs slice2 -scheduler event
 rm -rf "$OUT"
 mkdir -p "$OUT/solo" "$OUT/fleet" "$OUT/worker-1" "$OUT/worker-2"
 
-go build -o "$OUT/pok-serve" ./cmd/pok-serve
-go build -o "$OUT/pok-soak" ./cmd/pok-soak
+# RACE=1 builds both binaries with the race detector so the whole
+# fleet protocol runs under it end to end.
+go build ${RACE:+-race} -o "$OUT/pok-serve" ./cmd/pok-serve
+go build ${RACE:+-race} -o "$OUT/pok-soak" ./cmd/pok-soak
 
 pids=()
 cleanup() {
