@@ -22,9 +22,12 @@
 // Jobs are JSON JobSpecs (see internal/serve); existing campaigns
 // submit themselves with `pok-soak -submit` / `pok-bench -submit`
 // without a spec file. The dashboard at / renders the job wavefront,
-// per-worker throughput and the deduped findings feed, and is
-// self-contained — `curl http://host:8080/ -o dashboard.html` archives
-// a snapshot.
+// per-worker throughput, streaming CPI-stack bars and the deduped
+// findings feed, and is self-contained — `curl http://host:8080/ -o
+// dashboard.html` archives a snapshot. The coordinator also serves
+// Prometheus-text metrics at /metrics (scrapeable with a stock
+// scrape_config, no extra deps) and the same aggregates as JSON at
+// /api/metrics.
 package main
 
 import (
@@ -39,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"pok/internal/metrics"
 	"pok/internal/serve"
 )
 
@@ -59,6 +63,7 @@ func main() {
 	submit := flag.String("submit", "", "submit mode: path to a JobSpec JSON file (- for stdin)")
 	wait := flag.Bool("wait", true, "submit: wait for the job and print its result")
 	status := flag.Bool("status", false, "status mode: print the fleet snapshot and exit")
+	withMetrics := flag.Bool("metrics", true, "worker: fold per-run telemetry into heartbeat snapshots for the coordinator's /metrics endpoint (never changes findings)")
 	quiet := flag.Bool("q", false, "suppress per-cell progress lines")
 	flag.Parse()
 
@@ -67,7 +72,7 @@ func main() {
 		runCoordinator(*listen, *lease, *journal, *drain)
 	case *worker:
 		runWorker(*coordinator, *name, *out, *poll, *maxCells, *outage,
-			*chaos, *chaosSeed, *quiet)
+			*chaos, *chaosSeed, *withMetrics, *quiet)
 	case *submit != "":
 		runSubmit(*coordinator, *submit, *wait, *poll)
 	case *status:
@@ -79,6 +84,8 @@ func main() {
 
 func runCoordinator(addr string, lease time.Duration, journalDir string, drainTimeout time.Duration) {
 	coord := serve.NewCoordinator(lease)
+	build := metrics.DetectBuild()
+	coord.SetBuild(build)
 	if journalDir != "" {
 		j, err := serve.OpenJournal(journalDir)
 		if err != nil {
@@ -109,7 +116,8 @@ func runCoordinator(addr string, lease time.Duration, journalDir string, drainTi
 	defer cancel()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pok-serve: coordinator on http://%s (lease %s)\n", addr, lease)
+	fmt.Fprintf(os.Stderr, "pok-serve: coordinator on http://%s (lease %s, %s)\n",
+		addr, lease, build)
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -135,7 +143,7 @@ func runCoordinator(addr string, lease time.Duration, journalDir string, drainTi
 }
 
 func runWorker(coordinator, name, out string, poll time.Duration, maxCells int,
-	outage time.Duration, chaosSpec string, chaosSeed uint64, quiet bool) {
+	outage time.Duration, chaosSpec string, chaosSeed uint64, withMetrics, quiet bool) {
 	if coordinator == "" {
 		fatal(fmt.Errorf("-worker needs -coordinator URL"))
 	}
@@ -168,6 +176,7 @@ func runWorker(coordinator, name, out string, poll time.Duration, maxCells int,
 		Poll:         poll,
 		MaxCells:     maxCells,
 		OutageBudget: outage,
+		NoMetrics:    !withMetrics,
 	}
 	if !quiet {
 		w.Log = os.Stderr

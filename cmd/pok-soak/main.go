@@ -31,11 +31,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"pok/internal/check/inject"
 	"pok/internal/gen"
+	"pok/internal/metrics"
+	"pok/internal/profile"
 	"pok/internal/serve"
 	"pok/internal/sig"
 	"pok/internal/soak"
@@ -70,6 +73,7 @@ func main() {
 	register := flag.Bool("register-workloads", false, "register generated programs as ad-hoc workloads")
 	submit := flag.String("submit", "", "submit the campaign to this pok-serve coordinator URL instead of running in-process")
 	cellPrograms := flag.Int("cell-programs", 0, "-submit: programs per fleet cell (0 = programs/8)")
+	withMetrics := flag.Bool("metrics", false, "write metrics-<seed>.json (CPI stacks, throughput) and print a campaign summary; never changes findings")
 	quiet := flag.Bool("q", false, "suppress per-program progress lines")
 	flag.Parse()
 
@@ -152,6 +156,10 @@ func main() {
 		if !*quiet {
 			opts.Log = os.Stderr
 		}
+		var lastSnap *metrics.Snapshot
+		if *withMetrics && *submit == "" {
+			opts.Snapshot = func(next int, snap *metrics.Snapshot) { lastSnap = snap }
+		}
 		var rep *soak.Report
 		var err error
 		if *submit != "" {
@@ -161,6 +169,24 @@ func main() {
 		}
 		if err != nil {
 			fatal(err)
+		}
+		if lastSnap != nil {
+			mpath := filepath.Join(*outDir, fmt.Sprintf("metrics-%d.json", base))
+			if err := writeJSON(mpath, lastSnap); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("seed %d: %.1f Minst in %s (%.2f Minst/s), %d replays, %d squashes -> %s\n",
+				base, float64(lastSnap.Insts)/1e6,
+				time.Duration(lastSnap.WallNanos).Round(time.Millisecond),
+				lastSnap.MinstPerSec(), lastSnap.Replays, lastSnap.Squashes, mpath)
+			for _, cfg := range sortedKeys(lastSnap.Stacks) {
+				st := lastSnap.Stacks[cfg]
+				if st.Insts == 0 {
+					continue
+				}
+				fmt.Printf("  %-10s CPI %.3f  %s\n", cfg,
+					float64(st.Cycles)/float64(st.Insts), cpiBreakdown(st))
+			}
 		}
 		path := filepath.Join(*outDir, fmt.Sprintf("findings-%d.json", base))
 		if err := writeJSON(path, rep); err != nil {
@@ -227,6 +253,46 @@ func submitCampaign(url string, opts soak.Options, cellPrograms int) (*soak.Repo
 		return nil, err
 	}
 	return res.Soak, nil
+}
+
+func sortedKeys(m map[string]*profile.CPIStack) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cpiBreakdown prints the non-zero CPI-stack components as
+// "name share%" pairs, largest first.
+func cpiBreakdown(st *profile.CPIStack) string {
+	if st.Cycles == 0 {
+		return ""
+	}
+	type part struct {
+		name  string
+		share float64
+	}
+	var parts []part
+	for c := 0; c < profile.NumComponents; c++ {
+		if st.Comp[c] == 0 {
+			continue
+		}
+		parts = append(parts, part{
+			profile.Component(c).String(),
+			100 * float64(st.Comp[c]) / float64(st.Cycles),
+		})
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a].share > parts[b].share })
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s %.0f%%", p.name, p.share)
+	}
+	return b.String()
 }
 
 func writeJSON(path string, v any) error {

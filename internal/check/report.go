@@ -29,6 +29,13 @@ type Options struct {
 	// TraceRadius selects events within +/- this many sequence numbers
 	// of the failing instruction for Report.Trace (0 = default 4).
 	TraceRadius uint64
+	// KeepTelemetry exposes the run's recorder output on the report
+	// (Report.Telemetry, Report.Events) even on success, for the fleet
+	// metrics pipeline. It reuses the recorder RunChecked already
+	// attaches for failure traces, so the simulated run is bit-identical
+	// with or without it; ignored when the caller brought its own
+	// Collector.
+	KeepTelemetry bool
 }
 
 // FaultCounter is implemented by injectors that can report how many
@@ -67,6 +74,13 @@ type Report struct {
 	// Trace is the telemetry-derived per-slice event window around the
 	// failing instruction (empty on success).
 	Trace []string `json:"trace,omitempty"`
+
+	// Telemetry and Events carry the run's recorder output when
+	// Options.KeepTelemetry is set — consumed in-process by the fleet
+	// metrics fold, and deliberately excluded from JSON so repro
+	// bundles and findings stay byte-identical with metrics on or off.
+	Telemetry *telemetry.Summary `json:"-"`
+	Events    []telemetry.Event  `json:"-"`
 }
 
 // InvariantReport is the JSON shape of a core.InvariantError.
@@ -121,6 +135,10 @@ func RunChecked(prog *emu.Program, cfg core.Config, opts Options) (*Report, erro
 	res, runErr := core.RunWarm(prog, cfg, opts.Warmup, opts.MaxInsts)
 	if fc, ok := opts.Injector.(FaultCounter); ok {
 		rep.Faults = fc.FaultCounts()
+	}
+	if rec != nil && opts.KeepTelemetry {
+		rep.Telemetry = rec.Summary()
+		rep.Events = rec.Events()
 	}
 	if runErr == nil {
 		rep.OK = true

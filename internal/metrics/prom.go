@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pok/internal/stats"
+)
+
+// Prom builds a Prometheus text-exposition (version 0.0.4) payload
+// with no external dependencies: the coordinator renders its fleet
+// aggregates through it for GET /metrics. Families are emitted in
+// sorted name order and samples in sorted label order, so the scrape
+// is byte-stable for a given fleet state — the scrape golden test
+// relies on that.
+type Prom struct {
+	order    []string
+	families map[string]*promFamily
+}
+
+type promFamily struct {
+	help    string
+	typ     string
+	samples []promSample
+	// keepOrder skips the label sort on Render: histogram buckets must
+	// stay in ascending-le order with +Inf last, which lexicographic
+	// label sorting would scramble. Emitters that set it are expected
+	// to append samples in a deterministic order themselves.
+	keepOrder bool
+}
+
+type promSample struct {
+	labels string // rendered {k="v",...} block, "" for none
+	value  string
+}
+
+// NewProm returns an empty payload builder.
+func NewProm() *Prom {
+	return &Prom{families: make(map[string]*promFamily)}
+}
+
+// Gauge adds one sample to a gauge family (registering the family's
+// HELP/TYPE header on first use).
+func (p *Prom) Gauge(name, help string, labels [][2]string, v float64) {
+	p.add(name, help, "gauge", labels, v)
+}
+
+// Counter adds one sample to a counter family. Prometheus counter
+// names should end in _total; the caller owns the convention.
+func (p *Prom) Counter(name, help string, labels [][2]string, v float64) {
+	p.add(name, help, "counter", labels, v)
+}
+
+// Histogram renders a stats.Histogram as a native Prometheus histogram
+// family: cumulative _bucket{le=...} samples at the given bucket upper
+// bounds (+Inf is appended automatically), plus _sum and _count.
+func (p *Prom) Histogram(name, help string, labels [][2]string,
+	h *stats.Histogram, les []int) {
+	if h == nil {
+		return
+	}
+	// HELP/TYPE go on the base name; the samples live in the _bucket /
+	// _sum / _count suffixed families, per the exposition format.
+	p.family(name, help, "histogram")
+	fam := p.family(name+"_bucket", "", "")
+	fam.keepOrder = true
+	var cum uint64
+	next := 0
+	for _, le := range les {
+		for next < len(h.Bins) && next <= le {
+			cum += h.Bins[next]
+			next++
+		}
+		fam.add(withLabel(labels, "le", strconv.Itoa(le)), float64(cum))
+	}
+	fam.add(withLabel(labels, "le", "+Inf"), float64(h.Total))
+	p.family(name+"_sum", "", "").add(renderLabels(labels), float64(h.Sum))
+	p.family(name+"_count", "", "").add(renderLabels(labels), float64(h.Total))
+}
+
+func (p *Prom) add(name, help, typ string, labels [][2]string, v float64) {
+	p.family(name, help, typ).add(renderLabels(labels), v)
+}
+
+func (p *Prom) family(name, help, typ string) *promFamily {
+	fam := p.families[name]
+	if fam == nil {
+		fam = &promFamily{help: help, typ: typ}
+		p.families[name] = fam
+		p.order = append(p.order, name)
+	}
+	return fam
+}
+
+func (fam *promFamily) add(labels string, v float64) {
+	fam.samples = append(fam.samples,
+		promSample{labels: labels, value: formatValue(v)})
+}
+
+// Render serializes the payload. Families keep registration order
+// (callers register them in a stable order already); samples within a
+// family are sorted by label block so map-driven emitters stay stable.
+func (p *Prom) Render() []byte {
+	var b strings.Builder
+	for _, name := range p.order {
+		fam := p.families[name]
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, fam.help)
+		}
+		if fam.typ != "" {
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, fam.typ)
+		}
+		if !fam.keepOrder {
+			sort.SliceStable(fam.samples, func(i, j int) bool {
+				return fam.samples[i].labels < fam.samples[j].labels
+			})
+		}
+		for _, s := range fam.samples {
+			b.WriteString(name)
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			b.WriteString(s.value)
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String())
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func renderLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func withLabel(labels [][2]string, k, v string) string {
+	ext := make([][2]string, 0, len(labels)+1)
+	ext = append(ext, labels...)
+	ext = append(ext, [2]string{k, v})
+	return renderLabels(ext)
+}
+
+// escapeLabel applies the exposition-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

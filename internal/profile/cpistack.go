@@ -45,6 +45,49 @@ func (st *CPIStack) Sum() int64 {
 	return n
 }
 
+// Merge folds o into st component-by-component, summing Cycles and
+// Insts. Because each side's Comp sums to its Cycles by construction,
+// the merged stack keeps the invariant (Sum() == Cycles) — the exported
+// mergeable accumulator the fleet metrics pipeline aggregates across
+// cells and workers. Merge is associative and commutative; a nil o is
+// a no-op. Benchmark/Config labels are kept when they agree and
+// cleared when they conflict.
+func (st *CPIStack) Merge(o *CPIStack) {
+	if o == nil {
+		return
+	}
+	st.Benchmark = mergeLabel(st.Benchmark, o.Benchmark)
+	st.Config = mergeLabel(st.Config, o.Config)
+	st.Cycles += o.Cycles
+	st.Insts += o.Insts
+	for i := range st.Comp {
+		st.Comp[i] += o.Comp[i]
+	}
+	st.Lossy = st.Lossy || o.Lossy
+}
+
+// mergeLabel keeps a label two sides agree on; "" is the identity and
+// the result of a conflict (a merged stack spanning two benchmarks has
+// no single benchmark).
+func mergeLabel(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "" || a == b:
+		return a
+	}
+	return ""
+}
+
+// Clone returns an independent copy (nil in, nil out).
+func (st *CPIStack) Clone() *CPIStack {
+	if st == nil {
+		return nil
+	}
+	c := *st
+	return &c
+}
+
 // commitRec is one committed instruction's attribution inputs, in
 // commit (== program) order.
 type commitRec struct {

@@ -359,3 +359,12 @@ func (c *Client) Status() (*Status, error) {
 	}
 	return &st, nil
 }
+
+// Metrics fetches the aggregated fleet observability snapshot.
+func (c *Client) Metrics() (*FleetMetrics, error) {
+	var m FleetMetrics
+	if err := c.call("GET", "/api/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"pok/internal/metrics"
 	"pok/internal/sig"
 	"pok/internal/soak"
 )
@@ -58,7 +59,20 @@ type Coordinator struct {
 	journal    *Journal
 	journalErr error
 	replaying  bool
+
+	// build is the provenance stamp surfaced on /api/status and
+	// /metrics (SetBuild).
+	build metrics.BuildInfo
+	// samples is the bounded time-series ring behind the dashboard
+	// sparklines and /api/metrics: one entry per snapshot-carrying
+	// progress event (heartbeat advance, completion), oldest evicted
+	// first. Samples are journaled with their timestamps, so a replayed
+	// coordinator recovers the same ring.
+	samples []MetricsSample
 }
+
+// metricsRingCap bounds the coordinator's sample ring.
+const metricsRingCap = 512
 
 // NewCoordinator builds a coordinator with the given lease TTL
 // (0 = 10s). A worker that misses heartbeats for a full TTL is
@@ -90,6 +104,14 @@ func (c *Coordinator) SetRetryLimit(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.retryLimit = n
+}
+
+// SetBuild stamps the coordinator's provenance (git SHA, go version),
+// surfaced on /api/status, /api/metrics and the pok_build_info series.
+func (c *Coordinator) SetBuild(b metrics.BuildInfo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.build = b
 }
 
 type cellState int
@@ -132,6 +154,14 @@ type cell struct {
 	liveFindings []soak.Finding
 	liveRuns     int
 	fails        int
+
+	// Metrics snapshots mirror the findings handling: baseSnap holds
+	// folded-in accumulators from expired/released leases, liveSnap the
+	// current lease's last reported accumulator, snap the final merged
+	// outcome at completion.
+	baseSnap *metrics.Snapshot
+	liveSnap *metrics.Snapshot
+	snap     *metrics.Snapshot
 
 	// final outcome
 	findings []soak.Finding
@@ -186,6 +216,35 @@ type workerInfo struct {
 	findings  int
 	cells     int
 	stats     *WorkerStats // last self-reported stats snapshot
+
+	// Cumulative simulation throughput, accumulated as deltas between
+	// consecutive snapshot reports of each lease. Ephemeral worker
+	// bookkeeping — like stats, not journaled.
+	insts     uint64
+	cycles    int64
+	wallNanos int64
+}
+
+// foldSnapDelta accrues the growth between a lease's previous and
+// current snapshot into the worker's cumulative throughput counters.
+func (w *workerInfo) foldSnapDelta(prev, cur *metrics.Snapshot) {
+	if cur == nil {
+		return
+	}
+	var pi uint64
+	var pc, pw int64
+	if prev != nil {
+		pi, pc, pw = prev.Insts, prev.Cycles, prev.WallNanos
+	}
+	if cur.Insts > pi {
+		w.insts += cur.Insts - pi
+	}
+	if cur.Cycles > pc {
+		w.cycles += cur.Cycles - pc
+	}
+	if cur.WallNanos > pw {
+		w.wallNanos += cur.WallNanos - pw
+	}
 }
 
 // buildJobLocked shards a normalized spec into a job. It is shared by
@@ -306,6 +365,7 @@ func (c *Coordinator) grantLocked(cl *cell, lease, worker, nonce string) {
 	cl.liveCursor = cl.cursor
 	cl.liveFindings = nil
 	cl.liveRuns = 0
+	cl.liveSnap = nil
 	c.leases[lease] = cl
 }
 
@@ -387,12 +447,24 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) HeartbeatReply {
 	cl.liveFindings = hb.Findings
 	cl.liveRuns = hb.Runs
 	cl.expiry = c.now().Add(c.leaseTTL)
+	ms := c.now().UnixMilli()
+	if hb.Snapshot != nil {
+		w.foldSnapDelta(cl.liveSnap, hb.Snapshot)
+		cl.liveSnap = hb.Snapshot
+	}
 	if advanced {
+		if hb.Snapshot != nil {
+			// A duplicate heartbeat (retry or transport dup) reports the
+			// same cursor/runs/findings, so gating the sample on advance
+			// keeps the ring duplicate-free.
+			c.appendSampleLocked(ms, hb.Worker, cl, hb.Snapshot)
+		}
 		// Cursor records are appended without fsync: losing the tail
 		// of them to a crash only re-runs a few programs.
 		c.journalAppend(journalRecord{
 			T: recHB, Lease: hb.Lease, Worker: hb.Worker,
 			Cursor: hb.Cursor, Runs: hb.Runs, Findings: hb.Findings,
+			Snap: hb.Snapshot, Ms: ms,
 		}, false)
 	}
 	return HeartbeatReply{End: cl.end}
@@ -427,17 +499,20 @@ func (c *Coordinator) Complete(res CellResult) error {
 		w.programs += res.Cursor - cl.liveCursor
 	}
 	w.findings += len(res.Findings) - len(cl.liveFindings)
+	w.foldSnapDelta(cl.liveSnap, res.Snapshot)
+	ms := c.now().UnixMilli()
 	c.journalAppend(journalRecord{
 		T: recComplete, Lease: res.Lease, Worker: res.Worker,
 		Cursor: res.Cursor, Runs: res.Runs, Findings: res.Findings,
-		Rows: res.Rows,
+		Rows: res.Rows, Snap: res.Snapshot, Ms: ms,
 	}, true)
-	c.completeLocked(cl, res.Lease, res.Runs, res.Findings, res.Rows)
+	c.completeLocked(cl, res.Lease, res.Worker, ms, res.Runs, res.Findings, res.Rows, res.Snapshot)
 	return nil
 }
 
 // completeLocked applies a completion. Shared with journal replay.
-func (c *Coordinator) completeLocked(cl *cell, lease string, runs int, findings []soak.Finding, rows []BenchRow) {
+func (c *Coordinator) completeLocked(cl *cell, lease, worker string, ms int64,
+	runs int, findings []soak.Finding, rows []BenchRow, snap *metrics.Snapshot) {
 	delete(c.leases, lease)
 	c.completed[lease] = true
 	cl.state = cellDone
@@ -445,6 +520,16 @@ func (c *Coordinator) completeLocked(cl *cell, lease string, runs int, findings 
 	cl.runs = cl.baseRuns + runs
 	cl.rows = rows
 	cl.cursor = cl.end
+	if snap != nil || cl.baseSnap != nil {
+		final := &metrics.Snapshot{}
+		final.Merge(cl.baseSnap)
+		final.Merge(snap)
+		cl.snap = final
+	}
+	if snap != nil {
+		c.appendSampleLocked(ms, worker, cl, snap)
+	}
+	cl.baseSnap, cl.liveSnap = nil, nil
 	cl.lease, cl.worker, cl.nonce = "", "", ""
 	cl.liveFindings, cl.liveRuns = nil, 0
 }
@@ -466,14 +551,19 @@ func (c *Coordinator) Release(rel ReleaseRequest) {
 		w.programs += rel.Cursor - cl.liveCursor
 	}
 	w.findings += len(rel.Findings) - len(cl.liveFindings)
+	w.foldSnapDelta(cl.liveSnap, rel.Snapshot)
 	c.journalAppend(journalRecord{
 		T: recRelease, Lease: rel.Lease, Worker: rel.Worker,
 		Cursor: rel.Cursor, Runs: rel.Runs, Findings: rel.Findings,
+		Snap: rel.Snapshot,
 	}, true)
 	delete(c.leases, rel.Lease)
 	cl.liveCursor = rel.Cursor
 	cl.liveRuns = rel.Runs
 	cl.liveFindings = rel.Findings
+	if rel.Snapshot != nil {
+		cl.liveSnap = rel.Snapshot
+	}
 	c.requeueLocked(cl)
 }
 
@@ -523,12 +613,54 @@ func (c *Coordinator) reap() {
 func (c *Coordinator) requeueLocked(cl *cell) {
 	cl.baseFindings = append(cl.baseFindings, cl.liveFindings...)
 	cl.baseRuns += cl.liveRuns
+	if cl.liveSnap != nil {
+		if cl.baseSnap == nil {
+			cl.baseSnap = &metrics.Snapshot{}
+		}
+		cl.baseSnap.Merge(cl.liveSnap)
+		cl.liveSnap = nil
+	}
 	cl.cursor = max(cl.cursor, cl.liveCursor)
 	cl.liveFindings, cl.liveRuns = nil, 0
 	cl.liveCursor = cl.cursor
 	cl.state = cellPending
 	cl.lease, cl.worker, cl.nonce = "", "", ""
 	c.queue = append(c.queue, cl)
+}
+
+// appendSampleLocked pushes one time-series sample into the bounded
+// ring, evicting the oldest entry at capacity. Called on the live path
+// and from journal replay with the journaled timestamp, so a recovered
+// coordinator rebuilds the identical ring.
+func (c *Coordinator) appendSampleLocked(ms int64, worker string, cl *cell, snap *metrics.Snapshot) {
+	s := MetricsSample{
+		Ms: ms, Worker: worker, Job: cl.job.id, Cell: cl.id,
+		Cursor:   max(cl.cursor, cl.liveCursor),
+		Programs: snap.Programs, Insts: snap.Insts, Cycles: snap.Cycles,
+		WallNanos: snap.WallNanos, Findings: snap.Findings,
+	}
+	if len(c.samples) >= metricsRingCap {
+		copy(c.samples, c.samples[1:])
+		c.samples[len(c.samples)-1] = s
+		return
+	}
+	c.samples = append(c.samples, s)
+}
+
+// cellSnapLocked assembles a cell's current metrics accumulator: the
+// final snapshot for done cells, otherwise committed base + live lease
+// merged into a fresh value (never aliasing cell state).
+func cellSnapLocked(cl *cell) *metrics.Snapshot {
+	if cl.state == cellDone {
+		return cl.snap
+	}
+	if cl.baseSnap == nil && cl.liveSnap == nil {
+		return nil
+	}
+	acc := &metrics.Snapshot{}
+	acc.Merge(cl.baseSnap)
+	acc.Merge(cl.liveSnap)
+	return acc
 }
 
 func (c *Coordinator) touch(name string) *workerInfo {
@@ -594,16 +726,26 @@ func (c *Coordinator) Status() *Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reap()
-	now := c.now()
 	st := &Status{
 		LeaseTTLMillis: c.leaseTTL.Milliseconds(),
 		Draining:       c.draining,
+	}
+	if c.build != (metrics.BuildInfo{}) {
+		b := c.build
+		st.Build = &b
 	}
 	if c.journal != nil {
 		st.Journal = c.journal.Path()
 	}
 	if c.journalErr != nil {
 		st.JournalError = c.journalErr.Error()
+	}
+	for _, id := range c.order {
+		for _, cl := range c.jobs[id].cells {
+			if s := cellSnapLocked(cl); s != nil {
+				st.EventsDropped += s.EventsDropped
+			}
+		}
 	}
 	for _, cl := range c.queue {
 		if cl.state == cellPending && cl.job.failed == "" {
@@ -618,12 +760,12 @@ func (c *Coordinator) Status() *Status {
 	for _, n := range names {
 		w := c.workers[n]
 		ws := WorkerStatus{
-			Name:       w.name,
-			IdleMillis: now.Sub(w.lastSeen).Milliseconds(),
-			Programs:   w.programs,
-			Findings:   w.findings,
-			Cells:      w.cells,
-			Stats:      w.stats,
+			Name:           w.name,
+			LastSeenMillis: w.lastSeen.UnixMilli(),
+			Programs:       w.programs,
+			Findings:       w.findings,
+			Cells:          w.cells,
+			Stats:          w.stats,
 		}
 		if alive := w.lastSeen.Sub(w.firstSeen); alive > 0 {
 			ws.ProgramsPerSec = float64(w.programs) / alive.Seconds()

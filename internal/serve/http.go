@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"time"
 
+	"pok/internal/metrics"
 	"pok/internal/sig"
 	"pok/internal/soak"
 )
@@ -46,6 +48,10 @@ type Heartbeat struct {
 	Runs     int            `json:"runs"`
 	Findings []soak.Finding `json:"findings,omitempty"`
 	Stats    *WorkerStats   `json:"stats,omitempty"`
+	// Snapshot piggybacks the lease's cumulative metrics accumulator
+	// (CPI stacks, occupancy histograms, throughput) on the heartbeat —
+	// the fleet telemetry transport; nil when metrics are off.
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 // WorkerStats is a worker's self-reported robustness accounting: how
@@ -78,6 +84,9 @@ type CellResult struct {
 	Runs     int            `json:"runs"`
 	Findings []soak.Finding `json:"findings,omitempty"`
 	Rows     []BenchRow     `json:"rows,omitempty"`
+	// Snapshot is the lease's final metrics accumulator (nil when
+	// metrics are off).
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 // ReleaseRequest hands a lease back cleanly: a draining worker ran
@@ -89,6 +98,9 @@ type ReleaseRequest struct {
 	Cursor   int            `json:"cursor"`
 	Runs     int            `json:"runs"`
 	Findings []soak.Finding `json:"findings,omitempty"`
+	// Snapshot is the lease's metrics accumulator at release time (nil
+	// when metrics are off); it folds into the cell's committed base.
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
 }
 
 // FailRequest reports a hard worker-side error on a leased cell.
@@ -101,19 +113,31 @@ type FailRequest struct {
 // Status is the fleet snapshot served at /api/status and rendered by
 // the dashboard.
 type Status struct {
-	LeaseTTLMillis int64          `json:"lease_ttl_ms"`
-	QueueDepth     int            `json:"queue_depth"`
-	Draining       bool           `json:"draining,omitempty"`
-	Journal        string         `json:"journal,omitempty"`
-	JournalError   string         `json:"journal_error,omitempty"`
-	Workers        []WorkerStatus `json:"workers,omitempty"`
-	Jobs           []JobStatus    `json:"jobs,omitempty"`
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+	QueueDepth     int   `json:"queue_depth"`
+	Draining       bool  `json:"draining,omitempty"`
+	// Build is the coordinator's provenance stamp (git SHA + go
+	// version), mirroring the BENCH_*.json provenance fields so
+	// archived dashboard/status snapshots are attributable.
+	Build        *metrics.BuildInfo `json:"build,omitempty"`
+	Journal      string             `json:"journal,omitempty"`
+	JournalError string             `json:"journal_error,omitempty"`
+	// EventsDropped totals telemetry events that fell off bounded
+	// recorder rings, fleet-wide — surfaced as a dashboard red badge.
+	EventsDropped uint64         `json:"events_dropped,omitempty"`
+	Workers       []WorkerStatus `json:"workers,omitempty"`
+	Jobs          []JobStatus    `json:"jobs,omitempty"`
 }
 
 // WorkerStatus is one worker's fleet-side accounting.
 type WorkerStatus struct {
-	Name           string       `json:"name"`
-	IdleMillis     int64        `json:"idle_ms"`
+	Name string `json:"name"`
+	// LastSeenMillis is the wall-clock unix-ms of the worker's last
+	// RPC. A stable timestamp (not a render-time "idle for" delta)
+	// so identical fleet state serializes to identical bytes and the
+	// ETag/304 revalidation path stays live; viewers derive idleness
+	// client-side.
+	LastSeenMillis int64        `json:"last_seen_ms"`
 	Programs       int          `json:"programs"`
 	ProgramsPerSec float64      `json:"programs_per_sec"`
 	Findings       int          `json:"findings"`
@@ -165,7 +189,13 @@ const maxRequestBody = 32 << 20
 //	POST /api/release         ReleaseRequest             -> {"ok": true}
 //	POST /api/fail            FailRequest                -> {"ok": true}
 //	GET  /api/status          fleet snapshot             -> Status
+//	GET  /api/metrics         fleet metrics (JSON)       -> FleetMetrics
+//	GET  /metrics             Prometheus text exposition
 //	GET  /                    self-contained HTML dashboard
+//
+// /api/status, /api/metrics and /metrics are served with an ETag and
+// honour If-None-Match (304), so an idle fleet's dashboard refresh
+// loop stops re-downloading unchanged JSON.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -255,7 +285,15 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /api/status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Status())
+		writeJSONETag(w, r, c.Status())
+	})
+
+	mux.HandleFunc("GET /api/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONETag(w, r, c.Metrics())
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		serveWithETag(w, r, "text/plain; version=0.0.4; charset=utf-8", c.PromText())
 	})
 
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
@@ -286,6 +324,33 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
+}
+
+// writeJSONETag serializes v exactly like writeJSON but stamps an ETag
+// over the body and answers If-None-Match with 304 — the polling-path
+// variant for snapshot endpoints.
+func writeJSONETag(w http.ResponseWriter, r *http.Request, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	serveWithETag(w, r, "application/json", append(body, '\n'))
+}
+
+// serveWithETag writes body with a content-hash ETag, short-circuiting
+// to 304 Not Modified when the client already holds the same bytes.
+func serveWithETag(w http.ResponseWriter, r *http.Request, contentType string, body []byte) {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	etag := fmt.Sprintf(`"%x"`, h.Sum64())
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(body)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"pok/internal/metrics"
 	"pok/internal/soak"
 )
 
@@ -137,6 +138,11 @@ type journalRecord struct {
 	Findings []soak.Finding `json:"findings,omitempty"`
 	Rows     []BenchRow     `json:"rows,omitempty"`
 	Msg      string         `json:"msg,omitempty"`
+	// Snap / Ms carry a lease's metrics accumulator and its wall-clock
+	// timestamp on hb/complete/release records, so replay restores the
+	// per-cell snapshots and the coordinator's time-series ring exactly.
+	Snap *metrics.Snapshot `json:"snap,omitempty"`
+	Ms   int64             `json:"ms,omitempty"`
 }
 
 // Record type tags.
@@ -301,19 +307,26 @@ func (c *Coordinator) applyLocked(rec journalRecord) error {
 			cl.liveRuns = rec.Runs
 			cl.liveFindings = rec.Findings
 			cl.expiry = c.now().Add(c.leaseTTL)
+			if rec.Snap != nil {
+				cl.liveSnap = rec.Snap
+				c.appendSampleLocked(rec.Ms, rec.Worker, cl, rec.Snap)
+			}
 		}
 	case recComplete:
 		cl, ok := c.leases[rec.Lease]
 		if !ok {
 			return fmt.Errorf("complete on unknown lease %q", rec.Lease)
 		}
-		c.completeLocked(cl, rec.Lease, rec.Runs, rec.Findings, rec.Rows)
+		c.completeLocked(cl, rec.Lease, rec.Worker, rec.Ms, rec.Runs, rec.Findings, rec.Rows, rec.Snap)
 	case recRelease:
 		if cl, ok := c.leases[rec.Lease]; ok {
 			delete(c.leases, rec.Lease)
 			cl.liveCursor = rec.Cursor
 			cl.liveRuns = rec.Runs
 			cl.liveFindings = rec.Findings
+			if rec.Snap != nil {
+				cl.liveSnap = rec.Snap
+			}
 			c.requeueLocked(cl)
 		}
 	case recFail:

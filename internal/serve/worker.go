@@ -9,7 +9,10 @@ import (
 	"time"
 
 	"pok/internal/core"
+	"pok/internal/metrics"
+	"pok/internal/profile"
 	"pok/internal/soak"
+	"pok/internal/telemetry"
 	"pok/internal/workload"
 )
 
@@ -45,6 +48,12 @@ type Worker struct {
 	// unreachable before the worker gives its cell up for lost and
 	// exits nonzero (0 = 2m).
 	OutageBudget time.Duration
+	// NoMetrics disables telemetry collection: no metrics.Snapshot is
+	// accumulated or piggybacked on heartbeats. Metrics are on by
+	// default because collection never changes results — findings stay
+	// byte-identical either way (the soak snapshot hook reuses the
+	// recorder every checked run already attaches).
+	NoMetrics bool
 	// Log receives one line per cell (nil = quiet).
 	Log io.Writer
 
@@ -154,6 +163,10 @@ type cellProgress struct {
 	cursor   int
 	runs     int
 	findings []soak.Finding
+	// snap is the latest metrics accumulator clone from the soak
+	// snapshot hook. The clone is owned by this struct and read-only
+	// from here on, so sharing the pointer across heartbeats is safe.
+	snap *metrics.Snapshot
 }
 
 func (p *cellProgress) set(cursor, runs int, findings []soak.Finding) {
@@ -164,6 +177,18 @@ func (p *cellProgress) set(cursor, runs int, findings []soak.Finding) {
 	p.findings = append([]soak.Finding(nil), findings...)
 }
 
+func (p *cellProgress) setSnap(snap *metrics.Snapshot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.snap = snap
+}
+
+func (p *cellProgress) snapshot() *metrics.Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.snap
+}
+
 func (p *cellProgress) heartbeat(lease, worker string) Heartbeat {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -171,6 +196,7 @@ func (p *cellProgress) heartbeat(lease, worker string) Heartbeat {
 		Lease: lease, Worker: worker,
 		Cursor: p.cursor, Runs: p.runs,
 		Findings: append([]soak.Finding(nil), p.findings...),
+		Snapshot: p.snap,
 	}
 }
 
@@ -189,6 +215,21 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 	opts.Programs = a.End
 
 	prog := &cellProgress{cursor: a.Start}
+	if !w.NoMetrics {
+		// The soak hook fires right before Progress with a fresh clone,
+		// so the synchronous per-program heartbeat below always carries
+		// the accumulator that includes the program it reports. RPC
+		// health counters are filled as per-lease deltas: like every
+		// other snapshot field they then cover a disjoint span per
+		// lease, so the coordinator's merge across cells stays exact.
+		baseRetries := w.Client.Stats.Retries.Load()
+		baseTransport := w.Client.Stats.TransportErrors.Load()
+		opts.Snapshot = func(next int, snap *metrics.Snapshot) {
+			snap.RPCRetries = w.Client.Stats.Retries.Load() - baseRetries
+			snap.TransportErrors = w.Client.Stats.TransportErrors.Load() - baseTransport
+			prog.setSnap(snap)
+		}
+	}
 	var abandoned, released atomic.Bool
 	var end, acked atomic.Int64
 	end.Store(int64(a.End))
@@ -329,6 +370,7 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 		cErr := w.Client.Complete(CellResult{
 			Lease: a.Lease, Worker: w.Name,
 			Cursor: final, Runs: rep.Runs, Findings: rep.Findings,
+			Snapshot: prog.snapshot(),
 		})
 		switch {
 		case cErr == nil:
@@ -363,6 +405,7 @@ func (w *Worker) releaseCell(a *Assignment, prog *cellProgress) {
 	err := w.Client.Release(ReleaseRequest{
 		Lease: a.Lease, Worker: w.Name,
 		Cursor: hb.Cursor, Runs: hb.Runs, Findings: hb.Findings,
+		Snapshot: hb.Snapshot,
 	})
 	if err != nil {
 		w.logf("cell %s/%d release failed (lease will expire): %v\n", a.Job, a.Cell, err)
@@ -404,7 +447,7 @@ func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) error {
 			}
 		}
 	}()
-	rows, err := runBench(a.Benchmark, spec)
+	rows, snap, err := runBench(a.Benchmark, spec, !w.NoMetrics)
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -413,6 +456,7 @@ func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) error {
 	}
 	_ = w.Client.Complete(CellResult{
 		Lease: a.Lease, Worker: w.Name, Cursor: a.End, Rows: rows,
+		Snapshot: snap,
 	})
 	w.logf("cell %s/%d done: %s, %d rows\n", a.Job, a.Cell, a.Benchmark, len(rows))
 	return nil
@@ -420,32 +464,55 @@ func (w *Worker) runBenchCell(ctx context.Context, a *Assignment) error {
 
 // runBench simulates one benchmark under every config of the spec with
 // its standard fast-forward (the same path pok.SimulateBenchmark
-// takes).
-func runBench(bench string, spec *BenchSpec) ([]BenchRow, error) {
+// takes). With collect set it attaches a telemetry recorder per run
+// and folds a per-config CPI stack into the returned snapshot — the
+// attached recorder is results-neutral (PR 2's bit-identical-Result
+// guarantee), so BenchRows match the collector-less run exactly.
+func runBench(bench string, spec *BenchSpec, collect bool) ([]BenchRow, *metrics.Snapshot, error) {
 	wl, err := workload.Get(bench)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	prog, err := wl.Program(wl.DefaultScale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rows := make([]BenchRow, 0, len(spec.Configs))
+	var snap *metrics.Snapshot
+	if collect {
+		snap = &metrics.Snapshot{}
+	}
 	for _, name := range spec.Configs {
 		cfg, err := soak.ConfigByName(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		var rec *telemetry.Recorder
+		if collect {
+			rec = cfg.NewRecorder(0)
+			cfg.Collector = rec
+		}
+		t0 := time.Now()
 		r, err := core.RunWarm(prog, cfg, wl.FastForward, spec.MaxInsts)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", bench, name, err)
+			return nil, nil, fmt.Errorf("%s/%s: %w", bench, name, err)
+		}
+		if rec != nil {
+			sum := rec.Summary()
+			var stack *profile.CPIStack
+			if st, serr := profile.BuildCPIStack(rec.Events(), r.Cycles); serr == nil {
+				st.Benchmark, st.Config = bench, name
+				st.Lossy = sum.EventsDropped > 0
+				stack = st
+			}
+			snap.AddRun(name, r.Insts, r.Cycles, r.Replays, stack, sum, time.Since(t0))
 		}
 		rows = append(rows, BenchRow{
 			Benchmark: bench, Config: name,
 			IPC: r.IPC, Cycles: r.Cycles, Insts: r.Insts,
 		})
 	}
-	return rows, nil
+	return rows, snap, nil
 }
 
 // keepaliveInterval paces the background lease extension at a third of

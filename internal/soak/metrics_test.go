@@ -1,0 +1,103 @@
+package soak
+
+import (
+	"encoding/json"
+	"testing"
+
+	"pok/internal/check/inject"
+	"pok/internal/metrics"
+)
+
+// TestSnapshotFindingsEquivalence: attaching the metrics Snapshot hook
+// must never change what the soak finds — the findings report stays
+// byte-identical with the hook on or off. The corrupt hook makes every
+// program a finding so the comparison exercises the full detect+reduce
+// path (the one that re-runs programs with telemetry attached).
+func TestSnapshotFindingsEquivalence(t *testing.T) {
+	hook := &inject.Options{CorruptOn: true, CorruptAt: 20}
+
+	plain := small(t)
+	plain.Programs = 1
+	plain.Hook = hook
+	plainRep, err := Run(plain, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plainRep.Findings) != 1 {
+		t.Fatalf("baseline found %d findings, want 1", len(plainRep.Findings))
+	}
+
+	var last *metrics.Snapshot
+	observed := small(t)
+	observed.Programs = 1
+	observed.Hook = hook
+	observed.Snapshot = func(next int, snap *metrics.Snapshot) { last = snap }
+	obsRep, err := Run(observed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := json.Marshal(plainRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(obsRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("snapshot hook changed the findings report:\nwith:    %s\nwithout: %s",
+			got, want)
+	}
+
+	if last == nil {
+		t.Fatal("snapshot hook never fired")
+	}
+	if last.Programs != 1 || last.Runs == 0 || last.Findings != 1 {
+		t.Fatalf("final snapshot %+v, want programs=1, runs>0, findings=1", last)
+	}
+	if last.WallNanos <= 0 {
+		t.Fatalf("snapshot carries no wall time: %+v", last)
+	}
+}
+
+// TestSnapshotCleanRunStacks: on a clean campaign the snapshot carries
+// per-config CPI stacks built from the detection runs' telemetry, and
+// each keeps the component-sum-equals-cycles invariant the /metrics
+// acceptance check scrapes for.
+func TestSnapshotCleanRunStacks(t *testing.T) {
+	var last *metrics.Snapshot
+	opts := small(t)
+	opts.Snapshot = func(next int, snap *metrics.Snapshot) { last = snap }
+	rep, err := Run(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean soak produced findings: %+v", rep.Findings)
+	}
+	if last == nil {
+		t.Fatal("snapshot hook never fired")
+	}
+	if last.Programs != opts.Programs || last.Runs != opts.Programs {
+		t.Fatalf("snapshot programs=%d runs=%d, want %d/%d",
+			last.Programs, last.Runs, opts.Programs, opts.Programs)
+	}
+	st := last.Stacks["slice2"]
+	if st == nil {
+		t.Fatalf("snapshot has no slice2 CPI stack: %+v", last.Stacks)
+	}
+	if st.Sum() != st.Cycles || st.Cycles == 0 {
+		t.Fatalf("slice2 stack: component sum %d, cycles %d — want equal and nonzero",
+			st.Sum(), st.Cycles)
+	}
+	if st.Config != "slice2" {
+		t.Fatalf("stack label %q, want slice2", st.Config)
+	}
+	if last.Insts == 0 || last.Cycles == 0 {
+		t.Fatalf("snapshot has no throughput numerators: %+v", last)
+	}
+	if last.Telemetry == nil || last.Telemetry.CyclesSampled == 0 {
+		t.Fatalf("snapshot carries no telemetry summary: %+v", last.Telemetry)
+	}
+}

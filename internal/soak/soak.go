@@ -24,6 +24,8 @@ import (
 	"pok/internal/check/reduce"
 	"pok/internal/core"
 	"pok/internal/gen"
+	"pok/internal/metrics"
+	"pok/internal/profile"
 	"pok/internal/workload"
 )
 
@@ -107,6 +109,16 @@ type Options struct {
 	// bound is ignored. Excluded from the checkpoint signature, like
 	// the other pacing knobs.
 	Progress func(next int, rep *Report) (newEnd int, stop bool)
+	// Snapshot, when non-nil, turns on metrics collection: each checked
+	// run keeps its telemetry (check.Options.KeepTelemetry) and is
+	// folded into a cumulative metrics.Snapshot (CPI stacks per config,
+	// occupancy histograms, throughput). The hook is called after every
+	// completed program, right before Progress, with the next program
+	// index and an independent clone of the accumulator — the fleet
+	// worker piggybacks it on heartbeats. Collection never changes run
+	// results: findings stay byte-identical with the hook on or off
+	// (TestSnapshotFindingsEquivalence).
+	Snapshot func(next int, snap *metrics.Snapshot)
 }
 
 func (o Options) withDefaults() Options {
@@ -253,6 +265,11 @@ func Run(opts Options, resume bool) (*Report, error) {
 		deadline = time.Now().Add(opts.Duration)
 	}
 
+	var snap *metrics.Snapshot
+	if opts.Snapshot != nil {
+		snap = &metrics.Snapshot{}
+	}
+
 	idx := start
 	for {
 		if opts.Programs > 0 && idx >= opts.Programs {
@@ -300,7 +317,7 @@ func Run(opts Options, resume bool) (*Report, error) {
 						hook := *opts.Hook
 						injOpts = &hook
 					}
-					f := runCell(opts, prog, idx, opts.Configs[ci], cfg, sched, injSeed, injOpts)
+					f := runCell(opts, prog, idx, opts.Configs[ci], cfg, sched, injSeed, injOpts, snap)
 					rep.Runs++
 					if f != nil {
 						rep.Findings = append(rep.Findings, *f)
@@ -316,6 +333,11 @@ func Run(opts Options, resume bool) (*Report, error) {
 			if err := saveProgress(opts, idx, rep); err != nil {
 				return nil, err
 			}
+		}
+		if snap != nil {
+			snap.Programs = idx - start
+			snap.Findings = len(rep.Findings)
+			opts.Snapshot(idx, snap.Clone())
 		}
 		if opts.Progress != nil {
 			newEnd, stop := opts.Progress(idx, rep)
@@ -358,7 +380,8 @@ func mixInject(seed, k uint64) uint64 {
 // retries, classifies the outcome, and — on failure — reduces it and
 // writes a repro bundle. It returns nil on a clean run.
 func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
-	cfg core.Config, sched string, injSeed uint64, injOpts *inject.Options) *Finding {
+	cfg core.Config, sched string, injSeed uint64, injOpts *inject.Options,
+	snap *metrics.Snapshot) *Finding {
 	cfg.LegacyScheduler = sched == "legacy"
 	chkOpts := check.Options{
 		Benchmark: fmt.Sprintf("gen-p%d", idx),
@@ -366,8 +389,12 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 	}
 	// A fresh injector per attempt: the injector carries per-run
 	// delivery state, so reusing one across runs would skew replays.
-	newRunner := func() reduce.Runner {
+	// Only detection runs keep telemetry (keep=true when metrics are
+	// on); reduction candidates never do — their reports are discarded
+	// and the reducer is the wall-clock hot path.
+	newRunner := func(keep bool) reduce.Runner {
 		o := chkOpts
+		o.KeepTelemetry = keep
 		if injOpts != nil {
 			o.Injector = inject.New(*injOpts)
 		}
@@ -376,11 +403,15 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 	src := prog.Source()
 
 	var res reduce.RunResult
+	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
-		res = newRunner()(src)
+		res = newRunner(snap != nil)(src)
 		if res.Outcome.Kind != "timeout" || attempt >= opts.Retries {
 			break
 		}
+	}
+	if snap != nil {
+		foldRun(snap, cfgName, res.Report, time.Since(t0))
 	}
 	if !res.Outcome.Failing() {
 		return nil
@@ -400,7 +431,7 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 
 	minBody := prog.Body
 	if !opts.NoReduce {
-		candRunner := func(s string) reduce.RunResult { return newRunner()(s) }
+		candRunner := func(s string) reduce.RunResult { return newRunner(false)(s) }
 		r := reduce.Program(prog.Prologue, prog.Body, prog.Epilogue,
 			res.Outcome, gen.Render, candRunner, opts.ReduceMaxTests)
 		minBody = r.Body
@@ -417,6 +448,29 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 		}
 	}
 	return f
+}
+
+// foldRun folds one detection attempt into the metrics snapshot: CPI
+// stack (successful runs with a kept event stream only — a failed run
+// has no meaningful cycle accounting), telemetry summary, counters and
+// wall time. A nil report (watchdog timeout) still counts the run and
+// its wall cost. Never touches the finding path.
+func foldRun(snap *metrics.Snapshot, cfgName string, rep *check.Report, wall time.Duration) {
+	if rep == nil {
+		snap.AddRun(cfgName, 0, 0, 0, nil, nil, wall)
+		return
+	}
+	var stack *profile.CPIStack
+	if rep.OK && len(rep.Events) > 0 {
+		if st, err := profile.BuildCPIStack(rep.Events, rep.Cycles); err == nil {
+			st.Config = cfgName
+			if rep.Telemetry != nil && rep.Telemetry.EventsDropped > 0 {
+				st.Lossy = true
+			}
+			stack = st
+		}
+	}
+	snap.AddRun(cfgName, rep.Insts, rep.Cycles, rep.Replays, stack, rep.Telemetry, wall)
 }
 
 func findingDetail(res reduce.RunResult) string {

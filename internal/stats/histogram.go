@@ -43,6 +43,40 @@ func (h *Histogram) Add(v int) {
 	}
 }
 
+// Merge folds o into h bin-by-bin. Bins grow to the longer of the two
+// shapes (no re-clamping: a sample that landed in o's last bin stays at
+// that index), so Merge is associative and commutative — the property
+// the fleet metrics pipeline relies on when cell snapshots arrive in
+// arbitrary order. A nil o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if len(o.Bins) > len(h.Bins) {
+		grown := make([]uint64, len(o.Bins))
+		copy(grown, h.Bins)
+		h.Bins = grown
+	}
+	for i, n := range o.Bins {
+		h.Bins[i] += n
+	}
+	h.Total += o.Total
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Clone returns an independent deep copy (nil in, nil out).
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.Bins = append([]uint64(nil), h.Bins...)
+	return &c
+}
+
 // Mean returns the average sample value (0 with no samples).
 func (h *Histogram) Mean() float64 {
 	if h.Total == 0 {

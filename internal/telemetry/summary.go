@@ -41,6 +41,65 @@ type Summary struct {
 	ResolvesFull  uint64 `json:"resolves_full"`
 }
 
+// Merge folds o into s: counters sum, histograms merge bin-by-bin
+// (stats.Histogram.Merge). This is the lightweight fold the fleet
+// metrics pipeline ships instead of full JSONL event dumps; it is
+// associative and commutative so cell snapshots can arrive in any
+// order. A nil o is a no-op.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil {
+		return
+	}
+	s.CyclesSampled += o.CyclesSampled
+	if len(o.Events) > 0 && s.Events == nil {
+		s.Events = make(map[string]uint64, len(o.Events))
+	}
+	for k, n := range o.Events {
+		s.Events[k] += n
+	}
+	s.EventsDropped += o.EventsDropped
+	mergeHist(&s.WindowOcc, o.WindowOcc)
+	mergeHist(&s.IQOcc, o.IQOcc)
+	mergeHist(&s.LSQOcc, o.LSQOcc)
+	mergeHist(&s.IssueUse, o.IssueUse)
+	mergeHist(&s.PortUse, o.PortUse)
+	s.ReplayLoadLatency += o.ReplayLoadLatency
+	s.ReplayPendingAddr += o.ReplayPendingAddr
+	s.ResolvesEarly += o.ResolvesEarly
+	s.ResolvesFull += o.ResolvesFull
+}
+
+func mergeHist(dst **stats.Histogram, src *stats.Histogram) {
+	if src == nil {
+		return
+	}
+	if *dst == nil {
+		*dst = src.Clone()
+		return
+	}
+	(*dst).Merge(src)
+}
+
+// Clone returns an independent deep copy (nil in, nil out).
+func (s *Summary) Clone() *Summary {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.Events != nil {
+		c.Events = make(map[string]uint64, len(s.Events))
+		for k, n := range s.Events {
+			c.Events[k] = n
+		}
+	}
+	c.WindowOcc = s.WindowOcc.Clone()
+	c.IQOcc = s.IQOcc.Clone()
+	c.LSQOcc = s.LSQOcc.Clone()
+	c.IssueUse = s.IssueUse.Clone()
+	c.PortUse = s.PortUse.Clone()
+	return &c
+}
+
 // MarshalJSON is the plain struct encoding; declared so the summary
 // shape is an explicit, stable contract for CI consumers.
 func (s *Summary) MarshalJSON() ([]byte, error) {

@@ -35,6 +35,7 @@ import (
 	"pok/internal/emu"
 	"pok/internal/exp"
 	"pok/internal/gen"
+	"pok/internal/metrics"
 	"pok/internal/profile"
 	"pok/internal/serve"
 	"pok/internal/sig"
@@ -378,6 +379,35 @@ type (
 	FailureSignature = sig.Signature
 	// FailureClass is one deduplicated signature with its count.
 	FailureClass = sig.Class
+)
+
+// Fleet observability: mergeable telemetry snapshots flow worker →
+// coordinator and surface as Prometheus text (/metrics), JSON
+// (/api/metrics) and the live dashboard. See DESIGN.md, "Fleet
+// observability".
+type (
+	// MetricsSnapshot is the mergeable unit of fleet telemetry (CPI
+	// stacks, occupancy histograms, throughput, RPC health).
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsBuildInfo is build provenance (git SHA, go version).
+	MetricsBuildInfo = metrics.BuildInfo
+	// MetricsProm builds Prometheus text-exposition payloads.
+	MetricsProm = metrics.Prom
+	// FleetMetrics is the coordinator's aggregated observability view.
+	FleetMetrics = serve.FleetMetrics
+	// FleetJobMetrics is one job's merged telemetry.
+	FleetJobMetrics = serve.JobMetrics
+	// FleetWorkerMetrics is one worker's throughput and RPC health.
+	FleetWorkerMetrics = serve.WorkerMetrics
+	// FleetMetricsSample is one entry of the bounded time-series ring.
+	FleetMetricsSample = serve.MetricsSample
+)
+
+var (
+	// DetectBuild resolves build provenance from the binary/git.
+	DetectBuild = metrics.DetectBuild
+	// NewProm returns an empty Prometheus text-payload builder.
+	NewProm = metrics.NewProm
 )
 
 var (

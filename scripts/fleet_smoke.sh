@@ -10,8 +10,10 @@
 #       single-process run of the same campaign.
 #
 # Artifacts land under $OUT (default fleet-out): the solo and fleet
-# findings JSON, repro bundles, coordinator/worker logs, and a
-# dashboard.html + status.json snapshot of the coordinator UI.
+# findings JSON, repro bundles, coordinator/worker logs, a
+# dashboard.html + status.json snapshot of the coordinator UI, and a
+# mid-campaign metrics.prom Prometheus scrape that must carry the
+# per-job CPI-stack, worker-throughput and RPC-health series.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,7 +27,7 @@ SOAK_FLAGS=(-programs 6 -seed 7 -configs slice2 -scheduler event
             -reduce-tests 64 -q)
 
 rm -rf "$OUT"
-mkdir -p "$OUT/solo" "$OUT/fleet" "$OUT/worker-1" "$OUT/worker-2"
+mkdir -p "$OUT/solo" "$OUT/fleet" "$OUT/clean" "$OUT/worker-1" "$OUT/worker-2"
 
 # RACE=1 builds both binaries with the race detector so the whole
 # fleet protocol runs under it end to end.
@@ -78,6 +80,14 @@ for _ in $(seq 150); do
   [ "${done_count:-0}" -ge 1 ] && break
   sleep 0.2
 done
+# Mid-campaign scrape of the corrupt job: the wavefront is moving, so
+# progress and findings series must already be live.
+curl -fsS "$URL/metrics" -o "$OUT/metrics-mid.prom"
+grep -q '^pok_job_programs_done' "$OUT/metrics-mid.prom" || {
+  echo "fleet-smoke: mid-campaign scrape is missing pok_job_programs_done" >&2
+  exit 1
+}
+
 kill -9 "$W2" 2>/dev/null || true
 echo "fleet-smoke: killed worker-2 at wavefront done=$done_count"
 
@@ -89,9 +99,31 @@ if [ "$rc" -ne 1 ]; then
   exit 1
 fi
 
+# A short clean campaign on the surviving worker: its detection runs
+# succeed, so heartbeat snapshots must stream CPI stacks to the
+# coordinator — the corrupt campaign can't prove that (failed runs
+# carry no cycle attribution). Scrape /metrics while the fleet is live
+# and require the series the dashboard and Prometheus alerting depend
+# on.
+"$OUT/pok-soak" -programs 2 -seed 9 -configs slice2 -scheduler event \
+  -fragments 6 -loop-iters 2 -gen-insts 2000 -reduce-tests 64 -q \
+  -out "$OUT/clean" -submit "$URL" -cell-programs 1
+curl -fsS "$URL/metrics" -o "$OUT/metrics.prom"
+for series in pok_job_cpistack_cycles_total pok_job_cycles_total \
+              pok_worker_insts_total pok_worker_minst_per_sec \
+              pok_worker_rpc_retries_total pok_job_programs_done; do
+  if ! grep -q "^$series" "$OUT/metrics.prom"; then
+    echo "fleet-smoke: /metrics scrape is missing $series" >&2
+    sed -n '1,60p' "$OUT/metrics.prom" >&2 || true
+    exit 1
+  fi
+done
+echo "fleet-smoke: /metrics scrape carries CPI-stack + throughput series"
+
 # Archive the dashboard and the final fleet snapshot.
 curl -fsS "$URL/" -o "$OUT/dashboard.html"
 curl -fsS "$URL/api/status" -o "$OUT/status.json"
+curl -fsS "$URL/api/metrics" -o "$OUT/metrics.json"
 
 for f in findings-7.json deduped-7.json; do
   if ! diff -u "$OUT/solo/$f" "$OUT/fleet/$f"; then
