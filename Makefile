@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke fleet-smoke chaos-smoke eval eval-quick examples clean
+.PHONY: all build test test-race vet bench ci check fuzz-smoke soak soak-smoke fleet-smoke chaos-smoke ckpt-smoke eval eval-quick examples clean
 
 all: build test
 
@@ -87,14 +87,22 @@ fleet-smoke:
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
 
+# Checkpoint/resume smoke (scripts/ckpt_smoke.sh): a ~2M-instruction
+# pok-sim run with periodic architectural checkpoints is SIGKILLed at
+# a random snapshot, resumed from the surviving delta chain, and must
+# finish byte-identical to an uninterrupted run of the same cadence.
+ckpt-smoke:
+	bash scripts/ckpt_smoke.sh
+
 # Reduced-budget benchmark versions of every table/figure plus the
 # substrate micro-benchmarks, then a quick-budget pok-bench pass that
-# refreshes the repo-root BENCH_PR6.json regression record (the CI
-# smoke gate compares against the newest committed BENCH_*.json, so
-# the emulator-throughput `emu` experiment is gated too).
+# refreshes the repo-root BENCH_PR10.json regression record (the CI
+# smoke gate compares against the newest committed BENCH_*.json via
+# sort -V, so the emulator-throughput `emu` and checkpointing-cost
+# `ckpt` experiments are gated too).
 bench:
 	$(GO) test -bench=. -benchmem ./...
-	$(GO) run ./cmd/pok-bench -json-file BENCH_PR6.json -insts 20000
+	$(GO) run ./cmd/pok-bench -json-file BENCH_PR10.json -insts 20000
 
 # Regenerate the paper's full evaluation into results/.
 eval:
@@ -112,4 +120,4 @@ examples:
 	$(GO) run ./examples/minic
 
 clean:
-	rm -rf results test_output.txt bench_output.txt soak-out fleet-out chaos-out
+	rm -rf results test_output.txt bench_output.txt soak-out fleet-out chaos-out ckpt-out pok-ckpt

@@ -185,6 +185,22 @@ func main() {
 		return
 	}
 
+	// Checkpointing cost: a disarmed run (the hot loop must not pay for
+	// the feature — CI gates this row's throughput against the committed
+	// baseline) and a run at an 8-snapshot cadence (drain + capture +
+	// encode cost per snapshot).
+	ckStart := time.Now()
+	ck, err := pok.CkptBench(opt)
+	if err != nil {
+		fatal(err)
+	}
+	var ckCycles int64
+	for _, r := range ck {
+		ckCycles += r.Cycles
+	}
+	record("ckpt", ckStart, ckCycles, 0)
+	emit("ckpt", pok.RenderCkptBench(ck))
+
 	t1Start := time.Now()
 	t1, err := pok.Table1(opt)
 	if err != nil {

@@ -26,8 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"pok"
 )
@@ -114,11 +118,36 @@ func main() {
 		fatal(fmt.Errorf("unknown -scheduler %q (event, legacy, both)", *sched))
 	}
 
+	// First SIGINT/SIGTERM drains the in-flight run to its commit
+	// frontier and emits everything collected so far as a partial
+	// result; a second signal kills. The stop trigger of whichever run
+	// is live is published through stopFn by its OnStart hook.
+	var (
+		stopReq atomic.Bool
+		stopMu  sync.Mutex
+		stopFn  func(reason string)
+	)
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		stopReq.Store(true)
+		stopMu.Lock()
+		if stopFn != nil {
+			stopFn(fmt.Sprintf("signal %v", s))
+		}
+		stopMu.Unlock()
+		fmt.Fprintln(os.Stderr, "pok-check: interrupt — draining current run (repeat to kill)")
+		signal.Stop(sigCh)
+	}()
+
 	var (
 		reports     []*pok.CheckReport
 		failures    int
 		totalFaults uint64
+		interrupted bool
 	)
+matrix:
 	for _, tgt := range targets {
 		prog := tgt.prog
 		warmup := tgt.warmup
@@ -140,6 +169,10 @@ func main() {
 			}
 			for _, legacy := range schedulers {
 				for s := 0; s < *seeds; s++ {
+					if stopReq.Load() {
+						interrupted = true
+						break matrix
+					}
 					runSeed := *seed + uint64(s)
 					cfg := cfg
 					cfg.LegacyScheduler = legacy
@@ -149,6 +182,14 @@ func main() {
 						MaxInsts:  *insts,
 						Invariants: &pok.InvariantConfig{
 							DeadlockBudget: *deadlockBudget,
+						},
+						OnStart: func(stop func(reason string)) {
+							stopMu.Lock()
+							stopFn = stop
+							stopMu.Unlock()
+							if stopReq.Load() {
+								stop("signal interrupt")
+							}
 						},
 					}
 					var inj *pok.FaultInjector
@@ -183,6 +224,10 @@ func main() {
 					if !rep.OK {
 						failures++
 					}
+					if rep.Stopped {
+						interrupted = true
+						break matrix
+					}
 				}
 			}
 		}
@@ -196,7 +241,8 @@ func main() {
 	if *injectOn {
 		fmt.Printf("total faults delivered: %d\n", totalFaults)
 	}
-	if *minFaults > 0 && totalFaults < *minFaults {
+	// A partial matrix can't be held to the fault floor.
+	if *minFaults > 0 && totalFaults < *minFaults && !interrupted {
 		fmt.Fprintf(os.Stderr, "pok-check: only %d faults delivered, need %d\n",
 			totalFaults, *minFaults)
 		os.Exit(1)
@@ -204,6 +250,11 @@ func main() {
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "pok-check: %d of %d runs failed\n", failures, len(reports))
 		os.Exit(1)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "pok-check: interrupted — %d run(s) completed, partial results above\n",
+			len(reports))
+		os.Exit(130)
 	}
 	fmt.Printf("pok-check: %d runs ok\n", len(reports))
 }

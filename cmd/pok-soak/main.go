@@ -30,12 +30,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"pok/internal/check/inject"
+	"pok/internal/ckpt"
 	"pok/internal/gen"
 	"pok/internal/metrics"
 	"pok/internal/profile"
@@ -69,6 +73,7 @@ func main() {
 	outDir := flag.String("out", "soak-out", "output directory (findings JSON + repro bundles)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (default <out>/checkpoint-<seed>.json)")
 	checkpointEvery := flag.Int("checkpoint-every", 25, "programs between checkpoint snapshots")
+	instCkpt := flag.Uint64("inst-ckpt", 0, "architectural checkpoint cadence in committed instructions inside every detection run (0 = program-boundary checkpoints only); makes SIGINT and -resume instruction-granular")
 	resume := flag.Bool("resume", false, "resume from the checkpoint file")
 	register := flag.Bool("register-workloads", false, "register generated programs as ad-hoc workloads")
 	submit := flag.String("submit", "", "submit the campaign to this pok-serve coordinator URL instead of running in-process")
@@ -119,7 +124,23 @@ func main() {
 		}
 	}
 
+	// First SIGINT/SIGTERM requests a drain: with -inst-ckpt the
+	// campaign stops at the next drained snapshot inside the current
+	// run, otherwise at the next program boundary — either way the
+	// checkpoint file holds a cursor -resume continues from exactly.
+	// A second signal kills the process (default disposition).
+	var stopReq atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		stopReq.Store(true)
+		fmt.Fprintln(os.Stderr, "pok-soak: interrupt — draining to the next checkpoint (repeat to kill)")
+		signal.Stop(sigCh)
+	}()
+
 	totalFindings := 0
+	interrupted := false
 	for s := 0; s < *seeds; s++ {
 		base := *seed + uint64(s)
 		cp := *checkpoint
@@ -149,12 +170,21 @@ func main() {
 				MaxInsts:  *genInsts,
 			},
 			RegisterWorkloads: *register,
+			CkptInsts:         *instCkpt,
 		}
 		if hookOpts != nil {
 			opts.Hook = hookOpts
 		}
 		if !*quiet {
 			opts.Log = os.Stderr
+		}
+		opts.Progress = func(next int, rep *soak.Report) (int, bool) {
+			return 0, stopReq.Load()
+		}
+		if *instCkpt > 0 {
+			opts.CellCursor = func(program, cell int, rep *soak.Report, s *ckpt.Snapshot) bool {
+				return stopReq.Load()
+			}
 		}
 		var lastSnap *metrics.Snapshot
 		if *withMetrics && *submit == "" {
@@ -211,10 +241,23 @@ func main() {
 			fmt.Printf("  %s\n", strings.ReplaceAll(d.Summary(), "\n", "\n  "))
 		}
 		totalFindings += len(rep.Findings)
+		if rep.CkptErrs > 0 {
+			fmt.Fprintf(os.Stderr, "pok-soak: WARNING: seed %d: %d checkpoint write failures (last: %s)\n",
+				base, rep.CkptErrs, rep.LastCkptErr)
+		}
+		if rep.Stopped {
+			fmt.Fprintf(os.Stderr, "pok-soak: seed %d interrupted at program %d; continue with -resume\n",
+				base, rep.Programs)
+			interrupted = true
+			break
+		}
 	}
 	if totalFindings > 0 {
 		fmt.Fprintf(os.Stderr, "pok-soak: %d findings\n", totalFindings)
 		os.Exit(1)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 	fmt.Println("pok-soak: clean")
 }
@@ -240,6 +283,7 @@ func submitCampaign(url string, opts soak.Options, cellPrograms int) (*soak.Repo
 		MaxFindings:    opts.MaxFindings,
 		Gen:            opts.Gen,
 		CellPrograms:   cellPrograms,
+		InstCkpt:       opts.CkptInsts,
 	}}
 	client := serve.NewClient(url)
 	id, err := client.Submit(spec)

@@ -1,0 +1,146 @@
+package bpred
+
+import "fmt"
+
+// State is a predictor's complete warm state in a flat, deterministic
+// layout: direction-predictor tables, global/local histories, every BTB
+// way (valid/tag/target/LRU stamps plus the LRU clock), the RAS ring,
+// and the accuracy counters. Capturing and restoring it around a
+// checkpoint keeps a resumed run's fetch redirects — and therefore its
+// cycle-exact timing — bit-identical to an uninterrupted run.
+type State struct {
+	// DirKind names the direction predictor: "gshare", "bimodal" or
+	// "local". Restore refuses a mismatched kind.
+	DirKind  string
+	DirTable []uint8  // gshare/bimodal counters, or local pattern table
+	DirHist  []uint16 // local per-branch history registers
+	GHR      uint32   // gshare global history
+
+	BTBSets   int
+	BTBAssoc  int
+	BTBValid  []byte // one per way, row-major by set
+	BTBTag    []uint32
+	BTBTarget []uint32
+	BTBLRU    []uint64
+	BTBClock  uint64
+
+	RASStack []uint32
+	RASTop   int
+	RASCount int
+
+	CondBranches uint64
+	CondMispred  uint64
+}
+
+// State captures the predictor's warm state.
+func (p *Predictor) State() (*State, error) {
+	st := &State{
+		CondBranches: p.CondBranches,
+		CondMispred:  p.CondMispred,
+	}
+	switch d := p.Dir.(type) {
+	case *Gshare:
+		st.DirKind = "gshare"
+		st.DirTable = append([]uint8(nil), d.table...)
+		st.GHR = d.ghr
+	case *Bimodal:
+		st.DirKind = "bimodal"
+		st.DirTable = append([]uint8(nil), d.table...)
+	case *Local:
+		st.DirKind = "local"
+		st.DirTable = append([]uint8(nil), d.pattern...)
+		st.DirHist = append([]uint16(nil), d.hist...)
+	default:
+		return nil, fmt.Errorf("bpred: cannot snapshot direction predictor %T", p.Dir)
+	}
+	b := p.BTB
+	st.BTBSets = len(b.sets)
+	if st.BTBSets > 0 {
+		st.BTBAssoc = len(b.sets[0])
+	}
+	n := st.BTBSets * st.BTBAssoc
+	st.BTBValid = make([]byte, n)
+	st.BTBTag = make([]uint32, n)
+	st.BTBTarget = make([]uint32, n)
+	st.BTBLRU = make([]uint64, n)
+	for si, set := range b.sets {
+		for wi := range set {
+			i := si*st.BTBAssoc + wi
+			if set[wi].valid {
+				st.BTBValid[i] = 1
+			}
+			st.BTBTag[i] = set[wi].tag
+			st.BTBTarget[i] = set[wi].target
+			st.BTBLRU[i] = set[wi].lru
+		}
+	}
+	st.BTBClock = b.clock
+	st.RASStack = append([]uint32(nil), p.RAS.stack...)
+	st.RASTop = p.RAS.top
+	st.RASCount = p.RAS.count
+	return st, nil
+}
+
+// Restore loads a captured state into a predictor of the same
+// configuration, refusing geometry or kind mismatches.
+func (p *Predictor) Restore(st *State) error {
+	switch d := p.Dir.(type) {
+	case *Gshare:
+		if st.DirKind != "gshare" || len(st.DirTable) != len(d.table) {
+			return fmt.Errorf("bpred: restore: have gshare/%d, snapshot %s/%d",
+				len(d.table), st.DirKind, len(st.DirTable))
+		}
+		copy(d.table, st.DirTable)
+		d.ghr = st.GHR
+	case *Bimodal:
+		if st.DirKind != "bimodal" || len(st.DirTable) != len(d.table) {
+			return fmt.Errorf("bpred: restore: have bimodal/%d, snapshot %s/%d",
+				len(d.table), st.DirKind, len(st.DirTable))
+		}
+		copy(d.table, st.DirTable)
+	case *Local:
+		if st.DirKind != "local" || len(st.DirTable) != len(d.pattern) || len(st.DirHist) != len(d.hist) {
+			return fmt.Errorf("bpred: restore: have local/%d/%d, snapshot %s/%d/%d",
+				len(d.pattern), len(d.hist), st.DirKind, len(st.DirTable), len(st.DirHist))
+		}
+		copy(d.pattern, st.DirTable)
+		copy(d.hist, st.DirHist)
+	default:
+		return fmt.Errorf("bpred: cannot restore direction predictor %T", p.Dir)
+	}
+	b := p.BTB
+	assoc := 0
+	if len(b.sets) > 0 {
+		assoc = len(b.sets[0])
+	}
+	if st.BTBSets != len(b.sets) || st.BTBAssoc != assoc {
+		return fmt.Errorf("bpred: restore: BTB geometry %dx%d, snapshot %dx%d",
+			len(b.sets), assoc, st.BTBSets, st.BTBAssoc)
+	}
+	if n := st.BTBSets * st.BTBAssoc; len(st.BTBValid) != n || len(st.BTBTag) != n ||
+		len(st.BTBTarget) != n || len(st.BTBLRU) != n {
+		return fmt.Errorf("bpred: restore: inconsistent BTB arrays")
+	}
+	for si, set := range b.sets {
+		for wi := range set {
+			i := si*st.BTBAssoc + wi
+			set[wi] = btbEntry{
+				valid:  st.BTBValid[i] != 0,
+				tag:    st.BTBTag[i],
+				target: st.BTBTarget[i],
+				lru:    st.BTBLRU[i],
+			}
+		}
+	}
+	b.clock = st.BTBClock
+	if len(st.RASStack) != len(p.RAS.stack) {
+		return fmt.Errorf("bpred: restore: RAS depth %d, snapshot %d",
+			len(p.RAS.stack), len(st.RASStack))
+	}
+	copy(p.RAS.stack, st.RASStack)
+	p.RAS.top = st.RASTop
+	p.RAS.count = st.RASCount
+	p.CondBranches = st.CondBranches
+	p.CondMispred = st.CondMispred
+	return nil
+}

@@ -49,6 +49,21 @@ func NewOracle(prog *emu.Program, warmup uint64) (*Oracle, error) {
 	return &Oracle{em: em}, nil
 }
 
+// NewOracleFromState rebuilds the reference emulator from a checkpoint's
+// architectural state. At a quiescent snapshot boundary the timing
+// machine's emulator sits exactly at the commit frontier — everything it
+// executed has committed — so the same State seeds both the resumed
+// machine and its lockstep oracle, and no separate oracle state needs to
+// travel in the checkpoint. committed seeds the verified-commit counter
+// (Meta.Insts of the snapshot).
+func NewOracleFromState(st *emu.State, committed uint64) (*Oracle, error) {
+	em, err := emu.NewFromState(st)
+	if err != nil {
+		return nil, fmt.Errorf("check: oracle restore: %w", err)
+	}
+	return &Oracle{em: em, committed: committed}, nil
+}
+
 // Committed returns how many commits the oracle has verified.
 func (o *Oracle) Committed() uint64 { return o.committed }
 

@@ -1,0 +1,168 @@
+package check_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pok/internal/check"
+	"pok/internal/check/inject"
+	"pok/internal/ckpt"
+	"pok/internal/core"
+	"pok/internal/workload"
+)
+
+// allSink records every snapshot (always full) and can fire a stop
+// trigger after the Nth write — the checked-run version of the core
+// layer's kill-at-every-checkpoint harness, now with the lockstep
+// oracle, the invariant checker and the fault injector all attached.
+type allSink struct {
+	snaps  []*ckpt.Snapshot
+	stopAt int
+	stop   func(reason string)
+}
+
+func (a *allSink) WantFull() bool { return true }
+
+func (a *allSink) Write(s *ckpt.Snapshot) error {
+	a.snaps = append(a.snaps, s)
+	if a.stopAt > 0 && len(a.snaps) == a.stopAt && a.stop != nil {
+		a.stop("checkpoint-boundary stop")
+	}
+	return nil
+}
+
+// TestCheckedResumeWithInjector kills a fully-checked faulty run (oracle
+// + invariants + injector) at a checkpoint boundary and resumes it with
+// a freshly built injector of the same options. The resumed report —
+// instruction/cycle counts, replay count and the cumulative per-kind
+// fault counts — must equal the uninterrupted reference's exactly.
+func TestCheckedResumeWithInjector(t *testing.T) {
+	t.Parallel()
+	const maxInsts = 20_000
+	const every = 5_000
+	w := workload.MustGet("li")
+	prog, err := w.Program(w.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.BitSliced(4)
+	injOpts := inject.Options{
+		Seed:          7,
+		SliceFlipRate: 0.002,
+		WayMissRate:   0.01,
+		ConflictRate:  0.005,
+		MaxFaults:     200,
+	}
+
+	ref := &allSink{}
+	refRep, err := check.RunChecked(prog, cfg, check.Options{
+		Benchmark: "li", Warmup: w.FastForward, MaxInsts: maxInsts,
+		Injector:  inject.New(injOpts),
+		CkptEvery: every, CkptSink: ref,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refRep.OK {
+		t.Fatalf("reference run failed: %s %s", refRep.FailKind, refRep.Error)
+	}
+	if len(ref.snaps) < 2 {
+		t.Fatalf("want >= 2 snapshots, got %d", len(ref.snaps))
+	}
+
+	killed := &allSink{stopAt: 2}
+	prog2, err := w.Program(w.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killedRep, err := check.RunChecked(prog2, cfg, check.Options{
+		Benchmark: "li", Warmup: w.FastForward, MaxInsts: maxInsts,
+		Injector:  inject.New(injOpts),
+		CkptEvery: every, CkptSink: killed,
+		OnStart: func(stop func(string)) { killed.stop = stop },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killedRep.Stopped || killedRep.StopReason == "" {
+		t.Fatalf("killed run not marked stopped: %+v", killedRep)
+	}
+
+	// Resume from the stop-boundary snapshot; prog is not needed.
+	resumed, err := check.RunChecked(nil, cfg, check.Options{
+		Benchmark: "li", MaxInsts: maxInsts,
+		Injector:  inject.New(injOpts),
+		CkptEvery: every, CkptSink: &allSink{},
+		Resume: killed.snaps[1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.OK || resumed.Stopped {
+		t.Fatalf("resumed run failed: %s %s", resumed.FailKind, resumed.Error)
+	}
+	if resumed.Insts != refRep.Insts || resumed.Cycles != refRep.Cycles ||
+		resumed.IPC != refRep.IPC || resumed.Replays != refRep.Replays {
+		t.Errorf("resumed counters diverge:\nref: %+v\ngot: %+v", refRep, resumed)
+	}
+	if !reflect.DeepEqual(resumed.Faults, refRep.Faults) {
+		t.Errorf("cumulative fault counts diverge: ref %v, got %v", refRep.Faults, resumed.Faults)
+	}
+}
+
+// TestCheckedResumeDetectsDivergence plants a deliberate commit-record
+// corruption beyond the checkpoint boundary: both the uninterrupted run
+// and the resumed run must report the identical divergence — proving the
+// reconstructed oracle still verifies every post-resume commit.
+func TestCheckedResumeDetectsDivergence(t *testing.T) {
+	t.Parallel()
+	const maxInsts = 12_000
+	const every = 4_000
+	const corruptAt = 9_000
+	w := workload.MustGet("gzip")
+	cfg := core.BitSliced(2)
+	injOpts := inject.Options{CorruptOn: true, CorruptAt: corruptAt}
+
+	run := func(resume *ckpt.Snapshot, sink *allSink) *check.Report {
+		t.Helper()
+		opts := check.Options{
+			Benchmark: "gzip", MaxInsts: maxInsts,
+			Injector:  inject.New(injOpts),
+			CkptEvery: every, CkptSink: sink,
+			Resume: resume,
+		}
+		var rep *check.Report
+		var err error
+		if resume == nil {
+			p, perr := w.Program(w.DefaultScale)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			opts.Warmup = w.FastForward
+			rep, err = check.RunChecked(p, cfg, opts)
+		} else {
+			rep, err = check.RunChecked(nil, cfg, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	ref := &allSink{}
+	refRep := run(nil, ref)
+	if refRep.OK || refRep.FailKind != "divergence" {
+		t.Fatalf("reference run did not diverge: %+v", refRep)
+	}
+	if len(ref.snaps) == 0 {
+		t.Fatal("no snapshot before the corruption point")
+	}
+	resumed := run(ref.snaps[len(ref.snaps)-1], &allSink{})
+	if resumed.OK || resumed.FailKind != "divergence" {
+		t.Fatalf("resumed run did not diverge: %+v", resumed)
+	}
+	if !reflect.DeepEqual(resumed.Divergence, refRep.Divergence) {
+		t.Errorf("divergence reports differ:\nref: %+v\ngot: %+v",
+			refRep.Divergence, resumed.Divergence)
+	}
+}

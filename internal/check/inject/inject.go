@@ -16,7 +16,12 @@
 // divergence).
 package inject
 
-import "pok/internal/core"
+import (
+	"encoding/json"
+	"fmt"
+
+	"pok/internal/core"
+)
 
 // Options configures an Injector. Rates are probabilities in [0, 1]
 // evaluated independently per candidate (per (seq, slice) for slice
@@ -208,6 +213,51 @@ func (j *Injector) MutateCommit(r *core.CommitRecord) {
 	}
 	j.deliver("commit-corrupt")
 }
+
+// injectorState is the injector's checkpointable state: the monotonic
+// fault counters and caps. The per-instruction maps (fired, wayDone,
+// stall) are deliberately absent — SnapshotState is called only at
+// quiescent checkpoint boundaries, where no instruction is in flight,
+// and every map key is a strictly increasing sequence number that will
+// never be polled again.
+type injectorState struct {
+	Counts       map[string]uint64 `json:"counts,omitempty"`
+	Total        uint64            `json:"total"`
+	WedgeCounted bool              `json:"wedge_counted"`
+}
+
+// SnapshotState implements core.StateSnapshotter. The encoding is
+// deterministic (encoding/json sorts map keys), so identical injector
+// histories produce identical checkpoint bytes.
+func (j *Injector) SnapshotState() ([]byte, error) {
+	return json.Marshal(&injectorState{
+		Counts:       j.counts,
+		Total:        j.total,
+		WedgeCounted: j.wedgeCounted,
+	})
+}
+
+// RestoreState implements core.StateSnapshotter: the resumed injector
+// continues the fault budget (MaxFaults) and counters exactly where the
+// checkpointed one stopped, so every later roll lands identically.
+func (j *Injector) RestoreState(b []byte) error {
+	var st injectorState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("inject: restore: %w", err)
+	}
+	j.counts = st.Counts
+	if j.counts == nil {
+		j.counts = make(map[string]uint64)
+	}
+	j.total = st.Total
+	j.wedgeCounted = st.WedgeCounted
+	j.fired = make(map[uint64]struct{})
+	j.wayDone = make(map[uint64]struct{})
+	j.stall = make(map[uint64]int)
+	return nil
+}
+
+var _ core.StateSnapshotter = (*Injector)(nil)
 
 // FaultCounts returns the number of faults delivered, by kind (the
 // check.FaultCounter interface).

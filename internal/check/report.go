@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pok/internal/ckpt"
 	"pok/internal/core"
 	"pok/internal/emu"
 	"pok/internal/telemetry"
@@ -36,6 +37,26 @@ type Options struct {
 	// with or without it; ignored when the caller brought its own
 	// Collector.
 	KeepTelemetry bool
+
+	// CkptEvery arms architectural checkpointing at this committed-
+	// instruction cadence (0 = off); snapshots go to CkptSink. With
+	// CkptEvery 0 but a non-nil sink, only a RequestStop writes a final
+	// snapshot. Checkpoint drains perturb timing deterministically, so
+	// two runs compare bit-identically only under the same cadence.
+	CkptEvery uint64
+	CkptSink  ckpt.Sink
+
+	// Resume restarts the run from a full (chain-resolved) snapshot
+	// instead of the program start. Benchmark, the config and the
+	// injector settings must match the checkpointed run; Warmup is
+	// ignored (the snapshot is already past it). The lockstep oracle is
+	// reconstructed from the snapshot's emulator state.
+	Resume *ckpt.Snapshot
+
+	// OnStart, when non-nil, receives the running simulation's stop
+	// trigger before the first cycle — the hook signal handlers and
+	// watchdogs use to request a drain + final snapshot + partial report.
+	OnStart func(stop func(reason string))
 }
 
 // FaultCounter is implemented by injectors that can report how many
@@ -63,6 +84,12 @@ type Report struct {
 	Faults map[string]uint64 `json:"faults,omitempty"`
 
 	OK bool `json:"ok"`
+	// Stopped marks a run ended early by a stop request (signal or
+	// watchdog): the counters cover the committed prefix, OK reflects
+	// that prefix, and a final snapshot went to the checkpoint sink if
+	// one was attached.
+	Stopped    bool   `json:"stopped,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
 	// FailKind classifies a failure: "divergence", "invariant",
 	// "deadlock" or "error".
 	FailKind   string           `json:"fail_kind,omitempty"`
@@ -110,7 +137,13 @@ func RunChecked(prog *emu.Program, cfg core.Config, opts Options) (*Report, erro
 		Config:    cfg.Name,
 		Scheduler: schedulerName(cfg),
 	}
-	oracle, err := NewOracle(prog, opts.Warmup)
+	var oracle *Oracle
+	var err error
+	if opts.Resume != nil {
+		oracle, err = NewOracleFromState(opts.Resume.Emu, opts.Resume.Meta.Insts)
+	} else {
+		oracle, err = NewOracle(prog, opts.Warmup)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +165,25 @@ func RunChecked(prog *emu.Program, cfg core.Config, opts Options) (*Report, erro
 		cfg.Collector = rec
 	}
 
-	res, runErr := core.RunWarm(prog, cfg, opts.Warmup, opts.MaxInsts)
+	var sim *core.Sim
+	if opts.Resume != nil {
+		sim, err = core.NewSimFromSnapshot(opts.Resume, cfg, opts.MaxInsts)
+	} else {
+		sim, err = core.NewSim(prog, cfg, opts.MaxInsts)
+		if err == nil && opts.Warmup > 0 {
+			err = sim.FastForward(opts.Warmup)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.CkptEvery > 0 || opts.CkptSink != nil {
+		sim.SetCheckpoint(opts.CkptEvery, opts.CkptSink, opts.Benchmark)
+	}
+	if opts.OnStart != nil {
+		opts.OnStart(sim.RequestStop)
+	}
+	res, runErr := sim.Run()
 	if fc, ok := opts.Injector.(FaultCounter); ok {
 		rep.Faults = fc.FaultCounts()
 	}
@@ -146,6 +197,8 @@ func RunChecked(prog *emu.Program, cfg core.Config, opts Options) (*Report, erro
 		rep.Cycles = res.Cycles
 		rep.IPC = res.IPC
 		rep.Replays = res.Replays
+		rep.Stopped = res.Stopped
+		rep.StopReason = res.StopReason
 		return rep, nil
 	}
 

@@ -1,0 +1,124 @@
+package ckpt_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"pok/internal/ckpt"
+	"pok/internal/core"
+	"pok/internal/workload"
+)
+
+// FuzzCheckpointDecode is the crash-safety contract for snapshot
+// loading: whatever bytes a dying writer, a bad disk or an adversarial
+// peer hands us, Decode must either succeed or return one of the three
+// structured errors — never panic, never allocate unboundedly, never
+// return an unclassified error. Successful decodes must additionally
+// survive the Encode→Decode closure (a loaded snapshot can always be
+// re-persisted).
+//
+// The seed corpus under testdata/fuzz/FuzzCheckpointDecode holds real
+// snapshots from a core run plus damaged variants; regenerate it with
+// POK_REGEN_FUZZ_CORPUS=1 go test ./internal/ckpt -run RegenerateFuzzCorpus
+func FuzzCheckpointDecode(f *testing.F) {
+	// Programmatic seeds covering the synthetic shape too.
+	full := ckpt.Encode(sampleSnapshot(false))
+	delta := ckpt.Encode(sampleSnapshot(true))
+	f.Add(full)
+	f.Add(delta)
+	f.Add(full[:len(full)/3])
+	f.Add([]byte{})
+	f.Add([]byte("POKC"))
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ckpt.Decode(data)
+		if err != nil {
+			var ve *ckpt.VersionError
+			var ce *ckpt.CorruptError
+			var te *ckpt.TruncatedError
+			if !errors.As(err, &ve) && !errors.As(err, &ce) && !errors.As(err, &te) {
+				t.Fatalf("unstructured decode error %T: %v", err, err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+		if _, err := ckpt.Decode(ckpt.Encode(s)); err != nil {
+			t.Fatalf("re-encode of accepted snapshot does not decode: %v", err)
+		}
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus from a
+// real simulation run. Skipped unless POK_REGEN_FUZZ_CORPUS is set;
+// run it after any snapshot format change and commit the result.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("POK_REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set POK_REGEN_FUZZ_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzCheckpointDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Real snapshots: a short checked-in-cadence run of li through the
+	// default bit-sliced machine, checkpointing to disk so the second
+	// file is a genuine dirty-page delta.
+	w := workload.MustGet("li")
+	prog, err := w.Program(w.DefaultScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := &ckpt.Writer{Dir: t.TempDir(), RebaseEvery: 8}
+	sim, err := core.NewSim(prog, core.BitSliced(4), 6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FastForward > 0 {
+		if err := sim.FastForward(w.FastForward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.SetCheckpoint(2_000, wr, "li")
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(wr.Dir, "ckpt-*.pok"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("want >= 2 snapshot files, got %d (err %v)", len(files), err)
+	}
+	sort.Strings(files)
+	fullRaw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaRaw, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	writeSeed := func(name string, data []byte) {
+		t.Helper()
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSeed("real-full", fullRaw)
+	writeSeed("real-delta", deltaRaw)
+	writeSeed("real-truncated", fullRaw[:len(fullRaw)*3/5])
+	damaged := append([]byte(nil), fullRaw...)
+	damaged[len(damaged)/2] ^= 0x10
+	writeSeed("real-bitflip", damaged)
+	writeSeed("garbage-header", []byte("POKC\x01\x00\x00\x00META garbage"))
+	t.Logf("wrote %d seeds to %s (full %d bytes, delta %d bytes)",
+		5, dir, len(fullRaw), len(deltaRaw))
+}

@@ -18,6 +18,13 @@ func (s *Sim) nextTraceInst() (*emu.DynInst, error) {
 	if s.pendingOK {
 		return &s.pendingD, nil
 	}
+	if s.fetchPaused {
+		// Draining toward a checkpoint boundary: hold the correct-path
+		// stream without ending it. An already-peeked instruction
+		// (pendingOK, above) still drains through — the emulator has
+		// executed it, so the snapshot must wait for it to commit.
+		return nil, nil
+	}
 	if s.traceDone {
 		return nil, nil
 	}

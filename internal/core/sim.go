@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"pok/internal/bpred"
 	"pok/internal/cache"
+	"pok/internal/ckpt"
 	"pok/internal/emu"
 	"pok/internal/isa"
 	"pok/internal/lsq"
@@ -204,6 +206,14 @@ type Result struct {
 	// only when a telemetry Collector was attached to the run, so Result
 	// stays bit-identical with telemetry off.
 	Telemetry *telemetry.Summary
+
+	// Stopped marks a run ended early by RequestStop (a signal or a
+	// watchdog): the statistics cover the committed prefix, and a final
+	// snapshot went to the checkpoint sink if one was attached.
+	// StopReason says why. Both stay zero on a completed run, so Result
+	// equality tests are unaffected.
+	Stopped    bool
+	StopReason string
 }
 
 // Sim is one timing simulation in progress.
@@ -283,6 +293,25 @@ type Sim struct {
 	// next cycle, which makes the next cycle non-quiet.
 	skipOK     bool
 	memStarved bool
+
+	// Architectural checkpointing (see ckpt.go). ckptEvery is the commit
+	// cadence (0 = off); nextCkpt the next commit mark; fetchPaused holds
+	// correct-path fetch while the pipeline drains to a quiescent
+	// snapshot boundary; stopFlag carries an asynchronous RequestStop
+	// reason; baseTel the telemetry accumulated before the snapshot this
+	// run resumed from; lastCommitC the deadlock watchdog's last-commit
+	// cycle (a field rather than a Run local so a resumed run restores
+	// the watchdog's phase exactly); resumed defers the first nextCycle
+	// so the resume point re-enters Run's loop mid-iteration.
+	ckptEvery   uint64
+	ckptSink    ckpt.Sink
+	ckptBench   string
+	nextCkpt    uint64
+	fetchPaused bool
+	lastCommitC int64
+	baseTel     *telemetry.Summary
+	resumed     bool
+	stopFlag    atomic.Pointer[string]
 
 	res Result
 }
@@ -426,21 +455,46 @@ func (s *Sim) Run() (*Result, error) {
 	// guard. Either way it returns a structured ErrDeadlock with a
 	// pipeline dump, never hangs.
 	budget := s.cfg.Invariants.deadlockBudget()
-	lastCommit := int64(0)
-	lastCount := uint64(0)
+	if s.resumed {
+		// The snapshot was captured mid-iteration, just before the
+		// uninterrupted run's nextCycle call; replaying that call from
+		// the restored (quiescent) state re-enters the loop at exactly
+		// the cycle the uninterrupted run simulated next — including the
+		// stall-counter bulk-add a quiet-cycle skip would have charged.
+		s.resumed = false
+		s.now = s.nextCycle(s.lastCommitC, budget)
+	}
 	for {
 		committed, err := s.cycle()
 		if err != nil {
 			return nil, err
 		}
 		if committed > 0 {
-			lastCommit = s.now
-			lastCount += uint64(committed)
+			s.lastCommitC = s.now
 		}
 		if s.drained() {
 			break
 		}
-		if s.now-lastCommit > budget {
+		if s.fetchPaused || s.stopFlag.Load() != nil ||
+			(s.ckptEvery > 0 && s.res.Insts >= s.nextCkpt) {
+			s.fetchPaused = true
+			if s.quiescent() {
+				// Advance the mark before capturing so the snapshot
+				// carries the *next* mark and a resumed run does not
+				// immediately re-checkpoint at the same boundary.
+				for s.ckptEvery > 0 && s.nextCkpt <= s.res.Insts {
+					s.nextCkpt += s.ckptEvery
+				}
+				if err := s.checkpointNow(); err != nil {
+					return nil, err
+				}
+				s.fetchPaused = false
+				if r := s.stopReason(); r != "" {
+					return s.finalize(r), nil
+				}
+			}
+		}
+		if s.now-s.lastCommitC > budget {
 			return nil, &DeadlockError{
 				Cycle:     s.now,
 				Committed: s.res.Insts,
@@ -448,8 +502,14 @@ func (s *Sim) Run() (*Result, error) {
 				Dump:      s.dumpWindow(16),
 			}
 		}
-		s.now = s.nextCycle(lastCommit, budget)
+		s.now = s.nextCycle(s.lastCommitC, budget)
 	}
+	return s.finalize(""), nil
+}
+
+// finalize computes the derived statistics and returns the Result. A
+// non-empty stopReason marks the run as ended early by RequestStop.
+func (s *Sim) finalize(stopReason string) *Result {
 	s.res.Cycles = s.now + 1
 	if s.res.Cycles > 0 {
 		s.res.IPC = float64(s.res.Insts) / float64(s.res.Cycles)
@@ -465,9 +525,19 @@ func (s *Sim) Run() (*Result, error) {
 		s.res.DTLBMissRate = s.dtlb.MissRate()
 	}
 	if s.tel != nil {
-		s.res.Telemetry = s.tel.Summary()
+		sum := s.tel.Summary()
+		if s.baseTel != nil {
+			m := s.baseTel.Clone()
+			m.Merge(sum)
+			sum = m
+		}
+		s.res.Telemetry = sum
 	}
-	return &s.res, nil
+	if stopReason != "" {
+		s.res.Stopped = true
+		s.res.StopReason = stopReason
+	}
+	return &s.res
 }
 
 // emit forwards one structured telemetry event. Callers must guard

@@ -13,24 +13,38 @@ const (
 	pageMask  = pageSize - 1
 )
 
+// PageSize is the memory page granularity, exported for the checkpoint
+// layer (internal/ckpt) which serializes whole pages.
+const PageSize = pageSize
+
+// memPage is one materialized page. dirty is set by every store and
+// cleared when a checkpoint captures the page, so periodic snapshots can
+// write deltas; the flag is a plain byte store on the write fast path,
+// not a map operation.
+type memPage struct {
+	data  [pageSize]byte
+	dirty bool
+}
+
 // Memory is a sparse, paged, little-endian 32-bit memory image. The zero
 // value is an empty memory ready for use; untouched bytes read as zero.
 type Memory struct {
-	pages map[uint32]*[pageSize]byte
+	pages map[uint32]*memPage
 }
 
 // NewMemory returns an empty memory image.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+	return &Memory{pages: make(map[uint32]*memPage)}
 }
 
-func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+func (m *Memory) page(addr uint32, create bool) *memPage {
 	pn := addr >> pageShift
 	p := m.pages[pn]
 	if p == nil && create {
-		p = new([pageSize]byte)
+		p = new(memPage)
+		p.dirty = true // a fresh page exists only because of a store
 		if m.pages == nil {
-			m.pages = make(map[uint32]*[pageSize]byte)
+			m.pages = make(map[uint32]*memPage)
 		}
 		m.pages[pn] = p
 	}
@@ -40,14 +54,16 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 // Read8 returns the byte at addr.
 func (m *Memory) Read8(addr uint32) byte {
 	if p := m.page(addr, false); p != nil {
-		return p[addr&pageMask]
+		return p.data[addr&pageMask]
 	}
 	return 0
 }
 
 // Write8 stores b at addr.
 func (m *Memory) Write8(addr uint32, b byte) {
-	m.page(addr, true)[addr&pageMask] = b
+	p := m.page(addr, true)
+	p.dirty = true
+	p.data[addr&pageMask] = b
 }
 
 // Read16 returns the little-endian 16-bit value at addr.
@@ -67,8 +83,8 @@ func (m *Memory) Read32(addr uint32) uint32 {
 	if addr&3 == 0 {
 		if p := m.page(addr, false); p != nil {
 			o := addr & pageMask
-			return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 |
-				uint32(p[o+3])<<24
+			return uint32(p.data[o]) | uint32(p.data[o+1])<<8 | uint32(p.data[o+2])<<16 |
+				uint32(p.data[o+3])<<24
 		}
 		return 0
 	}
@@ -79,11 +95,12 @@ func (m *Memory) Read32(addr uint32) uint32 {
 func (m *Memory) Write32(addr uint32, v uint32) {
 	if addr&3 == 0 {
 		p := m.page(addr, true)
+		p.dirty = true
 		o := addr & pageMask
-		p[o] = byte(v)
-		p[o+1] = byte(v >> 8)
-		p[o+2] = byte(v >> 16)
-		p[o+3] = byte(v >> 24)
+		p.data[o] = byte(v)
+		p.data[o+1] = byte(v >> 8)
+		p.data[o+2] = byte(v >> 16)
+		p.data[o+3] = byte(v >> 24)
 		return
 	}
 	m.Write16(addr, uint16(v))
@@ -127,3 +144,24 @@ func errUnterminated(addr uint32) error {
 
 // PageCount reports how many 4KB pages have been materialized.
 func (m *Memory) PageCount() int { return len(m.pages) }
+
+// DirtyPageCount reports how many pages carry writes since the last
+// clearDirty (checkpoint delta size, in pages).
+func (m *Memory) DirtyPageCount() int {
+	n := 0
+	for _, p := range m.pages {
+		if p.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// clearDirty marks every materialized page clean. Called after a
+// checkpoint captures the image, so the next delta snapshot carries only
+// pages written since.
+func (m *Memory) clearDirty() {
+	for _, p := range m.pages {
+		p.dirty = false
+	}
+}

@@ -155,6 +155,17 @@ type cell struct {
 	liveRuns     int
 	fails        int
 
+	// resume is the committed instruction-granular cursor: always
+	// positioned at `cursor` (the next program), it re-arms the next
+	// lease's Assignment so a reaped or released worker's mid-program
+	// snapshot is not lost. liveResume is the current lease's latest
+	// heartbeat cursor, folded into resume on requeue exactly like
+	// liveFindings/liveRuns fold into the base. Both are in-memory
+	// only — the journal excludes snapshot blobs, so a coordinator
+	// restart resumes at program granularity.
+	resume     *ResumeCursor
+	liveResume *ResumeCursor
+
 	// Metrics snapshots mirror the findings handling: baseSnap holds
 	// folded-in accumulators from expired/released leases, liveSnap the
 	// current lease's last reported accumulator, snap the final merged
@@ -366,11 +377,12 @@ func (c *Coordinator) grantLocked(cl *cell, lease, worker, nonce string) {
 	cl.liveFindings = nil
 	cl.liveRuns = 0
 	cl.liveSnap = nil
+	cl.liveResume = nil
 	c.leases[lease] = cl
 }
 
 func (c *Coordinator) assignmentLocked(cl *cell) *Assignment {
-	return &Assignment{
+	a := &Assignment{
 		Lease:     cl.lease,
 		Job:       cl.job.id,
 		Cell:      cl.id,
@@ -381,6 +393,10 @@ func (c *Coordinator) assignmentLocked(cl *cell) *Assignment {
 		LeaseTTL:  c.leaseTTL,
 		Spec:      cl.job.spec,
 	}
+	if cl.resume != nil && cl.resume.Program == cl.grantStart {
+		a.Resume = cl.resume
+	}
+	return a
 }
 
 // steal splits the running soak cell with the most remaining programs.
@@ -446,6 +462,15 @@ func (c *Coordinator) Heartbeat(hb Heartbeat) HeartbeatReply {
 	cl.liveCursor = hb.Cursor
 	cl.liveFindings = hb.Findings
 	cl.liveRuns = hb.Runs
+	// The instruction-granular cursor is only meaningful while it
+	// points inside the program the cursor stands on; a heartbeat at a
+	// program boundary (nil Resume, or one for an older program)
+	// invalidates any earlier mid-program position.
+	if hb.Resume != nil && hb.Resume.Program == hb.Cursor {
+		cl.liveResume = hb.Resume
+	} else {
+		cl.liveResume = nil
+	}
 	cl.expiry = c.now().Add(c.leaseTTL)
 	ms := c.now().UnixMilli()
 	if hb.Snapshot != nil {
@@ -530,6 +555,7 @@ func (c *Coordinator) completeLocked(cl *cell, lease, worker string, ms int64,
 		c.appendSampleLocked(ms, worker, cl, snap)
 	}
 	cl.baseSnap, cl.liveSnap = nil, nil
+	cl.resume, cl.liveResume = nil, nil
 	cl.lease, cl.worker, cl.nonce = "", "", ""
 	cl.liveFindings, cl.liveRuns = nil, 0
 }
@@ -561,6 +587,11 @@ func (c *Coordinator) Release(rel ReleaseRequest) {
 	cl.liveCursor = rel.Cursor
 	cl.liveRuns = rel.Runs
 	cl.liveFindings = rel.Findings
+	if rel.Resume != nil && rel.Resume.Program == rel.Cursor {
+		cl.liveResume = rel.Resume
+	} else {
+		cl.liveResume = nil
+	}
 	if rel.Snapshot != nil {
 		cl.liveSnap = rel.Snapshot
 	}
@@ -621,6 +652,18 @@ func (c *Coordinator) requeueLocked(cl *cell) {
 		cl.liveSnap = nil
 	}
 	cl.cursor = max(cl.cursor, cl.liveCursor)
+	// Commit the lease's mid-program cursor if it still matches the
+	// folded program cursor; keep an earlier committed one when the
+	// dead lease made no progress at all; drop anything stale.
+	switch {
+	case cl.liveResume != nil && cl.liveResume.Program == cl.cursor:
+		cl.resume = cl.liveResume
+	case cl.resume != nil && cl.resume.Program == cl.cursor:
+		// keep
+	default:
+		cl.resume = nil
+	}
+	cl.liveResume = nil
 	cl.liveFindings, cl.liveRuns = nil, 0
 	cl.liveCursor = cl.cursor
 	cl.state = cellPending

@@ -26,6 +26,27 @@ type Assignment struct {
 	Benchmark string        `json:"benchmark,omitempty"`
 	LeaseTTL  time.Duration `json:"lease_ttl"`
 	Spec      JobSpec       `json:"spec"`
+	// Resume, when non-nil, is the cell's instruction-granular cursor
+	// from a previous lease that was reaped or released mid-program:
+	// the worker starts program Resume.Program at cell-matrix position
+	// Resume.Cell from the architectural snapshot Resume.Snap instead
+	// of losing the whole program's work. Only present when
+	// Resume.Program == Start.
+	Resume *ResumeCursor `json:"resume,omitempty"`
+}
+
+// ResumeCursor extends the program-granular cursor to instruction
+// granularity (soak jobs with SoakSpec.InstCkpt set): the lease was
+// inside cell-matrix position Cell of program Program, whose latest
+// drained architectural snapshot is Snap (ckpt.Encode bytes; base64 in
+// JSON). Heartbeats carry it up, requeued assignments carry it back
+// down. The coordinator journal deliberately excludes it (snapshot
+// blobs would dominate the journal), so a coordinator restart falls
+// back to program-granularity resume.
+type ResumeCursor struct {
+	Program int    `json:"program"`
+	Cell    int    `json:"cell"`
+	Snap    []byte `json:"snap,omitempty"`
 }
 
 // LeaseRequest asks for work. Nonce, when non-empty, identifies this
@@ -52,6 +73,10 @@ type Heartbeat struct {
 	// (CPI stacks, occupancy histograms, throughput) on the heartbeat —
 	// the fleet telemetry transport; nil when metrics are off.
 	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
+	// Resume, when non-nil, is the worker's instruction-granular
+	// position inside program Cursor (soak jobs with InstCkpt): if this
+	// lease is later reaped, the next lease resumes mid-program from it.
+	Resume *ResumeCursor `json:"resume,omitempty"`
 }
 
 // WorkerStats is a worker's self-reported robustness accounting: how
@@ -64,6 +89,9 @@ type WorkerStats struct {
 	HeartbeatErrors int64 `json:"heartbeat_errors,omitempty"`
 	CellsAbandoned  int64 `json:"cells_abandoned,omitempty"`
 	CellsReleased   int64 `json:"cells_released,omitempty"`
+	// SoakCkptErrs counts campaign-checkpoint/cursor writes that failed
+	// inside this worker's soak runs (soak.Report.CkptErrs, summed).
+	SoakCkptErrs int64 `json:"soak_ckpt_errs,omitempty"`
 }
 
 // HeartbeatReply acknowledges a heartbeat. End is the cell's current
@@ -101,6 +129,10 @@ type ReleaseRequest struct {
 	// Snapshot is the lease's metrics accumulator at release time (nil
 	// when metrics are off); it folds into the cell's committed base.
 	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
+	// Resume carries the instruction-granular position when the worker
+	// drained mid-program (soak jobs with InstCkpt); the next lease of
+	// this cell continues from it.
+	Resume *ResumeCursor `json:"resume,omitempty"`
 }
 
 // FailRequest reports a hard worker-side error on a leased cell.

@@ -81,6 +81,13 @@ type SoakSpec struct {
 	// merged findings depend on cell scheduling order. 0 = no cap.
 	MaxFindings int         `json:"max_findings,omitempty"`
 	Gen         gen.Options `json:"gen,omitempty"`
+	// InstCkpt arms instruction-granular checkpointing inside every
+	// detection run (soak.Options.CkptInsts): workers heartbeat a
+	// mid-program ResumeCursor so a reaped lease requeues at the last
+	// drained snapshot instead of the last program boundary. Coverage
+	// -affecting (drains perturb timing deterministically), so all
+	// cells and any solo run being compared must use the same cadence.
+	InstCkpt uint64 `json:"inst_ckpt,omitempty"`
 	// CellPrograms is the shard size in programs (0 = Programs/8,
 	// rounded up, minimum 1).
 	CellPrograms int `json:"cell_programs,omitempty"`
@@ -205,5 +212,6 @@ func (s *SoakSpec) Options(outDir string) soak.Options {
 		MaxFindings:    maxF,
 		OutDir:         outDir,
 		Gen:            s.Gen,
+		CkptInsts:      s.InstCkpt,
 	}
 }

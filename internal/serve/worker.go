@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pok/internal/ckpt"
 	"pok/internal/core"
 	"pok/internal/metrics"
 	"pok/internal/profile"
@@ -60,6 +61,7 @@ type Worker struct {
 	heartbeatErrs  atomic.Int64
 	cellsAbandoned atomic.Int64
 	cellsReleased  atomic.Int64
+	soakCkptErrs   atomic.Int64 // soak.Report.CkptErrs, summed over cells
 	lastContact    atomic.Int64 // unix nanos of the last successful RPC
 }
 
@@ -73,6 +75,7 @@ func (w *Worker) statsSnapshot() *WorkerStats {
 		HeartbeatErrors: w.heartbeatErrs.Load(),
 		CellsAbandoned:  w.cellsAbandoned.Load(),
 		CellsReleased:   w.cellsReleased.Load(),
+		SoakCkptErrs:    w.soakCkptErrs.Load(),
 	}
 }
 
@@ -167,6 +170,10 @@ type cellProgress struct {
 	// snapshot hook. The clone is owned by this struct and read-only
 	// from here on, so sharing the pointer across heartbeats is safe.
 	snap *metrics.Snapshot
+	// resume is the instruction-granular position inside the program
+	// `cursor` stands on (InstCkpt jobs only); cleared at every program
+	// boundary.
+	resume *ResumeCursor
 }
 
 func (p *cellProgress) set(cursor, runs int, findings []soak.Finding) {
@@ -175,6 +182,19 @@ func (p *cellProgress) set(cursor, runs int, findings []soak.Finding) {
 	p.cursor = cursor
 	p.runs = runs
 	p.findings = append([]soak.Finding(nil), findings...)
+	p.resume = nil
+}
+
+// setMid publishes a mid-program position: the campaign is inside
+// program r.Program (which becomes the cursor — it is not complete),
+// and r carries the drained snapshot to resume it from.
+func (p *cellProgress) setMid(runs int, findings []soak.Finding, r *ResumeCursor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cursor = r.Program
+	p.runs = runs
+	p.findings = append([]soak.Finding(nil), findings...)
+	p.resume = r
 }
 
 func (p *cellProgress) setSnap(snap *metrics.Snapshot) {
@@ -197,6 +217,7 @@ func (p *cellProgress) heartbeat(lease, worker string) Heartbeat {
 		Cursor: p.cursor, Runs: p.runs,
 		Findings: append([]soak.Finding(nil), p.findings...),
 		Snapshot: p.snap,
+		Resume:   p.resume,
 	}
 }
 
@@ -215,6 +236,20 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 	opts.Programs = a.End
 
 	prog := &cellProgress{cursor: a.Start}
+	if a.Resume != nil && a.Resume.Program == a.Start {
+		// A previous lease of this cell died mid-program; continue from
+		// its drained snapshot. An undecodable snapshot degrades to
+		// program-granularity resume rather than failing the cell.
+		if s, err := ckpt.Decode(a.Resume.Snap); err == nil {
+			opts.StartCell = a.Resume.Cell
+			opts.StartSnap = s
+			w.logf("cell %s/%d resuming p%d mid-matrix at cell %d\n",
+				a.Job, a.Cell, a.Resume.Program, a.Resume.Cell)
+		} else {
+			w.logf("cell %s/%d resume snapshot undecodable (%v); restarting p%d\n",
+				a.Job, a.Cell, err, a.Start)
+		}
+	}
 	if !w.NoMetrics {
 		// The soak hook fires right before Progress with a fresh clone,
 		// so the synchronous per-program heartbeat below always carries
@@ -234,6 +269,19 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 	var end, acked atomic.Int64
 	end.Store(int64(a.End))
 	acked.Store(int64(a.Start))
+	if spec.InstCkpt > 0 {
+		// Publish every drained snapshot as the heartbeat's
+		// instruction-granular cursor, and turn a cancelled context or
+		// a lost lease into a drain-stop at the next snapshot boundary
+		// — the mid-program analogue of the Progress drain below. The
+		// keepalive ticker carries the cursor upward; no synchronous
+		// RPC here, snapshots are too frequent for that.
+		opts.CellCursor = func(program, cell int, rep *soak.Report, s *ckpt.Snapshot) bool {
+			prog.setMid(rep.Runs, rep.Findings,
+				&ResumeCursor{Program: program, Cell: cell, Snap: ckpt.Encode(s)})
+			return abandoned.Load() || ctx.Err() != nil
+		}
+	}
 	var permMu sync.Mutex
 	var permErr error
 	setPerm := func(err error) {
@@ -349,6 +397,11 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 	rep, err := soak.Run(opts, false)
 	close(stop)
 	wg.Wait()
+	if rep != nil && rep.CkptErrs > 0 {
+		w.soakCkptErrs.Add(int64(rep.CkptErrs))
+		w.logf("cell %s/%d: %d checkpoint write failures (last: %s)\n",
+			a.Job, a.Cell, rep.CkptErrs, rep.LastCkptErr)
+	}
 	permMu.Lock()
 	perm := permErr
 	permMu.Unlock()
@@ -365,6 +418,14 @@ func (w *Worker) runSoakCell(ctx context.Context, a *Assignment) error {
 	case abandoned.Load():
 		w.cellsAbandoned.Add(1)
 		w.logf("cell %s/%d abandoned (lease lost)\n", a.Job, a.Cell)
+	case rep.Stopped:
+		// Drain-stopped between program boundaries (cancelled context
+		// caught at a snapshot): hand the lease back with the
+		// instruction-granular cursor so the next lease resumes
+		// mid-program.
+		w.releaseCell(a, prog)
+		w.logf("cell %s/%d released mid-program at p%d (drain)\n",
+			a.Job, a.Cell, prog.heartbeat("", "").Cursor)
 	default:
 		final := int(end.Load())
 		cErr := w.Client.Complete(CellResult{
@@ -406,6 +467,7 @@ func (w *Worker) releaseCell(a *Assignment, prog *cellProgress) {
 		Lease: a.Lease, Worker: w.Name,
 		Cursor: hb.Cursor, Runs: hb.Runs, Findings: hb.Findings,
 		Snapshot: hb.Snapshot,
+		Resume:   hb.Resume,
 	})
 	if err != nil {
 		w.logf("cell %s/%d release failed (lease will expire): %v\n", a.Job, a.Cell, err)

@@ -23,6 +23,17 @@ type Checkpoint struct {
 	NextProgram int       `json:"next_program"`
 	Runs        int       `json:"runs"`
 	Findings    []Finding `json:"findings"`
+
+	// NextCell / CellSnap extend the cursor to instruction granularity
+	// (Options.CkptInsts): when present, program NextProgram was
+	// interrupted mid-matrix — cells with flat index below NextCell
+	// (config-major, then scheduler, then injection seed) are already
+	// covered by Runs/Findings, and CellSnap is cell NextCell's latest
+	// architectural snapshot (ckpt.Encode bytes; base64 in the JSON).
+	// Program-boundary checkpoints omit both, so version 1 files stay
+	// readable in either direction.
+	NextCell int    `json:"next_cell,omitempty"`
+	CellSnap []byte `json:"cell_snap,omitempty"`
 }
 
 const checkpointVersion = 1
@@ -34,9 +45,13 @@ const checkpointVersion = 1
 // the program target is a valid resume.
 func optionsSig(o Options) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%v|%v|%d|%+v|%d|%+v|%+v",
+	// CkptInsts is part of the signature even though it looks like a
+	// pacing knob: checkpoint drains perturb run timing
+	// deterministically, so cycle-dependent finding details are
+	// reproducible only under the same cadence.
+	fmt.Fprintf(h, "%d|%v|%v|%d|%+v|%d|%+v|%+v|%d",
 		o.BaseSeed, o.Configs, o.Schedulers, o.InjectSeeds, o.Inject,
-		o.MaxInsts, o.Gen, o.Hook)
+		o.MaxInsts, o.Gen, o.Hook, o.CkptInsts)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -83,6 +98,22 @@ func saveProgress(opts Options, next int, rep *Report) error {
 		Sig:         optionsSig(opts),
 		BaseSeed:    opts.BaseSeed,
 		NextProgram: next,
+		Runs:        rep.Runs,
+		Findings:    rep.Findings,
+	})
+}
+
+// saveCursor writes a mid-program checkpoint: the campaign is inside
+// cell `cell` of program `program`, whose latest architectural snapshot
+// is snapBytes. Runs/Findings cover everything before that point.
+func saveCursor(opts Options, program, cell int, snapBytes []byte, rep *Report) error {
+	return SaveCheckpoint(opts.Checkpoint, &Checkpoint{
+		Version:     checkpointVersion,
+		Sig:         optionsSig(opts),
+		BaseSeed:    opts.BaseSeed,
+		NextProgram: program,
+		NextCell:    cell,
+		CellSnap:    snapBytes,
 		Runs:        rep.Runs,
 		Findings:    rep.Findings,
 	})

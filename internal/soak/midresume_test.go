@@ -1,0 +1,121 @@
+package soak
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pok/internal/check/inject"
+	"pok/internal/ckpt"
+)
+
+// midOpts is small(t) tuned for instruction-granular checkpointing:
+// two configs (so the cell matrix is non-trivial), a snapshot cadence
+// that fires twice inside every ~100-instruction generated program,
+// and a corrupt hook placed after the second snapshot so every cell
+// yields a divergence finding discovered beyond a resume point.
+func midOpts(t *testing.T) Options {
+	t.Helper()
+	opts := small(t)
+	opts.Configs = []string{"slice2", "slice4"}
+	opts.Programs = 2
+	opts.CkptInsts = 30
+	opts.Hook = &inject.Options{CorruptOn: true, CorruptAt: 70}
+	opts.NoReduce = true
+	return opts
+}
+
+// TestSoakResumeMidProgram drain-stops a campaign at an arbitrary
+// instruction-granular checkpoint inside a program's cell matrix and
+// resumes it from the file cursor. The resumed campaign must cover
+// exactly what an uninterrupted campaign of the same cadence covers —
+// same run count, byte-identical findings — with already-completed
+// cells skipped and the interrupted cell continued from its snapshot.
+func TestSoakResumeMidProgram(t *testing.T) {
+	ref := midOpts(t)
+	refRep, err := Run(ref, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFindings := ref.Programs * len(ref.Configs)
+	if len(refRep.Findings) != wantFindings {
+		t.Fatalf("reference: %d findings, want %d: %+v",
+			len(refRep.Findings), wantFindings, refRep.Findings)
+	}
+	if refRep.Stopped {
+		t.Fatal("reference run marked stopped")
+	}
+
+	// Interrupted: stop at the second snapshot — inside cell 1 of
+	// program 0 (each cell drains at least one snapshot around
+	// instruction 30-60 before the corruption fires at 70).
+	part := midOpts(t)
+	snaps := 0
+	part.CellCursor = func(program, cell int, rep *Report, s *ckpt.Snapshot) bool {
+		snaps++
+		return snaps == 2
+	}
+	partRep, err := Run(part, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps < 2 || !partRep.Stopped {
+		t.Fatalf("campaign not drain-stopped (snaps=%d stopped=%v)", snaps, partRep.Stopped)
+	}
+
+	cp, err := LoadCheckpoint(part.Checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.NextProgram != 0 || cp.NextCell != 1 || len(cp.CellSnap) == 0 {
+		t.Fatalf("cursor not instruction-granular: program=%d cell=%d snap=%d bytes",
+			cp.NextProgram, cp.NextCell, len(cp.CellSnap))
+	}
+	if _, err := ckpt.Decode(cp.CellSnap); err != nil {
+		t.Fatalf("checkpointed cell snapshot does not decode: %v", err)
+	}
+
+	part.CellCursor = nil
+	resumed, err := Run(part, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Resumed || resumed.Stopped {
+		t.Fatalf("resumed run flags wrong: %+v", resumed)
+	}
+	if resumed.Runs != refRep.Runs {
+		t.Fatalf("resumed covered %d runs, reference covered %d", resumed.Runs, refRep.Runs)
+	}
+	if !reflect.DeepEqual(resumed.Findings, refRep.Findings) {
+		t.Fatalf("resumed findings differ from uninterrupted run:\nresumed: %+v\nref:     %+v",
+			resumed.Findings, refRep.Findings)
+	}
+}
+
+// TestSoakCkptWriteErrorsNonFatal: losing a checkpoint write must not
+// kill the campaign — the soak completes and surfaces the failure count
+// on the report instead.
+func TestSoakCkptWriteErrorsNonFatal(t *testing.T) {
+	opts := small(t)
+	opts.Programs = 1
+	// A regular file where the checkpoint's parent directory should be
+	// makes every SaveCheckpoint fail (MkdirAll over a file).
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = filepath.Join(blocker, "cp.json")
+
+	rep, err := Run(opts, false)
+	if err != nil {
+		t.Fatalf("checkpoint write failure must be non-fatal: %v", err)
+	}
+	if rep.Runs != 1 || len(rep.Findings) != 0 {
+		t.Fatalf("campaign did not complete: %+v", rep)
+	}
+	if rep.CkptErrs == 0 || rep.LastCkptErr == "" {
+		t.Fatalf("checkpoint write failures not surfaced: errs=%d last=%q",
+			rep.CkptErrs, rep.LastCkptErr)
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"path/filepath"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"pok/internal/check"
 	"pok/internal/check/inject"
 	"pok/internal/check/reduce"
+	"pok/internal/ckpt"
 	"pok/internal/core"
 	"pok/internal/gen"
 	"pok/internal/metrics"
@@ -91,6 +93,36 @@ type Options struct {
 	Checkpoint string
 	// CheckpointEvery snapshots after this many programs (default 25).
 	CheckpointEvery int
+	// CkptInsts arms instruction-granular architectural checkpointing
+	// inside every detection run: each checked run snapshots its
+	// complete state every CkptInsts committed instructions (the
+	// internal/ckpt drain checkpoints), so long programs become
+	// resumable mid-run — the campaign checkpoint records the cell
+	// cursor plus the snapshot, and the CellCursor hook observes it.
+	// Checkpoint drains perturb run timing deterministically, so
+	// cycle-dependent finding details are byte-identical only across
+	// runs with the same cadence (CkptInsts is therefore part of the
+	// checkpoint signature). Reduction candidate runs never checkpoint.
+	// 0 = off.
+	CkptInsts uint64
+	// StartCell resumes the campaign's first program mid-matrix: cells
+	// with flat index below StartCell (config-major, then scheduler,
+	// then injection seed) are skipped — they are already covered by the
+	// caller's carried-over Runs/Findings — and cell StartCell resumes
+	// from StartSnap when non-nil. The fleet worker fills these from a
+	// requeued assignment's resume cursor; file-checkpoint resume fills
+	// them from NextCell/CellSnap.
+	StartCell int
+	StartSnap *ckpt.Snapshot
+	// CellCursor, when non-nil and CkptInsts is armed, observes every
+	// mid-run snapshot of a detection run with the program index, the
+	// flat cell index and the report so far (rep.Runs/rep.Findings cover
+	// everything before this cell). Returning stop=true requests a
+	// drain-stop: the in-flight run finalizes at this checkpoint
+	// boundary, the campaign checkpoint keeps the mid-program cursor,
+	// and Run returns with Report.Stopped set — the instruction-granular
+	// SIGINT/drain path.
+	CellCursor func(program, cell int, rep *Report, snap *ckpt.Snapshot) (stop bool)
 	// Gen shapes the generated programs; Seed is overridden per
 	// program.
 	Gen gen.Options
@@ -214,6 +246,19 @@ type Report struct {
 	// Resumed reports whether this campaign continued from a
 	// checkpoint (informational; does not affect coverage).
 	Resumed bool `json:"resumed,omitempty"`
+	// Stopped reports that the campaign was drain-stopped early (a
+	// CellCursor or Progress hook returned stop) rather than running
+	// its program range to exhaustion; the checkpoint file, when
+	// configured, holds the resumable cursor.
+	Stopped bool `json:"stopped,omitempty"`
+	// CkptErrs counts checkpoint-file writes that failed during the
+	// campaign; LastCkptErr is the most recent failure. Losing a
+	// cursor must not kill a multi-hour soak, so these are surfaced
+	// instead of returned as errors — and excluded from the JSON so
+	// findings reports stay byte-identical whether or not the disk
+	// hiccupped.
+	CkptErrs    int    `json:"-"`
+	LastCkptErr string `json:"-"`
 }
 
 // Run executes the soak campaign. When resume is true and opts.Checkpoint
@@ -244,6 +289,8 @@ func Run(opts Options, resume bool) (*Report, error) {
 		InjectSeeds: opts.InjectSeeds,
 	}
 	start := opts.StartProgram
+	startCell := opts.StartCell
+	startSnap := opts.StartSnap
 	if resume && opts.Checkpoint != "" {
 		cp, err := LoadCheckpoint(opts.Checkpoint)
 		if err != nil {
@@ -253,11 +300,30 @@ func Run(opts Options, resume bool) (*Report, error) {
 			return nil, fmt.Errorf("soak: checkpoint %s was written by a different campaign (sig %s, want %s)",
 				opts.Checkpoint, cp.Sig, want)
 		}
-		start = max(start, cp.NextProgram)
+		if cp.NextProgram >= start {
+			// The checkpoint cursor wins, including its mid-matrix cell
+			// position; a caller-supplied StartCell/StartSnap only
+			// applies when the caller's StartProgram is further along.
+			start = cp.NextProgram
+			startCell = cp.NextCell
+			startSnap = nil
+			if len(cp.CellSnap) > 0 {
+				s, derr := ckpt.Decode(cp.CellSnap)
+				if derr != nil {
+					return nil, fmt.Errorf("soak: resume: cell snapshot: %w", derr)
+				}
+				startSnap = s
+			}
+		}
 		rep.Runs = cp.Runs
 		rep.Findings = cp.Findings
 		rep.Resumed = true
-		logf(opts.Log, "resuming at program %d with %d findings\n", start, len(rep.Findings))
+		if startCell > 0 || startSnap != nil {
+			logf(opts.Log, "resuming at program %d cell %d with %d findings\n",
+				start, startCell, len(rep.Findings))
+		} else {
+			logf(opts.Log, "resuming at program %d with %d findings\n", start, len(rep.Findings))
+		}
 	}
 
 	deadline := time.Time{}
@@ -270,6 +336,10 @@ func Run(opts Options, resume bool) (*Report, error) {
 		snap = &metrics.Snapshot{}
 	}
 
+	// midStop: the campaign drain-stopped inside a program's cell
+	// matrix (instruction-granular cursor already on disk), as opposed
+	// to a clean program-boundary stop.
+	midStop := false
 	idx := start
 	for {
 		if opts.Programs > 0 && idx >= opts.Programs {
@@ -302,10 +372,30 @@ func Run(opts Options, resume bool) (*Report, error) {
 			_ = workload.RegisterAdHoc(w) // duplicate on resume is fine
 		}
 
+		// firstCell/resumeSnap apply to the resume program only; every
+		// later program starts at cell 0 with no snapshot.
+		firstCell := 0
+		var resumeSnap *ckpt.Snapshot
+		if idx == start {
+			firstCell = startCell
+			resumeSnap = startSnap
+		}
 		found := 0
+		cellStopped := false
+		cellIdx := 0
+	cells:
 		for ci, cfg := range cfgs {
 			for _, sched := range opts.Schedulers {
 				for k := 0; k <= opts.InjectSeeds; k++ {
+					cell := cellIdx
+					cellIdx++
+					if cell < firstCell {
+						continue
+					}
+					var cellSnap *ckpt.Snapshot
+					if cell == firstCell {
+						cellSnap = resumeSnap
+					}
 					var injSeed uint64
 					var injOpts *inject.Options
 					if k > 0 {
@@ -317,7 +407,17 @@ func Run(opts Options, resume bool) (*Report, error) {
 						hook := *opts.Hook
 						injOpts = &hook
 					}
-					f := runCell(opts, prog, idx, opts.Configs[ci], cfg, sched, injSeed, injOpts, snap)
+					f, stopped := runCell(opts, prog, idx, opts.Configs[ci], cfg, sched,
+						injSeed, injOpts, snap, cell, cellSnap, rep)
+					if stopped {
+						// The in-flight run drained at a checkpoint
+						// boundary; the mid-run cursor write already
+						// recorded (program, cell, snapshot), so the run
+						// is NOT counted here — the resume re-runs cell
+						// `cell` from the snapshot and counts it then.
+						cellStopped = true
+						break cells
+					}
 					rep.Runs++
 					if f != nil {
 						rep.Findings = append(rep.Findings, *f)
@@ -326,12 +426,20 @@ func Run(opts Options, resume bool) (*Report, error) {
 				}
 			}
 		}
+		if cellStopped {
+			rep.Stopped = true
+			midStop = true
+			logf(opts.Log, "p%04d interrupted mid-matrix; cursor checkpointed\n", idx)
+			break
+		}
 		logf(opts.Log, "p%04d seed=%#016x body=%d iters=%d findings=%d\n",
 			idx, seed, gen.InstCount(prog.Body), prog.Iters, found)
 		idx++
 		if opts.Checkpoint != "" && (idx-start)%opts.CheckpointEvery == 0 {
 			if err := saveProgress(opts, idx, rep); err != nil {
-				return nil, err
+				rep.CkptErrs++
+				rep.LastCkptErr = err.Error()
+				logf(opts.Log, "WARNING: checkpoint write failed: %v\n", err)
 			}
 		}
 		if snap != nil {
@@ -345,14 +453,22 @@ func Run(opts Options, resume bool) (*Report, error) {
 				opts.Programs = newEnd
 			}
 			if stop {
+				rep.Stopped = true
 				break
 			}
 		}
 	}
 	rep.Programs = idx
-	if opts.Checkpoint != "" {
+	// A mid-matrix stop already wrote its instruction-granular cursor;
+	// overwriting it with a program-boundary checkpoint here would
+	// re-run cells the report has already counted — skip the final save
+	// in that case only. A Progress (program-boundary) stop still gets
+	// the normal save: idx is a correct boundary cursor.
+	if opts.Checkpoint != "" && !midStop {
 		if err := saveProgress(opts, idx, rep); err != nil {
-			return nil, err
+			rep.CkptErrs++
+			rep.LastCkptErr = err.Error()
+			logf(opts.Log, "WARNING: checkpoint write failed: %v\n", err)
 		}
 	}
 	return rep, nil
@@ -376,12 +492,75 @@ func mixInject(seed, k uint64) uint64 {
 	return gen.ProgramSeed(seed^0x5bd1e995, int(k))
 }
 
+// cellAttempt wires one detection attempt's instruction-granular
+// checkpoints (Options.CkptInsts) into the campaign: every snapshot the
+// checked run drains to becomes a mid-program campaign-checkpoint write
+// and a CellCursor observation, and a CellCursor stop request is
+// forwarded to the run's drain-stop hook. The live flag guards the
+// abandoned-goroutine hazard: after a wall-watchdog timeout the run
+// goroutine may still be executing, and must not write a stale cursor
+// over the retry's.
+type cellAttempt struct {
+	opts    Options
+	program int
+	cell    int
+	resume  *ckpt.Snapshot
+	rep     *Report
+
+	mu      sync.Mutex
+	live    bool
+	stop    func(reason string)
+	stopped bool
+}
+
+func (a *cellAttempt) WantFull() bool { return true }
+
+func (a *cellAttempt) onStart(stop func(reason string)) {
+	a.mu.Lock()
+	a.stop = stop
+	a.mu.Unlock()
+}
+
+// finish retires the attempt: later Write calls (an abandoned runaway
+// goroutine) become no-ops.
+func (a *cellAttempt) finish() {
+	a.mu.Lock()
+	a.live = false
+	a.mu.Unlock()
+}
+
+func (a *cellAttempt) Write(s *ckpt.Snapshot) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.live {
+		return nil
+	}
+	if a.opts.Checkpoint != "" {
+		if err := saveCursor(a.opts, a.program, a.cell, ckpt.Encode(s), a.rep); err != nil {
+			a.rep.CkptErrs++
+			a.rep.LastCkptErr = err.Error()
+			logf(a.opts.Log, "WARNING: cursor checkpoint write failed: %v\n", err)
+		}
+	}
+	if a.opts.CellCursor != nil && !a.stopped {
+		if a.opts.CellCursor(a.program, a.cell, a.rep, s) && a.stop != nil {
+			a.stopped = true
+			a.stop("cell-cursor stop")
+		}
+	}
+	return nil
+}
+
 // runCell executes one (program, config, scheduler, inject) cell with
 // retries, classifies the outcome, and — on failure — reduces it and
-// writes a repro bundle. It returns nil on a clean run.
+// writes a repro bundle. It returns (nil, false) on a clean run and
+// (nil, true) when the run was drain-stopped mid-flight (cursor already
+// checkpointed; the cell is not finished). With resume non-nil the
+// detection run restarts from that snapshot instead of the program
+// start; retried (timed-out) attempts restart from the same snapshot.
 func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 	cfg core.Config, sched string, injSeed uint64, injOpts *inject.Options,
-	snap *metrics.Snapshot) *Finding {
+	snap *metrics.Snapshot, cell int, resume *ckpt.Snapshot, rep *Report) (*Finding, bool) {
 	cfg.LegacyScheduler = sched == "legacy"
 	chkOpts := check.Options{
 		Benchmark: fmt.Sprintf("gen-p%d", idx),
@@ -391,12 +570,20 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 	// delivery state, so reusing one across runs would skew replays.
 	// Only detection runs keep telemetry (keep=true when metrics are
 	// on); reduction candidates never do — their reports are discarded
-	// and the reducer is the wall-clock hot path.
-	newRunner := func(keep bool) reduce.Runner {
+	// and the reducer is the wall-clock hot path. Likewise only
+	// detection runs checkpoint (att non-nil): reduction candidates are
+	// short, discardable and not resumable by construction.
+	newRunner := func(keep bool, att *cellAttempt) reduce.Runner {
 		o := chkOpts
 		o.KeepTelemetry = keep
 		if injOpts != nil {
 			o.Injector = inject.New(*injOpts)
+		}
+		if att != nil {
+			o.CkptEvery = opts.CkptInsts
+			o.CkptSink = att
+			o.Resume = att.resume
+			o.OnStart = att.onStart
 		}
 		return reduce.CheckRunner(cfg, o, opts.Watchdog)
 	}
@@ -405,16 +592,29 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 	var res reduce.RunResult
 	t0 := time.Now()
 	for attempt := 0; ; attempt++ {
-		res = newRunner(snap != nil)(src)
+		var att *cellAttempt
+		if opts.CkptInsts > 0 {
+			att = &cellAttempt{opts: opts, program: idx, cell: cell,
+				resume: resume, rep: rep, live: true}
+		}
+		res = newRunner(snap != nil, att)(src)
+		if att != nil {
+			att.finish()
+		}
 		if res.Outcome.Kind != "timeout" || attempt >= opts.Retries {
 			break
 		}
+	}
+	if res.Report != nil && res.Report.Stopped {
+		// Drain-stopped before completion: no outcome to classify, no
+		// metrics to fold — the resumed run re-covers this cell.
+		return nil, true
 	}
 	if snap != nil {
 		foldRun(snap, cfgName, res.Report, time.Since(t0))
 	}
 	if !res.Outcome.Failing() {
-		return nil
+		return nil, false
 	}
 
 	f := &Finding{
@@ -431,7 +631,7 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 
 	minBody := prog.Body
 	if !opts.NoReduce {
-		candRunner := func(s string) reduce.RunResult { return newRunner(false)(s) }
+		candRunner := func(s string) reduce.RunResult { return newRunner(false, nil)(s) }
 		r := reduce.Program(prog.Prologue, prog.Body, prog.Epilogue,
 			res.Outcome, gen.Render, candRunner, opts.ReduceMaxTests)
 		minBody = r.Body
@@ -447,7 +647,7 @@ func runCell(opts Options, prog *gen.Program, idx int, cfgName string,
 			f.Bundle = bundle
 		}
 	}
-	return f
+	return f, false
 }
 
 // foldRun folds one detection attempt into the metrics snapshot: CPI

@@ -138,20 +138,22 @@ func SimulateBenchmark(name string, cfg Config, maxInsts uint64) (*Result, error
 
 // Experiment drivers (one per paper table/figure) and their renderers.
 var (
-	Table1         = exp.Table1
-	RenderTable1   = exp.RenderTable1
-	EmuBench       = exp.EmuBench
-	RenderEmuBench = exp.RenderEmuBench
-	Figure2        = exp.Figure2
-	RenderFigure2  = exp.RenderFigure2
-	Figure4        = exp.Figure4
-	RenderFigure4  = exp.RenderFigure4
-	Figure6        = exp.Figure6
-	RenderFigure6  = exp.RenderFigure6
-	Figure11       = exp.Figure11
-	RenderFigure11 = exp.RenderFigure11
-	Figure12       = exp.Figure12
-	RenderFigure12 = exp.RenderFigure12
+	Table1          = exp.Table1
+	RenderTable1    = exp.RenderTable1
+	EmuBench        = exp.EmuBench
+	RenderEmuBench  = exp.RenderEmuBench
+	CkptBench       = exp.CkptBench
+	RenderCkptBench = exp.RenderCkptBench
+	Figure2         = exp.Figure2
+	RenderFigure2   = exp.RenderFigure2
+	Figure4         = exp.Figure4
+	RenderFigure4   = exp.RenderFigure4
+	Figure6         = exp.Figure6
+	RenderFigure6   = exp.RenderFigure6
+	Figure11        = exp.Figure11
+	RenderFigure11  = exp.RenderFigure11
+	Figure12        = exp.Figure12
+	RenderFigure12  = exp.RenderFigure12
 	// CPIStackReport runs the technique ladder with the profiler
 	// attached: the per-technique cycle-attribution companion to
 	// Figures 11/12.

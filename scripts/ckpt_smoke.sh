@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Checkpoint smoke: the crash-safety CI gate for pok-sim itself. It
+# runs a ~2M-instruction benchmark with periodic architectural
+# checkpoints, SIGKILLs the process at a randomly chosen checkpoint
+# (no drain, no cleanup — the on-disk delta chain is all that
+# survives), resumes from the latest snapshot, and requires the
+# resumed run's final statistics to be byte-identical to an
+# uninterrupted run of the same cadence.
+#
+# Checkpoint cadence is coverage-affecting (each drain inserts
+# pipeline bubbles), so the uninterrupted reference runs with the SAME
+# -ckpt-every as the victim: the invariant under test is
+#
+#   crash + resume  ==  never crashed        (same cadence)
+#
+# Artifacts land under $OUT (default ckpt-out): both summaries, the
+# victim's truncated output, the snapshot chains and a listing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-ckpt-out}"
+BENCH="${BENCH:-gzip}"
+CONFIG="${CONFIG:-slice4}"
+INSTS="${INSTS:-2000000}"
+EVERY="${EVERY:-150000}"
+# Kill once the victim has written KILL_AT snapshots. Randomized per
+# run (override KILL_AT to reproduce); the resume must work from ANY
+# checkpoint, including mid-delta-chain ones.
+KILL_AT="${KILL_AT:-$(( (RANDOM % 4) + 2 ))}"
+
+rm -rf "$OUT"
+mkdir -p "$OUT/ref-ckpt" "$OUT/victim-ckpt"
+go build -o "$OUT/pok-sim" ./cmd/pok-sim
+
+# Uninterrupted reference at the shared cadence.
+"$OUT/pok-sim" -bench "$BENCH" -config "$CONFIG" -insts "$INSTS" \
+  -ckpt-every "$EVERY" -ckpt-dir "$OUT/ref-ckpt" >"$OUT/ref.txt"
+
+# Victim: same run, SIGKILLed once $KILL_AT snapshots exist.
+"$OUT/pok-sim" -bench "$BENCH" -config "$CONFIG" -insts "$INSTS" \
+  -ckpt-every "$EVERY" -ckpt-dir "$OUT/victim-ckpt" >"$OUT/victim.txt" 2>&1 &
+VICTIM=$!
+for _ in $(seq 1500); do
+  n=$(ls "$OUT/victim-ckpt" 2>/dev/null | wc -l)
+  [ "$n" -ge "$KILL_AT" ] && break
+  kill -0 "$VICTIM" 2>/dev/null || break
+  sleep 0.02
+done
+if ! kill -9 "$VICTIM" 2>/dev/null; then
+  echo "ckpt-smoke: victim finished before snapshot $KILL_AT — lower EVERY or raise INSTS" >&2
+  exit 1
+fi
+wait "$VICTIM" 2>/dev/null || true
+
+ls -l "$OUT/victim-ckpt" >"$OUT/snapshots.txt"
+latest="$OUT/victim-ckpt/$(ls "$OUT/victim-ckpt" | sort | tail -1)"
+echo "ckpt-smoke: SIGKILLed after $(ls "$OUT/victim-ckpt" | wc -l) snapshot(s) (KILL_AT=$KILL_AT), resuming from $latest"
+
+# Resume from the latest surviving snapshot; -resume chain-resolves
+# deltas back to the last full rebase, verifying every section hash on
+# the way.
+"$OUT/pok-sim" -resume "$latest" -config "$CONFIG" -insts "$INSTS" \
+  -ckpt-every "$EVERY" -ckpt-dir "$OUT/victim-ckpt" >"$OUT/resumed.txt"
+
+# The resumed summary must be byte-identical to the uninterrupted one.
+# Only the trailing snapshot-bookkeeping line (snapshot count/paths)
+# legitimately differs between the two processes.
+if ! diff -u <(grep -v '^wrote .* snapshot' "$OUT/ref.txt") \
+             <(grep -v '^wrote .* snapshot' "$OUT/resumed.txt"); then
+  echo "ckpt-smoke: resumed run diverged from the uninterrupted reference" >&2
+  exit 1
+fi
+echo "ckpt-smoke: PASS — kill -9 at snapshot $KILL_AT, resume byte-identical to uninterrupted run"

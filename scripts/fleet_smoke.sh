@@ -22,9 +22,14 @@ PORT="${PORT:-18923}"
 URL="http://127.0.0.1:$PORT"
 # The seeded corruption (-corrupt 20) makes every program diverge, so
 # the byte-identical diff below compares non-trivial findings.
+# -inst-ckpt arms instruction-granular checkpoints inside every
+# detection run; checkpoint cadence is coverage-affecting, so the solo
+# reference and the fleet job MUST share it for the diff to hold. With
+# it armed, the killed worker's heartbeats carry a mid-program resume
+# cursor, so the requeue below exercises instruction-granular resume.
 SOAK_FLAGS=(-programs 6 -seed 7 -configs slice2 -scheduler event
             -fragments 6 -loop-iters 2 -gen-insts 2000 -corrupt 20
-            -reduce-tests 64 -q)
+            -reduce-tests 64 -inst-ckpt 10 -q)
 
 rm -rf "$OUT"
 mkdir -p "$OUT/solo" "$OUT/fleet" "$OUT/clean" "$OUT/worker-1" "$OUT/worker-2"
@@ -106,7 +111,8 @@ fi
 # and require the series the dashboard and Prometheus alerting depend
 # on.
 "$OUT/pok-soak" -programs 2 -seed 9 -configs slice2 -scheduler event \
-  -fragments 6 -loop-iters 2 -gen-insts 2000 -reduce-tests 64 -q \
+  -fragments 6 -loop-iters 2 -gen-insts 2000 -reduce-tests 64 \
+  -inst-ckpt 30 -q \
   -out "$OUT/clean" -submit "$URL" -cell-programs 1
 curl -fsS "$URL/metrics" -o "$OUT/metrics.prom"
 for series in pok_job_cpistack_cycles_total pok_job_cycles_total \
